@@ -1,0 +1,73 @@
+// Command gfxcorpus inspects the synthetic GFXBench-4.0-like corpus: list
+// shaders with their sizes, dump a shader's source, or emit the whole
+// corpus to a directory.
+//
+//	gfxcorpus -list
+//	gfxcorpus -dump blur/v9
+//	gfxcorpus -emit ./shaders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shaderopt"
+	"shaderopt/internal/corpus"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all corpus shaders")
+	dump := flag.String("dump", "", "print the source of one shader (family/instance)")
+	emit := flag.String("emit", "", "write every shader to the given directory as .frag files")
+	flag.Parse()
+
+	shaders, err := shaderopt.Corpus()
+	if err != nil {
+		fail(err)
+	}
+
+	switch {
+	case *dump != "":
+		s := corpus.ByName(shaders, *dump)
+		if s == nil {
+			fail(fmt.Errorf("unknown shader %q", *dump))
+		}
+		fmt.Print(s.Source)
+	case *emit != "":
+		for _, s := range shaders {
+			path := filepath.Join(*emit, strings.ReplaceAll(s.Name, "/", "_")+".frag")
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(path, []byte(s.Source), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("wrote %d shaders to %s\n", len(shaders), *emit)
+	default:
+		*list = true
+		fallthrough
+	case *list:
+		fmt.Printf("%-26s %8s  %s\n", "Shader", "lines", "defines")
+		for _, s := range shaders {
+			var defs []string
+			for k, v := range s.Defines {
+				if v == "" {
+					defs = append(defs, k)
+				} else {
+					defs = append(defs, k+"="+v)
+				}
+			}
+			fmt.Printf("%-26s %8d  %s\n", s.Name, s.Lines, strings.Join(defs, " "))
+		}
+		fmt.Printf("\n%d shaders in %d families\n", len(shaders), len(corpus.FamilyNames()))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gfxcorpus:", err)
+	os.Exit(1)
+}

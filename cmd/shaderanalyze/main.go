@@ -1,0 +1,73 @@
+// Command shaderanalyze is the ARM-offline-compiler-style static analyser
+// (the tool behind Fig. 4b): it compiles a fragment shader with a chosen
+// platform's driver model and reports the per-pipe cycle decomposition,
+// register pressure, and instruction footprint.
+//
+//	shaderanalyze -platform ARM shader.frag
+//	shaderanalyze -all shader.frag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shaderopt"
+	"shaderopt/internal/gpu"
+)
+
+func main() {
+	vendor := flag.String("platform", "ARM", "platform: Intel, AMD, NVIDIA, ARM, Qualcomm")
+	all := flag.Bool("all", false, "analyse on every platform")
+	flag.Parse()
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	platforms := []*gpu.Platform{}
+	if *all {
+		platforms = shaderopt.Platforms()
+	} else {
+		pl := shaderopt.PlatformByVendor(*vendor)
+		if pl == nil {
+			fail(fmt.Errorf("unknown platform %q", *vendor))
+		}
+		platforms = append(platforms, pl)
+	}
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %6s %8s\n",
+		"Platform", "cycles", "arith", "load/st", "texture", "overhead", "regs", "instrs")
+	for _, pl := range platforms {
+		eff := src
+		if pl.Mobile {
+			eff, err = shaderopt.ConvertToES(src, "analyze")
+			if err != nil {
+				fail(err)
+			}
+		}
+		c, err := pl.CompileSource(eff)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %6d %8d\n",
+			pl.Vendor, c.CyclesPerFragment, c.Arith, c.LoadStore, c.Texture, c.Overhead,
+			c.Stats.PeakRegisters, c.Stats.StaticInstrs)
+	}
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 || args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shaderanalyze:", err)
+	os.Exit(1)
+}

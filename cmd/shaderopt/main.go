@@ -1,0 +1,81 @@
+// Command shaderopt is the offline optimizer CLI (the LunarGlass
+// equivalent): it reads a GLSL fragment shader and writes the optimized
+// source, with pass selection via -flags.
+//
+//	shaderopt -flags unroll+fp-reassociate shader.frag
+//	shaderopt -flags all -es shader.frag        # GLES output
+//	shaderopt -variants shader.frag             # enumerate unique variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shaderopt"
+)
+
+func main() {
+	flagList := flag.String("flags", "default", "optimization flags: none|default|all or name+name (adce, coalesce, gvn, reassociate, unroll, hoist, fp-reassociate, div-to-mul)")
+	es := flag.Bool("es", false, "emit OpenGL ES output via the SPIR-V conversion path")
+	variants := flag.Bool("variants", false, "enumerate all 256 flag combinations and list unique variants")
+	vertex := flag.Bool("vertex", false, "also print the auto-generated matching vertex shader")
+	flag.Parse()
+
+	src, name, err := readInput(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	if *variants {
+		vs, err := shaderopt.Variants(src, name)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d unique variants from 256 flag combinations:\n", vs.Unique())
+		for i, v := range vs.Variants {
+			fmt.Printf("%3d. %s  (%d flag sets, canonical: %v)\n", i+1, v.Hash, len(v.FlagSets), v.Canonical())
+		}
+		return
+	}
+
+	flags, err := shaderopt.ParseFlags(*flagList)
+	if err != nil {
+		fail(err)
+	}
+	out, err := shaderopt.Optimize(src, name, flags)
+	if err != nil {
+		fail(err)
+	}
+	if *es {
+		out, err = shaderopt.ConvertToES(out, name)
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Print(out)
+
+	if *vertex {
+		vs, err := shaderopt.GenerateVertexShader(src)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\n// --- auto-generated vertex shader ---")
+		fmt.Print(vs)
+	}
+}
+
+func readInput(args []string) (src, name string, err error) {
+	if len(args) == 0 || args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), "stdin", err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), args[0], err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shaderopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command sweep regenerates the paper's tables and figures: it runs the
+// exhaustive 256-flag-combination study over the synthetic GFXBench-like
+// corpus on all five simulated platforms and renders each experiment.
+//
+// Usage:
+//
+//	sweep -exp all
+//	sweep -exp table1,fig5,fig9 -fast
+//	sweep -exp fig7 -platform ARM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shaderopt/internal/analysis"
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/report"
+	"shaderopt/internal/search"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
+	platform := flag.String("platform", "", "restrict per-platform figures (7, 9) to one vendor")
+	fast := flag.Bool("fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
+	flag.Parse()
+
+	if err := run(*exp, *platform, *fast); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expList, platformFilter string, fast bool) error {
+	want := map[string]bool{}
+	for _, e := range strings.Split(expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	has := func(name string) bool { return all || want[name] }
+
+	shaders, err := corpus.Load()
+	if err != nil {
+		return err
+	}
+	platforms := gpu.Platforms()
+	vendors := make([]string, len(platforms))
+	for i, p := range platforms {
+		vendors[i] = p.Vendor
+	}
+	fmt.Printf("Corpus: %d fragment shaders in %d families; platforms: %s\n\n",
+		len(shaders), len(corpus.FamilyNames()), strings.Join(vendors, ", "))
+
+	// Static characterizations don't need measurements.
+	if has("fig4a") {
+		fmt.Println(report.Fig4a(analysis.LinesOfCode(shaders)))
+	}
+	if has("fig4b") {
+		cyc, err := analysis.ARMStaticCycles(shaders)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig4b(cyc))
+	}
+	if has("fig4c") {
+		uni, err := analysis.UniqueVariants(shaders)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Fig4c(uni))
+	}
+
+	needSweep := has("fig3") || has("fig5") || has("fig6") || has("fig7") || has("fig8") || has("fig9") || has("table1")
+	if !needSweep {
+		return nil
+	}
+
+	cfg := harness.DefaultConfig()
+	if fast {
+		cfg = harness.FastConfig()
+	}
+	fmt.Println("Running exhaustive sweep (256 flag combinations per shader)...")
+	sweep, err := search.Run(shaders, platforms, search.Options{Cfg: cfg})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+
+	if has("table1") || has("fig5") {
+		rows := make([]search.MeanSpeedups, len(platforms))
+		for i, p := range platforms {
+			rows[i] = sweep.MeanSpeedups(p.Vendor)
+		}
+		if has("table1") {
+			fmt.Println(report.Table1(rows))
+		}
+		if has("fig5") {
+			fmt.Println(report.Fig5(rows))
+		}
+	}
+	if has("fig6") {
+		means := map[string]float64{}
+		for _, v := range vendors {
+			means[v] = sweep.Top30Mean(v)
+		}
+		fmt.Println(report.Fig6(vendors, means))
+	}
+	if has("fig7") {
+		for _, v := range vendors {
+			if platformFilter != "" && v != platformFilter {
+				continue
+			}
+			fmt.Println(report.Fig7(v, sweep.PerShaderSpeedups(v), 15))
+		}
+	}
+	if has("fig8") {
+		fmt.Println(report.Fig8(sweep.FlagApplicabilities(), vendors))
+	}
+	if has("fig9") {
+		for _, v := range vendors {
+			if platformFilter != "" && v != platformFilter {
+				continue
+			}
+			fmt.Println(report.Fig9(v, sweep.FlagIsolation(v)))
+		}
+	}
+	if has("fig3") {
+		me := corpus.MotivatingExample()
+		r := sweep.ResultFor(me.Name)
+		gains := map[string]float64{}
+		for _, v := range vendors {
+			gains[v] = r.BestSpeedup(v)
+		}
+		dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
+		fmt.Println(report.Fig3(gains, vendors, "ARM", dist))
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Autotune: per-shader iterative compilation on one platform — enumerate
+// every distinct variant, measure each, and report the winner vs the
+// one-size-fits-all static flag choice. This is the per-shader tuning the
+// paper's conclusion calls for ("smarter techniques to choose when and how
+// to optimize each shader for each platform").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"shaderopt"
+	"shaderopt/internal/corpus"
+)
+
+func main() {
+	vendor := flag.String("platform", "ARM", "target platform: Intel, AMD, NVIDIA, ARM, Qualcomm")
+	shaderName := flag.String("shader", "tonemap/filmic_full", "corpus shader to tune")
+	flag.Parse()
+
+	pl := shaderopt.PlatformByVendor(*vendor)
+	if pl == nil {
+		log.Fatalf("unknown platform %q", *vendor)
+	}
+	shaders, err := shaderopt.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := corpus.ByName(shaders, *shaderName)
+	if sh == nil {
+		log.Fatalf("unknown shader %q (try blur/v9, fxaa/hq, pbr/l2_spec)", *shaderName)
+	}
+
+	protocol := shaderopt.FastProtocol()
+	orig, err := shaderopt.Measure(pl, sh.Source, protocol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tuning %s on %s (%s)\noriginal: %.3fms/frame\n\n",
+		sh.Name, pl.Vendor, pl.GPUName, orig.MedianNS/1e6)
+
+	vs, err := shaderopt.Variants(sh.Source, sh.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		flags shaderopt.Flags
+		ns    float64
+		nsets int
+	}
+	rows := make([]row, 0, vs.Unique())
+	for _, v := range vs.Variants {
+		m, err := shaderopt.Measure(pl, v.Source, protocol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{v.Canonical(), m.MedianNS, len(v.FlagSets)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ns < rows[j].ns })
+
+	fmt.Printf("%d unique variants of 256 combinations:\n", len(rows))
+	for i, r := range rows {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Printf("%s %-55v %9.3fms  %+7.2f%%  (%d flag sets)\n",
+			marker, r.flags, r.ns/1e6, shaderopt.Speedup(orig.MedianNS, r.ns), r.nsets)
+	}
+
+	def, err := shaderopt.Optimize(sh.Source, sh.Name, shaderopt.DefaultFlags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := shaderopt.Measure(pl, def, protocol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-shader tuned: %+.2f%%   default LunarGlass flags: %+.2f%%\n",
+		shaderopt.Speedup(orig.MedianNS, rows[0].ns),
+		shaderopt.Speedup(orig.MedianNS, dm.MedianNS))
+}

@@ -1,0 +1,54 @@
+// Motivating example: the paper's Listing 1 blur shader, before and after
+// optimization (Listing 2), with the Figure 3 per-platform speed-ups.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shaderopt"
+	"shaderopt/internal/corpus"
+)
+
+func main() {
+	me := corpus.MotivatingExample()
+	fmt.Println("=== Listing 1 (original GFXBench-style blur) ===")
+	fmt.Println(me.Source)
+
+	vs, err := shaderopt.Variants(me.Source, me.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("256 flag combinations -> %d unique variants\n\n", vs.Unique())
+
+	best, err := shaderopt.Optimize(me.Source, me.Name, shaderopt.AllFlags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Listing 2 (after unroll + constant folding + unsafe FP reassociation + div-to-mul) ===")
+	fmt.Println(best)
+
+	fmt.Println("=== Figure 3: speed-up of the best variant per platform ===")
+	protocol := shaderopt.FastProtocol()
+	for _, pl := range shaderopt.Platforms() {
+		orig, err := shaderopt.Measure(pl, me.Source, protocol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Exhaustive per-shader search: best variant for this platform.
+		bestNS := orig.MedianNS
+		var bestFlags shaderopt.Flags
+		for _, v := range vs.Variants {
+			m, err := shaderopt.Measure(pl, v.Source, protocol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.MedianNS < bestNS {
+				bestNS = m.MedianNS
+				bestFlags = v.Canonical()
+			}
+		}
+		fmt.Printf("  %-10s %+7.2f%%   (best flags: %v)\n",
+			pl.Vendor, shaderopt.Speedup(orig.MedianNS, bestNS), bestFlags)
+	}
+}

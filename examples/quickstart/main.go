@@ -1,0 +1,67 @@
+// Quickstart: optimize one fragment shader offline and measure it on all
+// five simulated GPUs, comparing the default LunarGlass flag set against
+// the full flag set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shaderopt"
+)
+
+const src = `#version 330
+uniform sampler2D tex;
+uniform vec4 tint;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 4; i++) {
+        acc += texture(tex, uv + vec2(float(i) * 0.005, 0.0)) / 4.0;
+    }
+    color = acc * tint * 2.0 + acc * tint;
+}
+`
+
+func main() {
+	protocol := shaderopt.FastProtocol()
+
+	defaultOut, err := shaderopt.Optimize(src, "quickstart", shaderopt.DefaultFlags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allOut, err := shaderopt.Optimize(src, "quickstart", shaderopt.AllFlags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original %d bytes; default-flags %d bytes; all-flags %d bytes\n\n",
+		len(src), len(defaultOut), len(allOut))
+
+	fmt.Printf("%-10s %14s %14s %14s %10s\n", "Platform", "original", "default", "all flags", "best gain")
+	for _, pl := range shaderopt.Platforms() {
+		orig, err := shaderopt.Measure(pl, src, protocol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		def, err := shaderopt.Measure(pl, defaultOut, protocol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all, err := shaderopt.Measure(pl, allOut, protocol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := def.MedianNS
+		if all.MedianNS < best {
+			best = all.MedianNS
+		}
+		fmt.Printf("%-10s %11.2fms %11.2fms %11.2fms %+9.2f%%\n",
+			pl.Vendor,
+			orig.MedianNS/1e6, def.MedianNS/1e6, all.MedianNS/1e6,
+			shaderopt.Speedup(orig.MedianNS, best))
+	}
+
+	fmt.Println("\nOptimized shader (all flags):")
+	fmt.Println(allOut)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"testing"
+
+	"shaderopt/internal/corpus"
+)
+
+func subset(t *testing.T, names ...string) []*corpus.Shader {
+	t.Helper()
+	all := corpus.MustLoad()
+	var out []*corpus.Shader
+	for _, n := range names {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("missing %s", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestLinesOfCode(t *testing.T) {
+	shaders := subset(t, "ui/flat", "megapost/s80", "blur/v9")
+	locs := LinesOfCode(shaders)
+	if len(locs) != 3 {
+		t.Fatal("count")
+	}
+	// Sorted descending.
+	if locs[0].Name != "megapost/s80" || locs[2].Name != "ui/flat" {
+		t.Errorf("order: %v", locs)
+	}
+	if locs[0].Lines <= locs[2].Lines {
+		t.Error("not descending")
+	}
+}
+
+func TestARMStaticCycles(t *testing.T) {
+	shaders := subset(t, "ui/flat", "blur/v9", "pbr/l2_spec")
+	cyc, err := ARMStaticCycles(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cyc) != 3 {
+		t.Fatal("count")
+	}
+	for _, c := range cyc {
+		if c.Total() <= 0 {
+			t.Errorf("%s: total = %v", c.Name, c.Total())
+		}
+	}
+	// Descending by total.
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i].Total() > cyc[i-1].Total() {
+			t.Error("not sorted")
+		}
+	}
+	// The trivial shader must be cheapest.
+	if cyc[len(cyc)-1].Name != "ui/flat" {
+		t.Errorf("cheapest = %s, want ui/flat", cyc[len(cyc)-1].Name)
+	}
+	// Texture-sampling shaders must show texture-pipe cycles.
+	if cyc[0].Texture <= 0 {
+		t.Error("no texture cycles on the heaviest shader")
+	}
+}
+
+func TestUniqueVariants(t *testing.T) {
+	shaders := subset(t, "ui/flat", "blur/v9")
+	uni, err := UniqueVariants(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni) != 2 {
+		t.Fatal("count")
+	}
+	// blur responds to flags, ui/flat doesn't.
+	if uni[0].Name != "blur/v9" || uni[0].Unique < 2 {
+		t.Errorf("blur variants: %+v", uni[0])
+	}
+	if uni[1].Unique != 1 {
+		t.Errorf("ui/flat variants = %d, want 1", uni[1].Unique)
+	}
+	for _, u := range uni {
+		if u.MaxSets != 256 {
+			t.Error("max sets")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package core is the offline shader optimization library — the paper's
+// primary contribution surface. It wraps the full source-to-source
+// pipeline (parse → lower → flagged passes → GLSL codegen), enumerates the
+// 256 flag combinations, and deduplicates the generated variants the way
+// the paper's iterative-compilation study does (§III-A, Fig. 4c: "most of
+// the flags do not alter the source code, resulting in large numbers of
+// duplicate shaders").
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+)
+
+// Flags re-exports the optimizer flag set for API convenience.
+type Flags = passes.Flags
+
+// Re-exported flag constants.
+const (
+	FlagADCE          = passes.FlagADCE
+	FlagCoalesce      = passes.FlagCoalesce
+	FlagGVN           = passes.FlagGVN
+	FlagReassociate   = passes.FlagReassociate
+	FlagUnroll        = passes.FlagUnroll
+	FlagHoist         = passes.FlagHoist
+	FlagFPReassociate = passes.FlagFPReassociate
+	FlagDivToMul      = passes.FlagDivToMul
+	DefaultFlags      = passes.DefaultFlags
+	AllFlags          = passes.AllFlags
+	NoFlags           = passes.NoFlags
+)
+
+// Optimize runs the offline optimizer on desktop GLSL source and returns
+// the optimized desktop GLSL.
+func Optimize(src, name string, flags Flags) (string, error) {
+	prog, err := Lower(src, name)
+	if err != nil {
+		return "", err
+	}
+	passes.Run(prog, flags)
+	return glslgen.Generate(prog, glslgen.Desktop), nil
+}
+
+// Lower parses and lowers source to IR (exposed for tools that want to
+// inspect or analyze the IR directly).
+func Lower(src, name string) (*ir.Program, error) {
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := lower.Lower(sh, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return prog, nil
+}
+
+// Variant is one distinct optimization output for a shader.
+type Variant struct {
+	// Source is the generated desktop GLSL.
+	Source string
+	// Hash identifies the source text.
+	Hash string
+	// FlagSets lists every flag combination that produced this source, in
+	// ascending numeric order. The first entry is the canonical one.
+	FlagSets []Flags
+}
+
+// Canonical returns the representative flag set.
+func (v *Variant) Canonical() Flags { return v.FlagSets[0] }
+
+// HasFlagInAll reports whether flag f is set in every flag set mapping to
+// this variant (used by per-flag attribution).
+func (v *Variant) HasFlagInAll(f Flags) bool {
+	for _, fs := range v.FlagSets {
+		if !fs.Has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// VariantSet is the deduplicated result of the exhaustive flag
+// enumeration for one shader.
+type VariantSet struct {
+	Name string
+	// Variants in order of first appearance (ascending flag value).
+	Variants []*Variant
+	// ByFlags maps each of the 256 combinations to its variant.
+	ByFlags map[Flags]*Variant
+}
+
+// Unique returns the number of distinct generated sources (Fig. 4c).
+func (vs *VariantSet) Unique() int { return len(vs.Variants) }
+
+// VariantFor returns the variant a flag combination produces.
+func (vs *VariantSet) VariantFor(f Flags) *Variant { return vs.ByFlags[f] }
+
+// FlagChangesOutput reports whether toggling flag f changes the generated
+// source for at least one setting of the other flags (the "red" metric of
+// Fig. 8).
+func (vs *VariantSet) FlagChangesOutput(f Flags) bool {
+	for _, base := range passes.AllCombinations() {
+		if base.Has(f) {
+			continue
+		}
+		if vs.ByFlags[base] != vs.ByFlags[base|f] {
+			return true
+		}
+	}
+	return false
+}
+
+// EnumerateVariants optimizes src under all 256 flag combinations and
+// deduplicates identical outputs. The lowering happens once; each
+// combination optimizes a fresh clone, so enumeration is deterministic and
+// far cheaper than 256 full compilations.
+func EnumerateVariants(src, name string) (*VariantSet, error) {
+	base, err := Lower(src, name)
+	if err != nil {
+		return nil, err
+	}
+	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, 256)}
+	byHash := map[string]*Variant{}
+	for _, flags := range passes.AllCombinations() {
+		prog := base.Clone()
+		passes.Run(prog, flags)
+		out := glslgen.Generate(prog, glslgen.Desktop)
+		h := HashSource(out)
+		v, ok := byHash[h]
+		if !ok {
+			v = &Variant{Source: out, Hash: h}
+			byHash[h] = v
+			vs.Variants = append(vs.Variants, v)
+		}
+		v.FlagSets = append(v.FlagSets, flags)
+		vs.ByFlags[flags] = v
+	}
+	return vs, nil
+}
+
+// HashSource returns a stable content hash for generated source.
+func HashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}

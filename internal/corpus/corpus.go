@@ -1,0 +1,304 @@
+// Package corpus generates the synthetic GFXBench-4.0-like fragment shader
+// suite. The closed-source benchmark's shaders are replaced (per the
+// reproduction's substitution rule) by übershader families specialized via
+// preprocessor defines, tuned to the paper's measured corpus shape (§V):
+// a power-law lines-of-code distribution with most shaders under 50 lines
+// and a ~300-line maximum, long arithmetic sequences, 1-3 branches, rare
+// loops, and families of near-identical instances.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/pp"
+)
+
+// Shader is one corpus entry: a preprocessed, compile-ready desktop GLSL
+// fragment shader.
+type Shader struct {
+	// Name is family/instance, e.g. "pbr/l2_spec_fog".
+	Name string
+	// Family groups übershader instances.
+	Family string
+	// Defines are the specialization knobs applied to the family template.
+	Defines map[string]string
+	// Source is the preprocessed desktop GLSL.
+	Source string
+	// Lines is the paper's Fig. 4a metric (executable lines after
+	// preprocessing).
+	Lines int
+}
+
+// instance describes one specialization of a family template.
+type instance struct {
+	name    string
+	defines map[string]string
+}
+
+type family struct {
+	name      string
+	template  string
+	instances []instance
+}
+
+func families() []family {
+	return []family{
+		{"blur", blurTemplate, []instance{
+			{"h9", defs("TAPS", "9", "HORIZONTAL", "")},
+			{"v9", defs("TAPS", "9")},
+			{"h13", defs("TAPS", "13", "HORIZONTAL", "", "SPREAD", "0.0062")},
+		}},
+		{"bloom", bloomTemplate, []instance{
+			{"basic", defs()},
+			{"wide", defs("WIDE", "")},
+			{"dirt", defs("DIRT", "")},
+			{"wide_dirt", defs("WIDE", "", "DIRT", "")},
+		}},
+		{"tonemap", tonemapTemplate, []instance{
+			{"reinhard", defs("OPERATOR", "0")},
+			{"reinhard_ext", defs("OPERATOR", "1")},
+			{"filmic", defs("OPERATOR", "2")},
+			{"reinhard_gamma", defs("OPERATOR", "0", "GAMMA", "")},
+			{"filmic_gamma", defs("OPERATOR", "2", "GAMMA", "")},
+			{"filmic_full", defs("OPERATOR", "2", "GAMMA", "", "VIGNETTE", "")},
+		}},
+		{"pbr", pbrTemplate, pbrInstances()},
+		{"shadow", shadowPCFTemplate, []instance{
+			{"pcf1", defs("KERNEL", "1")},
+			{"pcf2_soft", defs("KERNEL", "2", "SOFT", "")},
+		}},
+		{"ssao", ssaoTemplate, []instance{
+			{"s8", defs("SAMPLES", "8")},
+			{"s8_blur", defs("SAMPLES", "8", "BLUR_NOISE", "")},
+		}},
+		{"fxaa", fxaaTemplate, []instance{
+			{"fast", defs()},
+			{"hq", defs("HIGH_QUALITY", "")},
+		}},
+		{"godrays", godraysTemplate, []instance{
+			{"s16", defs("STEPS", "16")},
+			{"s32", defs("STEPS", "32")},
+			{"s64", defs("STEPS", "64")},
+		}},
+		{"water", waterTemplate, []instance{
+			{"calm", defs()},
+			{"choppy", defs("CHOPPY", "")},
+			{"fresnel", defs("FRESNEL", "")},
+			{"full", defs("CHOPPY", "", "FRESNEL", "")},
+		}},
+		{"skybox", skyboxTemplate, []instance{
+			{"plain", defs()},
+			{"horizon", defs("TINT_HORIZON", "")},
+		}},
+		{"particle", particleTemplate, []instance{
+			{"basic", defs()},
+			{"kill", defs("ALPHA_KILL", "")},
+			{"soft", defs("SOFT_DEPTH", "")},
+			{"soft_kill", defs("ALPHA_KILL", "", "SOFT_DEPTH", "")},
+		}},
+		{"dof", dofTemplate, []instance{
+			{"basic", defs()},
+			{"near", defs("NEAR_BLUR", "")},
+			{"premul", defs("PREMULTIPLY", "")},
+			{"full", defs("NEAR_BLUR", "", "PREMULTIPLY", "")},
+		}},
+		{"ui", uiTemplate, []instance{
+			{"flat", defs("STYLE", "0")},
+			{"tex", defs("STYLE", "1")},
+			{"tinted", defs("STYLE", "2")},
+			{"font", defs("STYLE", "3")},
+			{"gray", defs("STYLE", "4")},
+		}},
+		{"alu", aluTemplate, []instance{
+			{"d1", defs("DEPTH", "1")},
+			{"d2", defs("DEPTH", "2")},
+			{"d3", defs("DEPTH", "3")},
+			{"d4", defs("DEPTH", "4")},
+		}},
+		{"grade", colorGradeTemplate, []instance{
+			{"basic", defs()},
+			{"lgg", defs("LIFT_GAMMA_GAIN", "")},
+			{"teal", defs("TEAL_ORANGE", "")},
+			{"full", defs("LIFT_GAMMA_GAIN", "", "TEAL_ORANGE", "")},
+		}},
+		{"haze", hazeTemplate, []instance{
+			{"basic", defs()},
+		}},
+		{"motionblur", motionBlurTemplate, []instance{
+			{"t4", defs("BLUR_TAPS", "4")},
+			{"t8", defs("BLUR_TAPS", "8")},
+		}},
+		{"terrain", terrainTemplate, []instance{
+			{"basic", defs()},
+			{"slope", defs("SLOPE_ROCK", "")},
+		}},
+		{"projtex", projtexTemplate, []instance{
+			{"basic", defs()},
+			{"compose", defs("COMPOSE", "")},
+			{"fade", defs("FADE_EDGES", "")},
+			{"compose_fade", defs("COMPOSE", "", "FADE_EDGES", "")},
+		}},
+		{"deferred", deferredTemplate, []instance{
+			{"diffuse", defs()},
+			{"spec", defs("SPEC", "")},
+		}},
+		{"relief", reliefTemplate, []instance{
+			{"basic", defs()},
+			{"heavy", defs("HEAVY", "")},
+		}},
+		{"envmap", envmapTemplate, []instance{
+			{"basic", defs()},
+			{"blend", defs("BASE_BLEND", "")},
+		}},
+		{"blend", blendTemplate, []instance{
+			{"alpha", defs("MODE", "0")},
+			{"add", defs("MODE", "1")},
+			{"mul", defs("MODE", "2")},
+			{"screen", defs("MODE", "3")},
+			{"diff", defs("MODE", "4")},
+			{"lighten", defs("MODE", "5")},
+		}},
+		{"simple", simpleTemplate, []instance{
+			{"copy", defs("KIND", "0")},
+			{"luma", defs("KIND", "1")},
+			{"tint", defs("KIND", "2")},
+			{"depthvis", defs("KIND", "3")},
+			{"alphatest", defs("KIND", "4")},
+			{"gradient", defs("KIND", "5")},
+			{"vignette", defs("KIND", "6")},
+			{"flat", defs("KIND", "7")},
+		}},
+	}
+}
+
+// pbrInstances enumerates the big übershader family — the paper's "families
+// of similar shaders" with shared optimizable segments.
+func pbrInstances() []instance {
+	var out []instance
+	for _, lights := range []string{"1", "2", "4"} {
+		for _, spec := range []bool{false, true} {
+			base := defs("NUM_LIGHTS", lights)
+			name := "l" + lights
+			if spec {
+				base["SPECULAR"] = ""
+				name += "_spec"
+			}
+			out = append(out, instance{name, base})
+
+			if spec {
+				withNM := copyDefs(base)
+				withNM["NORMAL_MAP"] = ""
+				out = append(out, instance{name + "_nm", withNM})
+
+				full := copyDefs(withNM)
+				full["FOG"] = ""
+				full["SHADOWS"] = ""
+				full["AO_MAP"] = ""
+				out = append(out, instance{name + "_full", full})
+			}
+		}
+	}
+	// A few specials.
+	out = append(out,
+		instance{"l2_alpha", defs("NUM_LIGHTS", "2", "ALPHA_TEST", "")},
+		instance{"l4_emissive_fog", defs("NUM_LIGHTS", "4", "SPECULAR", "", "EMISSIVE", "", "FOG", "")},
+		instance{"l1_shadow", defs("NUM_LIGHTS", "1", "SHADOWS", "")},
+	)
+	return out
+}
+
+func defs(kv ...string) map[string]string {
+	m := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func copyDefs(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Load builds the full corpus: every family instance preprocessed,
+// parsed, and checked. The result is deterministic and sorted by name.
+func Load() ([]*Shader, error) {
+	var out []*Shader
+	for _, fam := range families() {
+		for _, inst := range fam.instances {
+			src, err := pp.Preprocess(fam.template, inst.defines)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: preprocess: %w", fam.name, inst.name, err)
+			}
+			sh, err := glsl.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: parse: %w", fam.name, inst.name, err)
+			}
+			out = append(out, &Shader{
+				Name:    fam.name + "/" + inst.name,
+				Family:  fam.name,
+				Defines: inst.defines,
+				Source:  src,
+				Lines:   glsl.CountLines(sh),
+			})
+		}
+	}
+	for _, g := range generatedShaders() {
+		sh, err := glsl.Parse(g.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parse: %w", g.Name, err)
+		}
+		g.Lines = glsl.CountLines(sh)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// MustLoad panics on error; the corpus is static so errors are build bugs.
+func MustLoad() []*Shader {
+	s, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FamilyNames lists the distinct family names in order.
+func FamilyNames() []string {
+	var names []string
+	for _, f := range families() {
+		names = append(names, f.name)
+	}
+	seen := map[string]bool{}
+	for _, g := range generatedShaders() {
+		if !seen[g.Family] {
+			seen[g.Family] = true
+			names = append(names, g.Family)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named shader from a loaded corpus, or nil.
+func ByName(shaders []*Shader, name string) *Shader {
+	for _, s := range shaders {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// MotivatingExample returns the paper's Listing 1 shader (the 9-tap blur,
+// vertical) — the subject of Figure 3.
+func MotivatingExample() *Shader {
+	shaders := MustLoad()
+	return ByName(shaders, "blur/v9")
+}

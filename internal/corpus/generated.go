@@ -1,0 +1,174 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"shaderopt/internal/glsl"
+)
+
+// Generated long-tail shaders. The paper's corpus has a power-law LoC
+// distribution with a few shaders around 300 lines (§V-A, Fig. 4a); those
+// big GFXBench shaders are themselves machine-assembled übershader
+// expansions, so we synthesize ours the same way: deterministic generators
+// that emit long, mostly-straight-line arithmetic with occasional
+// branches, many texture samples, and family-shared segments.
+
+// genMegaPost builds an N-stage post-processing chain: each stage samples
+// the scene at a different offset and folds it into the accumulator with
+// stage-specific constant weights, interleaved with the occasional
+// conditional segment. stages≈20 → ~70 lines; stages≈80 → ~300 lines.
+func genMegaPost(stages int) string {
+	var sb strings.Builder
+	sb.WriteString(`#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform sampler2D auxTex;
+uniform vec4 grade;
+uniform float intensity;
+void main() {
+    vec4 acc = texture(sceneTex, uv);
+    float lum = dot(acc.rgb, vec3(0.2126, 0.7152, 0.0722));
+`)
+	for i := 0; i < stages; i++ {
+		// Deterministic pseudo-random-ish constants from the stage index.
+		dx := float64((i*37)%17-8) / 1000.0
+		dy := float64((i*53)%19-9) / 1000.0
+		w := 0.5 + float64((i*29)%13)/26.0
+		div := []string{"2.0", "4.0", "8.0", "16.0"}[i%4]
+		tex := "sceneTex"
+		if i%3 == 1 {
+			tex = "auxTex"
+		}
+		fmt.Fprintf(&sb, "    vec4 s%d = texture(%s, uv + vec2(%s, %s));\n", i, tex, glsl.FormatFloat(dx), glsl.FormatFloat(dy))
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&sb, "    acc += s%d * %s * grade / %s;\n", i, glsl.FormatFloat(w), div)
+		case 1:
+			fmt.Fprintf(&sb, "    acc += s%d * %s + s%d * %s;\n", i, glsl.FormatFloat(w/2), i, glsl.FormatFloat(w/2))
+		case 2:
+			fmt.Fprintf(&sb, "    acc = acc + intensity * (%s * s%d);\n", glsl.FormatFloat(w), i)
+		case 3:
+			fmt.Fprintf(&sb, "    if (lum > %s) { acc += s%d * %s; } else { acc += s%d * %s; }\n",
+				glsl.FormatFloat(0.2+float64(i%7)/10.0), i, glsl.FormatFloat(w), i, glsl.FormatFloat(w*0.5))
+		case 4:
+			fmt.Fprintf(&sb, "    acc.rgb += s%d.rgb * %s;\n    acc.a = max(acc.a, s%d.a);\n", i, glsl.FormatFloat(w), i)
+		}
+	}
+	fmt.Fprintf(&sb, "    color = acc / %d.0;\n    color.a = 1.0;\n}\n", stages/2+1)
+	return sb.String()
+}
+
+// genCarChase builds a straight-line multi-light shading shader (the
+// "long sequences of arithmetic, only a small number of branches" shape of
+// §V-A), with per-light code manually expanded the way engine-generated
+// shaders are.
+func genCarChase(lights int, spec, fog bool) string {
+	var sb strings.Builder
+	sb.WriteString(`#version 330
+out vec4 fragColor;
+in vec2 uv;
+in vec3 worldNormal;
+in vec3 worldPos;
+uniform sampler2D albedoTex;
+uniform sampler2D specTex;
+uniform vec3 cameraPos;
+uniform vec4 lightPosA;
+uniform vec4 lightPosB;
+uniform vec4 lightPosC;
+uniform vec4 lightPosD;
+uniform vec4 lightColA;
+uniform vec4 lightColB;
+uniform vec4 lightColC;
+uniform vec4 lightColD;
+uniform vec3 fogColor;
+void main() {
+    vec4 albedo = texture(albedoTex, uv);
+    vec3 n = normalize(worldNormal);
+    vec3 v = normalize(cameraPos - worldPos);
+    vec3 acc = albedo.rgb * 0.15;
+`)
+	pos := []string{"lightPosA", "lightPosB", "lightPosC", "lightPosD"}
+	col := []string{"lightColA", "lightColB", "lightColC", "lightColD"}
+	for i := 0; i < lights; i++ {
+		fmt.Fprintf(&sb, "    vec3 l%d = normalize(%s.xyz - worldPos);\n", i, pos[i])
+		fmt.Fprintf(&sb, "    float nl%d = max(dot(n, l%d), 0.0);\n", i, i)
+		fmt.Fprintf(&sb, "    float att%d = 1.0 / (1.0 + %s.w * dot(%s.xyz - worldPos, %s.xyz - worldPos));\n",
+			i, pos[i], pos[i], pos[i])
+		fmt.Fprintf(&sb, "    acc += albedo.rgb * %s.rgb * nl%d * att%d;\n", col[i], i, i)
+		if spec {
+			fmt.Fprintf(&sb, "    vec3 h%d = normalize(l%d + v);\n", i, i)
+			fmt.Fprintf(&sb, "    float sp%d = pow(max(dot(n, h%d), 0.0), 32.0);\n", i, i)
+			fmt.Fprintf(&sb, "    acc += texture(specTex, uv).rgb * %s.rgb * sp%d * att%d;\n", col[i], i, i)
+		}
+	}
+	if fog {
+		sb.WriteString(`    float dist = length(cameraPos - worldPos);
+    float fogAmt = 1.0 - exp(-0.02 * dist);
+    acc = mix(acc, fogColor, clamp(fogAmt, 0.0, 1.0));
+`)
+	}
+	sb.WriteString("    fragColor = vec4(acc, albedo.a);\n}\n")
+	return sb.String()
+}
+
+// genNoiseField builds a pure-ALU procedural shader with deep arithmetic
+// (GVN and reassociation territory) and no textures.
+func genNoiseField(octaves int) string {
+	var sb strings.Builder
+	sb.WriteString(`#version 330
+out vec4 color;
+in vec2 uv;
+uniform float time;
+uniform vec4 warp;
+void main() {
+    vec2 p = uv * 8.0;
+    float v = 0.0;
+    float amp = 0.5;
+`)
+	for i := 0; i < octaves; i++ {
+		f := 1 << uint(i)
+		fmt.Fprintf(&sb, "    float n%d = sin(p.x * %d.0 + time * %s) * cos(p.y * %d.0 - time * %s);\n",
+			i, f, glsl.FormatFloat(1.0+float64(i)*0.3), f, glsl.FormatFloat(0.7+float64(i)*0.2))
+		fmt.Fprintf(&sb, "    v += n%d * amp + n%d * amp * warp.x * 0.0;\n", i, i)
+		sb.WriteString("    amp = amp * 0.5;\n")
+	}
+	sb.WriteString(`    vec3 c = vec3(0.5 + 0.5 * v);
+    c = c * warp.rgb + vec3(0.5) * (1.0 - warp.rgb);
+    color = vec4(c, 1.0);
+}
+`)
+	return sb.String()
+}
+
+// generatedShaders returns the synthesized long-tail entries.
+func generatedShaders() []*Shader {
+	entries := []struct {
+		name string
+		src  string
+	}{
+		{"megapost/s12", genMegaPost(12)},
+		{"megapost/s24", genMegaPost(24)},
+		{"megapost/s48", genMegaPost(48)},
+		{"megapost/s80", genMegaPost(80)},
+		{"carchase/l2", genCarChase(2, false, false)},
+		{"carchase/l2_spec", genCarChase(2, true, false)},
+		{"carchase/l4_spec", genCarChase(4, true, false)},
+		{"carchase/l4_spec_fog", genCarChase(4, true, true)},
+		{"noise/o3", genNoiseField(3)},
+		{"noise/o5", genNoiseField(5)},
+		{"noise/o8", genNoiseField(8)},
+	}
+	var out []*Shader
+	for _, e := range entries {
+		fam := e.name[:strings.IndexByte(e.name, '/')]
+		out = append(out, &Shader{
+			Name:    e.name,
+			Family:  fam,
+			Defines: map[string]string{},
+			Source:  e.src,
+		})
+	}
+	return out
+}

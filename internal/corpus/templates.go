@@ -1,0 +1,833 @@
+package corpus
+
+// Übershader family templates. Each is a desktop GLSL base shader
+// specialized through preprocessor defines, the structure the paper
+// observes in GFXBench 4.0 (§IV-A: "a single file containing numerous
+// graphics techniques is customised via preprocessor directives").
+//
+// The families deliberately cover the whole optimization surface: constant
+// loops (Unroll), weighted sums with symmetric constants (FP-Reassociate),
+// constant divisions (Div-to-Mul), conditional assignments small and large
+// (Hoist), duplicate expressions across branch arms (GVN), per-component
+// writes (Coalesce), integer index arithmetic (Reassociate), and plain
+// texture passthroughs (the power-law tail of Fig. 4a).
+
+// blurTemplate is the paper's motivating example generalized over tap
+// count and direction (Listing 1).
+const blurTemplate = `#version 330
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 ambient;
+#ifndef TAPS
+#define TAPS 9
+#endif
+#ifndef SPREAD
+#define SPREAD 0.0083
+#endif
+void main() {
+#if TAPS == 5
+    const float wts[5] = float[](0.06, 0.24, 0.4, 0.24, 0.06);
+    const float offs[5] = float[](-1.0, -0.5, 0.0, 0.5, 1.0);
+#elif TAPS == 9
+    const float wts[9] = float[](0.01, 0.05, 0.14, 0.21, 0.61, 0.21, 0.14, 0.05, 0.01);
+    const float offs[9] = float[](-1.0, -0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0);
+#else
+    const float wts[13] = float[](0.002, 0.011, 0.044, 0.115, 0.206, 0.251, 0.742,
+        0.251, 0.206, 0.115, 0.044, 0.011, 0.002);
+    const float offs[13] = float[](-1.0, -0.83, -0.67, -0.5, -0.33, -0.17, 0.0,
+        0.17, 0.33, 0.5, 0.67, 0.83, 1.0);
+#endif
+    float weightTotal = 0.0;
+    fragColor = vec4(0.0);
+    for (int i = 0; i < TAPS; i++) {
+#ifdef HORIZONTAL
+        vec2 offset = vec2(offs[i] * SPREAD, 0.0);
+#else
+        vec2 offset = vec2(0.0, offs[i] * SPREAD);
+#endif
+        weightTotal += wts[i];
+        fragColor += vec4(wts[i]) * texture(tex, uv + offset) * 3.0 * ambient;
+    }
+    fragColor /= weightTotal;
+}
+`
+
+// bloomTemplate composites blurred highlights over the scene with
+// constant-weighted adds and constant divisions.
+const bloomTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform sampler2D bloomTex;
+uniform float bloomStrength;
+void main() {
+    vec4 scene = texture(sceneTex, uv);
+    vec4 bloom = texture(bloomTex, uv);
+#ifdef WIDE
+    bloom += texture(bloomTex, uv + vec2(0.004, 0.0)) / 2.0;
+    bloom += texture(bloomTex, uv - vec2(0.004, 0.0)) / 2.0;
+    bloom += texture(bloomTex, uv + vec2(0.0, 0.004)) / 2.0;
+    bloom += texture(bloomTex, uv - vec2(0.0, 0.004)) / 2.0;
+    bloom /= 3.0;
+#endif
+#ifdef DIRT
+    vec4 dirt = texture(sceneTex, uv * 0.5);
+    bloom = bloom + bloom * dirt * 0.35;
+#endif
+    color = scene + bloom * bloomStrength * 0.8 + bloom * bloomStrength * 0.2;
+    color.a = 1.0;
+}
+`
+
+// tonemapTemplate: transcendental-heavy colour grading with selectable
+// operator (ternaries become selects; constant divisions abound).
+const tonemapTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D hdrTex;
+uniform float exposure;
+uniform float whitePoint;
+float luminance(vec3 c) {
+    return dot(c, vec3(0.2126, 0.7152, 0.0722));
+}
+void main() {
+    vec3 hdr = texture(hdrTex, uv).rgb * exposure;
+#if OPERATOR == 0
+    vec3 mapped = hdr / (hdr + vec3(1.0));
+#elif OPERATOR == 1
+    float l = luminance(hdr);
+    float lm = l * (1.0 + l / (whitePoint * whitePoint)) / (1.0 + l);
+    vec3 mapped = hdr * (lm / (l + 0.0001));
+#else
+    vec3 x = max(vec3(0.0), hdr - 0.004);
+    vec3 mapped = (x * (6.2 * x + 0.5)) / (x * (6.2 * x + 1.7) + 0.06);
+#endif
+#ifdef GAMMA
+    mapped = pow(mapped, vec3(1.0 / 2.2));
+#endif
+#ifdef VIGNETTE
+    vec2 d = uv - vec2(0.5);
+    float vig = 1.0 - dot(d, d) * 0.7;
+    mapped = mapped * vig;
+#endif
+    color = vec4(mapped, 1.0);
+}
+`
+
+// pbrTemplate is the big übershader: an N-light PBR-ish shading loop with
+// optional normal mapping, specular, fog, shadows, and emissive — the
+// GFXBench "Car Chase" style family whose instances share optimizable
+// segments (§IV-A).
+const pbrTemplate = `#version 330
+out vec4 fragColor;
+in vec2 uv;
+in vec3 worldNormal;
+in vec3 worldPos;
+uniform sampler2D albedoTex;
+uniform sampler2D normalTex;
+uniform sampler2D aoTex;
+uniform sampler2D shadowTex;
+uniform vec3 cameraPos;
+uniform vec4 lightPositions[4];
+uniform vec4 lightColors[4];
+uniform float roughness;
+uniform float metalness;
+uniform vec3 fogColor;
+uniform float fogDensity;
+#ifndef NUM_LIGHTS
+#define NUM_LIGHTS 1
+#endif
+float distribution(float ndoth, float rough) {
+    float a = rough * rough;
+    float a2 = a * a;
+    float d = ndoth * ndoth * (a2 - 1.0) + 1.0;
+    return a2 / (3.14159265 * d * d + 0.0001);
+}
+float geometry(float ndotv, float k) {
+    return ndotv / (ndotv * (1.0 - k) + k);
+}
+void main() {
+    vec4 albedo = texture(albedoTex, uv);
+#ifdef ALPHA_TEST
+    if (albedo.a < 0.5) { discard; }
+#endif
+    vec3 n = normalize(worldNormal);
+#ifdef NORMAL_MAP
+    vec3 tn = texture(normalTex, uv).xyz * 2.0 - 1.0;
+    n = normalize(n + tn * 0.5);
+#endif
+    vec3 v = normalize(cameraPos - worldPos);
+    float ndotv = max(dot(n, v), 0.001);
+    vec3 acc = vec3(0.0);
+    for (int i = 0; i < NUM_LIGHTS; i++) {
+        vec3 lp = lightPositions[i].xyz;
+        vec3 l = normalize(lp - worldPos);
+        float ndotl = max(dot(n, l), 0.0);
+        vec3 radiance = lightColors[i].rgb * lightColors[i].a;
+#ifdef SPECULAR
+        vec3 h = normalize(l + v);
+        float ndoth = max(dot(n, h), 0.0);
+        float spec = distribution(ndoth, roughness) *
+            geometry(ndotv, roughness * 0.5) * geometry(ndotl, roughness * 0.5);
+        acc += (albedo.rgb * (1.0 - metalness) + vec3(spec) * metalness) * radiance * ndotl;
+#else
+        acc += albedo.rgb * radiance * ndotl;
+#endif
+    }
+#ifdef AO_MAP
+    float ao = texture(aoTex, uv).r;
+    acc *= ao;
+#endif
+#ifdef SHADOWS
+    vec2 shadowUV = worldPos.xy * 0.05 + 0.5;
+    float shadowDepth = texture(shadowTex, shadowUV).r;
+    float lit = shadowDepth < worldPos.z * 0.1 ? 0.35 : 1.0;
+    acc *= lit;
+#endif
+#ifdef EMISSIVE
+    acc += albedo.rgb * albedo.a * 0.6;
+#endif
+#ifdef FOG
+    float dist = length(cameraPos - worldPos);
+    float fog = 1.0 - exp(-fogDensity * dist);
+    acc = mix(acc, fogColor, clamp(fog, 0.0, 1.0));
+#endif
+    fragColor = vec4(acc, albedo.a);
+}
+`
+
+// shadowPCFTemplate: a percentage-closer-filter kernel — a constant loop
+// of texture compares with integer index math.
+const shadowPCFTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldPos;
+uniform sampler2D shadowMap;
+uniform float bias;
+#ifndef KERNEL
+#define KERNEL 2
+#endif
+void main() {
+    float depth = worldPos.z * 0.5 + 0.5;
+    float lit = 0.0;
+    float taps = 0.0;
+    for (int x = 0; x < KERNEL * 2 + 1; x++) {
+        for (int y = 0; y < KERNEL * 2 + 1; y++) {
+            int ox = x - KERNEL;
+            int oy = y - KERNEL;
+            vec2 off = vec2(float(ox), float(oy)) * 0.0009765625;
+            float sample_d = texture(shadowMap, uv + off).r;
+            lit += sample_d + bias < depth ? 0.0 : 1.0;
+            taps += 1.0;
+        }
+    }
+    float shadow = lit / taps;
+#ifdef SOFT
+    shadow = smoothstep(0.1, 0.9, shadow);
+#endif
+    color = vec4(vec3(shadow), 1.0);
+}
+`
+
+// ssaoTemplate: screen-space ambient occlusion with a constant sample
+// kernel (const arrays, dot products, clamps).
+const ssaoTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D depthTex;
+uniform sampler2D noiseTex;
+uniform float radius;
+uniform float intensity;
+#ifndef SAMPLES
+#define SAMPLES 8
+#endif
+void main() {
+    float center = texture(depthTex, uv).r;
+    vec2 noise = texture(noiseTex, uv * 64.0).rg * 2.0 - 1.0;
+    const vec2 kernel[8] = vec2[](
+        vec2(0.7, 0.1), vec2(-0.6, 0.3), vec2(0.2, -0.8), vec2(-0.3, -0.4),
+        vec2(0.5, 0.6), vec2(-0.8, -0.1), vec2(0.1, 0.9), vec2(-0.2, 0.5));
+    float occlusion = 0.0;
+    for (int i = 0; i < SAMPLES; i++) {
+        vec2 offset = kernel[i] + noise * 0.15;
+        float d = texture(depthTex, uv + offset * radius).r;
+        float diff = center - d;
+        occlusion += clamp(diff * 30.0, 0.0, 1.0) * (1.0 - clamp(diff * 4.0, 0.0, 1.0));
+    }
+    float ao = 1.0 - occlusion * intensity / float(SAMPLES);
+#ifdef BLUR_NOISE
+    ao = ao * 0.5 + texture(noiseTex, uv).b * 0.5;
+#endif
+    color = vec4(vec3(clamp(ao, 0.0, 1.0)), 1.0);
+}
+`
+
+// fxaaTemplate: edge anti-aliasing with lots of swizzles, min/max chains,
+// and a large two-sided branch (the hoist-pathology shape).
+const fxaaTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec2 texelSize;
+float lum(vec3 c) { return dot(c, vec3(0.299, 0.587, 0.114)); }
+void main() {
+    vec3 rgbNW = texture(tex, uv + vec2(-1.0, -1.0) * texelSize).rgb;
+    vec3 rgbNE = texture(tex, uv + vec2(1.0, -1.0) * texelSize).rgb;
+    vec3 rgbSW = texture(tex, uv + vec2(-1.0, 1.0) * texelSize).rgb;
+    vec3 rgbSE = texture(tex, uv + vec2(1.0, 1.0) * texelSize).rgb;
+    vec3 rgbM = texture(tex, uv).rgb;
+    float lNW = lum(rgbNW);
+    float lNE = lum(rgbNE);
+    float lSW = lum(rgbSW);
+    float lSE = lum(rgbSE);
+    float lM = lum(rgbM);
+    float lMin = min(lM, min(min(lNW, lNE), min(lSW, lSE)));
+    float lMax = max(lM, max(max(lNW, lNE), max(lSW, lSE)));
+    vec2 dir = vec2(-((lNW + lNE) - (lSW + lSE)), ((lNW + lSW) - (lNE + lSE)));
+    float dirReduce = max((lNW + lNE + lSW + lSE) * 0.03125, 0.0078125);
+    float rcpDirMin = 1.0 / (min(abs(dir.x), abs(dir.y)) + dirReduce);
+    dir = clamp(dir * rcpDirMin, vec2(-8.0), vec2(8.0)) * texelSize;
+    vec3 rgbA = (texture(tex, uv + dir * (1.0 / 3.0 - 0.5)).rgb +
+                 texture(tex, uv + dir * (2.0 / 3.0 - 0.5)).rgb) / 2.0;
+#ifdef HIGH_QUALITY
+    vec3 rgbB = rgbA / 2.0 + (texture(tex, uv + dir * -0.5).rgb +
+                 texture(tex, uv + dir * 0.5).rgb) / 4.0;
+    float lB = lum(rgbB);
+    vec3 result = vec3(0.0);
+    if (lB < lMin || lB > lMax) {
+        vec3 t0 = rgbA * 0.9 + rgbM * 0.1;
+        vec3 t1 = t0 * 0.95 + rgbNW * 0.0125 + rgbNE * 0.0125 + rgbSW * 0.0125 + rgbSE * 0.0125;
+        result = t1;
+    } else {
+        vec3 t2 = rgbB * 0.9 + rgbM * 0.1;
+        vec3 t3 = t2 * 0.95 + rgbNW * 0.0125 + rgbNE * 0.0125 + rgbSW * 0.0125 + rgbSE * 0.0125;
+        result = t3;
+    }
+    color = vec4(result, 1.0);
+#else
+    color = vec4(rgbA, 1.0);
+#endif
+}
+`
+
+// godraysTemplate: radial light-shaft march — a long constant loop that,
+// fully unrolled, produces the very large basic blocks of §III-C(c).
+const godraysTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D occlusionTex;
+uniform vec2 lightScreenPos;
+uniform float density;
+uniform float decay;
+uniform float exposure2;
+#ifndef STEPS
+#define STEPS 32
+#endif
+void main() {
+    vec2 delta = (uv - lightScreenPos) * (density / float(STEPS));
+    vec2 pos = uv;
+    float illum = 0.0;
+    float weight = 1.0;
+    for (int i = 0; i < STEPS; i++) {
+        pos = pos - delta;
+        float sampleV = texture(occlusionTex, pos).r;
+        illum += sampleV * weight;
+        weight = weight * decay;
+    }
+    color = vec4(vec3(illum * exposure2 / float(STEPS)), 1.0);
+}
+`
+
+// waterTemplate: sine-wave surface with groupable scalar trigonometry and
+// a matrix transform (scalarization artefact source).
+const waterTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldPos;
+uniform sampler2D reflectionTex;
+uniform mat3 waveTransform;
+uniform float time;
+uniform vec3 deepColor;
+uniform vec3 shallowColor;
+void main() {
+    float w1 = sin(worldPos.x * 4.0 + time * 2.0) * 0.5;
+    float w2 = sin(worldPos.y * 6.0 + time * 3.1) * 0.25;
+    float w3 = cos((worldPos.x + worldPos.y) * 2.5 + time * 1.3) * 0.125;
+    float height = w1 + w2 + w3;
+#ifdef CHOPPY
+    height = height + sin(worldPos.x * 19.0 + time * 7.0) * 0.06
+                    + cos(worldPos.y * 23.0 + time * 6.0) * 0.06;
+#endif
+    vec3 n = normalize(waveTransform * vec3(w1 * 0.2, w2 * 0.2, 1.0));
+    vec2 refUV = uv + n.xy * 0.04;
+    vec3 reflection = texture(reflectionTex, refUV).rgb;
+    float facing = clamp(height * 0.5 + 0.5, 0.0, 1.0);
+    vec3 waterColor = mix(deepColor, shallowColor, facing);
+#ifdef FRESNEL
+    float fr = pow(1.0 - facing, 3.0);
+    color = vec4(mix(waterColor, reflection, fr * 0.8 + 0.1), 1.0);
+#else
+    color = vec4(waterColor * 0.7 + reflection * 0.3, 1.0);
+#endif
+}
+`
+
+// skyboxTemplate: trivial cube sample (part of the power-law tail).
+const skyboxTemplate = `#version 330
+out vec4 color;
+in vec3 viewDir;
+uniform samplerCube skyTex;
+uniform float skyIntensity;
+void main() {
+#ifdef TINT_HORIZON
+    vec4 sky = texture(skyTex, viewDir);
+    float horizon = 1.0 - abs(viewDir.y);
+    color = vec4(sky.rgb * skyIntensity + vec3(0.8, 0.5, 0.3) * horizon * 0.2, 1.0);
+#else
+    color = texture(skyTex, viewDir) * skyIntensity;
+#endif
+}
+`
+
+// particleTemplate: soft-particle billboard with per-component writes (the
+// Coalesce target shape) and a discard path.
+const particleTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldPos;
+uniform sampler2D particleTex;
+uniform sampler2D depthTex;
+uniform vec4 particleColor;
+uniform float softness;
+void main() {
+    vec4 tex = texture(particleTex, uv);
+#ifdef ALPHA_KILL
+    if (tex.a < 0.01) { discard; }
+#endif
+    vec4 result = vec4(0.0);
+    result.r = tex.r * particleColor.r;
+    result.g = tex.g * particleColor.g;
+    result.b = tex.b * particleColor.b;
+    result.a = tex.a * particleColor.a;
+#ifdef SOFT_DEPTH
+    float sceneDepth = texture(depthTex, uv).r;
+    float fade = clamp((sceneDepth - worldPos.z * 0.1) * softness, 0.0, 1.0);
+    result.a = result.a * fade;
+#endif
+    color = result;
+}
+`
+
+// dofTemplate: depth-of-field circle-of-confusion with constant divisions
+// and ternaries.
+const dofTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform sampler2D depthTex;
+uniform float focusDepth;
+uniform float focusRange;
+void main() {
+    float depth = texture(depthTex, uv).r;
+    float coc = (depth - focusDepth) / focusRange;
+    coc = clamp(coc, -1.0, 1.0);
+    float blurAmount = abs(coc);
+#ifdef NEAR_BLUR
+    blurAmount = coc < 0.0 ? blurAmount * 1.5 : blurAmount;
+    blurAmount = min(blurAmount, 1.0);
+#endif
+    vec4 sharp = texture(sceneTex, uv);
+    vec4 blurred = (texture(sceneTex, uv + vec2(0.004, 0.0)) +
+                    texture(sceneTex, uv - vec2(0.004, 0.0)) +
+                    texture(sceneTex, uv + vec2(0.0, 0.004)) +
+                    texture(sceneTex, uv - vec2(0.0, 0.004))) / 4.0;
+#ifdef PREMULTIPLY
+    sharp.rgb = sharp.rgb * sharp.a;
+    blurred.rgb = blurred.rgb / (blurred.a + 0.001);
+#endif
+    color = mix(sharp, blurred, blurAmount);
+    color.a = 1.0;
+}
+`
+
+// uiTemplate: the trivial tail — textured or flat-colour UI quads.
+const uiTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D uiTex;
+uniform vec4 uiColor;
+void main() {
+#if STYLE == 0
+    color = uiColor;
+#elif STYLE == 1
+    color = texture(uiTex, uv);
+#elif STYLE == 2
+    color = texture(uiTex, uv) * uiColor;
+#elif STYLE == 3
+    vec4 t = texture(uiTex, uv);
+    color = vec4(uiColor.rgb, t.a * uiColor.a);
+#else
+    vec4 t = texture(uiTex, uv);
+    float gray = dot(t.rgb, vec3(0.333, 0.334, 0.333));
+    color = vec4(vec3(gray), t.a) * uiColor;
+#endif
+}
+`
+
+// aluTemplate: the ALU-stress family — long arithmetic chains with
+// duplicate subexpressions across branch arms (GVN bait), integer index
+// arithmetic (Reassociate bait), and factorizable float math.
+const aluTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform vec4 paramA;
+uniform vec4 paramB;
+uniform float scale1;
+uniform float scale2;
+uniform int rounds;
+void main() {
+    vec4 a = paramA;
+    vec4 b = paramB;
+    vec4 acc = vec4(0.0);
+    acc += a * b * 0.25 + a * paramB * 0.25;
+    acc += scale1 * (scale2 * a);
+    acc += a * 0.125 + b * 0.125;
+#if DEPTH >= 2
+    vec4 q = a * b + vec4(uv, uv) * 0.5;
+    acc += q * q * 0.0625;
+    acc += (q + a) * 0.1 - q * 0.1;
+#endif
+#if DEPTH >= 3
+    int base = rounds * 2 + 1;
+    int idx = base + rounds - base;
+    acc += a * float(idx) * 0.01;
+    vec4 r = vec4(0.0);
+    if (scale1 > 0.5) {
+        r = a * b * 0.5 + paramA * 0.2;
+    } else {
+        r = a * b * 0.5 - paramA * 0.2;
+    }
+    acc += r / 8.0;
+#endif
+#if DEPTH >= 4
+    vec4 s = acc;
+    s += s.wzyx * 0.3;
+    s += s.yxwz * 0.15;
+    acc = s / 2.0 + acc / 2.0;
+#endif
+    color = acc / 4.0 + vec4(0.1);
+    color.a = 1.0;
+}
+`
+
+// colorGradeTemplate: LUT-less grading with mix chains and vector consts.
+const colorGradeTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform float saturation;
+uniform float contrast;
+uniform float brightness;
+void main() {
+    vec3 c = texture(sceneTex, uv).rgb;
+    c = c * brightness;
+    float gray = dot(c, vec3(0.2126, 0.7152, 0.0722));
+    c = mix(vec3(gray), c, saturation);
+    c = (c - 0.5) * contrast + 0.5;
+#ifdef LIFT_GAMMA_GAIN
+    c = pow(max(c, vec3(0.0)), vec3(0.9, 1.0, 1.1));
+    c = c * vec3(1.05, 1.0, 0.95) + vec3(0.01, 0.0, -0.01);
+#endif
+#ifdef TEAL_ORANGE
+    vec3 shadowsTint = vec3(0.1, 0.3, 0.4);
+    vec3 highlightTint = vec3(1.0, 0.8, 0.6);
+    float l = clamp(gray * 1.4, 0.0, 1.0);
+    c = c * mix(shadowsTint, highlightTint, l) * 1.3;
+#endif
+    color = vec4(clamp(c, vec3(0.0), vec3(1.0)), 1.0);
+}
+`
+
+// hazeTemplate: screen-space distortion with a dynamic-bound loop (one of
+// the few non-constant loops, kept rare per §V-A).
+const hazeTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform float time;
+uniform int octaves;
+uniform float strength;
+void main() {
+    vec2 distortion = vec2(0.0);
+    float amp = strength;
+    float freq = 7.0;
+    for (int i = 0; i < octaves; i++) {
+        distortion.x += sin(uv.y * freq + time * 2.0) * amp;
+        distortion.y += cos(uv.x * freq + time * 1.7) * amp;
+        amp = amp * 0.5;
+        freq = freq * 2.0;
+    }
+    color = texture(sceneTex, uv + distortion);
+    color.a = 1.0;
+}
+`
+
+// motionBlurTemplate: velocity-buffer blur with a short constant loop.
+const motionBlurTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D sceneTex;
+uniform sampler2D velocityTex;
+uniform float blurScale;
+#ifndef BLUR_TAPS
+#define BLUR_TAPS 4
+#endif
+void main() {
+    vec2 velocity = (texture(velocityTex, uv).rg * 2.0 - 1.0) * blurScale;
+    vec4 acc = texture(sceneTex, uv);
+    for (int i = 1; i < BLUR_TAPS; i++) {
+        vec2 offset = velocity * (float(i) / float(BLUR_TAPS));
+        acc += texture(sceneTex, uv + offset);
+    }
+    color = acc / float(BLUR_TAPS);
+    color.a = 1.0;
+}
+`
+
+// terrainTemplate: splat-mapped terrain blending four layers (texture
+// heavy, weight normalization with a division).
+const terrainTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldNormal;
+uniform sampler2D splatTex;
+uniform sampler2D grassTex;
+uniform sampler2D rockTex;
+uniform sampler2D snowTex;
+uniform vec3 sunDir;
+void main() {
+    vec4 splat = texture(splatTex, uv);
+    vec3 grass = texture(grassTex, uv * 16.0).rgb;
+    vec3 rock = texture(rockTex, uv * 12.0).rgb;
+    vec3 snow = texture(snowTex, uv * 8.0).rgb;
+    float total = splat.r + splat.g + splat.b + 0.001;
+    vec3 blended = (grass * splat.r + rock * splat.g + snow * splat.b) / total;
+#ifdef SLOPE_ROCK
+    float slope = 1.0 - clamp(worldNormal.y, 0.0, 1.0);
+    blended = mix(blended, rock, clamp(slope * 2.0 - 0.4, 0.0, 1.0));
+#endif
+    float light = max(dot(normalize(worldNormal), sunDir), 0.0) * 0.8 + 0.2;
+    color = vec4(blended * light, 1.0);
+}
+`
+
+// projtexTemplate: projective texturing with mat4 algebra. The driver
+// compiles the matrix products natively; the offline optimizer's
+// scalarization artefact (§III-C(a)) turns them into dozens of scalar
+// operations, so LunarGlass output can lose to the original here — the
+// corpus's "all optimizations cause slow-downs" cases.
+const projtexTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldPos;
+uniform sampler2D sceneTex;
+uniform sampler2D projTex;
+uniform mat4 projMatrix;
+uniform mat4 viewMatrix;
+uniform float blend;
+void main() {
+#ifdef COMPOSE
+    mat4 m = projMatrix * viewMatrix;
+    vec4 clip = m * vec4(worldPos, 1.0);
+#else
+    vec4 clip = projMatrix * vec4(worldPos, 1.0);
+#endif
+    vec2 puv = clip.xy / (clip.w + 0.0001) * 0.5 + 0.5;
+    vec4 projected = texture(projTex, puv);
+    vec4 scene = texture(sceneTex, uv);
+#ifdef FADE_EDGES
+    vec2 d = abs(puv - 0.5) * 2.0;
+    float edge = clamp(1.0 - max(d.x, d.y), 0.0, 1.0);
+    color = mix(scene, projected, blend * edge);
+#else
+    color = mix(scene, projected, blend);
+#endif
+}
+`
+
+// deferredTemplate: deferred-lighting position reconstruction — more mat4
+// work plus normal transforms (mat3), straight-line.
+const deferredTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D depthTex;
+uniform sampler2D normalTex;
+uniform sampler2D albedoTex;
+uniform mat4 invViewProj;
+uniform mat3 normalMatrix;
+uniform vec3 lightDir;
+uniform vec3 lightColor;
+void main() {
+    float depth = texture(depthTex, uv).r;
+    vec4 clip = vec4(uv * 2.0 - 1.0, depth * 2.0 - 1.0, 1.0);
+    vec4 world4 = invViewProj * clip;
+    vec3 world = world4.xyz / world4.w;
+    vec3 n = normalMatrix * (texture(normalTex, uv).xyz * 2.0 - 1.0);
+    n = normalize(n);
+    vec3 albedo = texture(albedoTex, uv).rgb;
+    float ndl = max(dot(n, lightDir), 0.0);
+#ifdef SPEC
+    vec3 viewDir = normalize(-world);
+    vec3 h = normalize(lightDir + viewDir);
+    float spec = pow(max(dot(n, h), 0.0), 24.0);
+    color = vec4(albedo * lightColor * ndl + lightColor * spec * 0.4, 1.0);
+#else
+    color = vec4(albedo * lightColor * ndl, 1.0);
+#endif
+}
+`
+
+// reliefTemplate: two heavy mutually-exclusive branches — the shape on
+// which conditional flattening backfires (§VI-D6: hoist's pathological
+// cases; on Mali the flattened block's register pressure causes the -35%
+// case).
+const reliefTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldPos;
+uniform sampler2D heightTex;
+uniform sampler2D detailTex;
+uniform float threshold;
+void main() {
+    float h = texture(heightTex, uv).r;
+    vec4 result;
+    if (h > threshold) {
+        vec4 a0 = texture(detailTex, uv * 2.0);
+        vec4 a1 = texture(detailTex, uv * 4.0 + vec2(0.1, 0.0));
+        vec4 a2 = texture(detailTex, uv * 8.0 + vec2(0.0, 0.1));
+        vec4 a3 = texture(detailTex, uv * 16.0 + vec2(0.05, 0.05));
+#ifdef HEAVY
+        vec4 a4 = texture(detailTex, uv * 3.0 + vec2(0.2, 0.1));
+        vec4 a5 = texture(detailTex, uv * 5.0 + vec2(0.1, 0.2));
+        vec4 a6 = texture(detailTex, uv * 7.0 + vec2(0.3, 0.0));
+        vec4 a7 = texture(detailTex, uv * 9.0 + vec2(0.0, 0.3));
+        result = (a0 * 0.3 + a1 * 0.25 + a2 * 0.2 + a3 * 0.1 + a4 * 0.05 +
+                  a5 * 0.04 + a6 * 0.03 + a7 * 0.03) * (h * 2.0);
+#else
+        result = (a0 * 0.4 + a1 * 0.3 + a2 * 0.2 + a3 * 0.1) * (h * 2.0);
+#endif
+    } else {
+        vec4 b0 = texture(detailTex, uv * 1.5 + vec2(0.5, 0.5));
+        vec4 b1 = texture(detailTex, uv * 2.5 + vec2(0.25, 0.75));
+        vec4 b2 = texture(detailTex, uv * 3.5 + vec2(0.75, 0.25));
+        vec4 b3 = texture(detailTex, uv * 4.5 + vec2(0.4, 0.6));
+#ifdef HEAVY
+        vec4 b4 = texture(detailTex, uv * 5.5 + vec2(0.6, 0.4));
+        vec4 b5 = texture(detailTex, uv * 6.5 + vec2(0.15, 0.85));
+        vec4 b6 = texture(detailTex, uv * 7.5 + vec2(0.85, 0.15));
+        vec4 b7 = texture(detailTex, uv * 8.5 + vec2(0.35, 0.65));
+        result = (b0 * 0.3 + b1 * 0.25 + b2 * 0.2 + b3 * 0.1 + b4 * 0.05 +
+                  b5 * 0.04 + b6 * 0.03 + b7 * 0.03) * (1.0 - h);
+#else
+        result = (b0 * 0.4 + b1 * 0.3 + b2 * 0.2 + b3 * 0.1) * (1.0 - h);
+#endif
+    }
+    color = vec4(result.rgb, 1.0);
+}
+`
+
+// envmapTemplate: the same expensive expressions appear in both branch
+// arms and in the tail — value numbering across blocks (the GVN flag's
+// territory, §VI-D2; merged duplicate texture fetches give the Qualcomm
+// +15% case).
+const envmapTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+in vec3 worldNormal;
+in vec3 viewDir;
+uniform samplerCube envTex;
+uniform sampler2D glossTex;
+uniform float metallic;
+void main() {
+    vec3 n = normalize(worldNormal);
+    vec3 r = reflect(normalize(viewDir), n);
+    float gloss = texture(glossTex, uv).r;
+    vec4 result;
+    if (gloss > 0.5) {
+        vec4 env = texture(envTex, reflect(normalize(viewDir), n));
+        float fres = pow(1.0 - max(dot(n, normalize(viewDir)), 0.0), 5.0);
+        result = env * (metallic + fres * (1.0 - metallic)) * gloss;
+    } else {
+        vec4 env = texture(envTex, reflect(normalize(viewDir), n));
+        float fres = pow(1.0 - max(dot(n, normalize(viewDir)), 0.0), 5.0);
+        result = env * fres * 0.25 + vec4(0.04) * gloss;
+    }
+#ifdef BASE_BLEND
+    vec4 env2 = texture(envTex, reflect(normalize(viewDir), n));
+    result = result * 0.75 + env2 * 0.25;
+#endif
+    color = vec4(result.rgb, 1.0);
+}
+`
+
+// blendTemplate: the trivial texture-bound tail (compositing ops) — the
+// near-zero mass of Figures 7 and 9.
+const blendTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D srcTex;
+uniform sampler2D dstTex;
+uniform float opacity;
+void main() {
+    vec4 src = texture(srcTex, uv);
+    vec4 dst = texture(dstTex, uv);
+#if MODE == 0
+    color = mix(dst, src, opacity);
+#elif MODE == 1
+    color = dst + src * opacity;
+#elif MODE == 2
+    color = dst * mix(vec4(1.0), src, opacity);
+#elif MODE == 3
+    color = vec4(1.0) - (vec4(1.0) - dst) * (vec4(1.0) - src * opacity);
+#elif MODE == 4
+    color = abs(dst - src) * opacity + dst * (1.0 - opacity);
+#else
+    color = max(dst, src * opacity);
+#endif
+    color.a = 1.0;
+}
+`
+
+// simpleTemplate: single-purpose utility shaders (the bulk of the
+// power-law tail: "numerous simpler shaders, many containing only a few
+// lines", §V-A).
+const simpleTemplate = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 param;
+void main() {
+#if KIND == 0
+    color = texture(tex, uv);
+#elif KIND == 1
+    float g = dot(texture(tex, uv).rgb, vec3(0.2126, 0.7152, 0.0722));
+    color = vec4(vec3(g), 1.0);
+#elif KIND == 2
+    color = vec4(texture(tex, uv).rgb * param.rgb, 1.0);
+#elif KIND == 3
+    float d = texture(tex, uv).r;
+    color = vec4(vec3(d * param.x), 1.0);
+#elif KIND == 4
+    vec4 t = texture(tex, uv);
+    color = t.a < param.x ? vec4(0.0) : t;
+#elif KIND == 5
+    color = vec4(uv, param.x, 1.0);
+#elif KIND == 6
+    vec2 d = uv - vec2(0.5);
+    color = texture(tex, uv) * (1.0 - dot(d, d) * param.x);
+#else
+    color = param;
+#endif
+}
+`

@@ -1,0 +1,50 @@
+// Package crossc is the mobile shader conversion pipeline: desktop GLSL →
+// SPIR-V-like words → OpenGL ES GLSL, mirroring the paper's glslang +
+// SPIRV-Cross tool chain (§III-C(d): "Having passed through so many
+// compilation tools means the code picked up slight quirks and artefacts
+// from each one in turn, and was often very different from the original
+// desktop GLSL shader"). The artefacts here are real consequences of the
+// pipeline: name loss (synthetic identifiers), fully flattened temporaries,
+// ES precision qualifiers, and re-canonicalized structure.
+package crossc
+
+import (
+	"fmt"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/spirv"
+)
+
+// ToES converts desktop GLSL fragment shader source into GLES 3.0 source
+// via the SPIR-V round trip.
+func ToES(src, name string) (string, error) {
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("crossc front end: %w", err)
+	}
+	prog, err := lower.Lower(sh, name)
+	if err != nil {
+		return "", fmt.Errorf("crossc front end: %w", err)
+	}
+	words := spirv.Encode(prog)
+	decoded, err := spirv.Decode(words, name)
+	if err != nil {
+		return "", fmt.Errorf("crossc back end: %w", err)
+	}
+	return glslgen.Generate(decoded, glslgen.ES), nil
+}
+
+// Words exposes the intermediate SPIR-V module for tooling.
+func Words(src, name string) ([]uint32, error) {
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.Lower(sh, name)
+	if err != nil {
+		return nil, err
+	}
+	return spirv.Encode(prog), nil
+}

@@ -1,0 +1,202 @@
+package crossc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"shaderopt/internal/exec"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/spirv"
+)
+
+const desktopSrc = `#version 330
+uniform sampler2D tex;
+uniform vec4 tint;
+uniform float gain;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 4; i++) {
+        acc += texture(tex, uv + vec2(float(i) * 0.01, 0.0));
+    }
+    if (gain > 0.5) { acc *= gain; }
+    color = acc * tint / 4.0;
+}
+`
+
+func TestToESProducesValidGLES(t *testing.T) {
+	out, err := ToES(desktopSrc, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "#version 300 es\n") {
+		t.Errorf("missing ES version header:\n%s", out)
+	}
+	if !strings.Contains(out, "precision highp float;") {
+		t.Errorf("missing precision qualifier:\n%s", out)
+	}
+	// The ES output must parse and lower again (drivers consume it).
+	sh, err := glsl.Parse(out)
+	if err != nil {
+		t.Fatalf("ES output does not parse: %v\n%s", err, out)
+	}
+	if _, err := lower.Lower(sh, "reparsed"); err != nil {
+		t.Fatalf("ES output does not lower: %v", err)
+	}
+}
+
+func TestToESNameLossArtefact(t *testing.T) {
+	out, err := ToES(desktopSrc, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original names are gone — the §III-C(d) artefact.
+	for _, lost := range []string{"tint", "gain", "acc"} {
+		if strings.Contains(out, lost) {
+			t.Errorf("name %q survived the SPIR-V round trip:\n%s", lost, out)
+		}
+	}
+}
+
+// TestToESSemanticsPreserved runs the original and the converted shader
+// and requires identical outputs (the conversion is exact; only names and
+// formatting change).
+func TestToESSemanticsPreserved(t *testing.T) {
+	out, err := ToES(desktopSrc, "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origProg, err := lower.Lower(glsl.MustParse(desktopSrc), "orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	convProg, err := lower.Lower(glsl.MustParse(out), "conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uniform/input names differ; map them by declaration order.
+	env := func(p *ir.Program) *exec.Env {
+		e := &exec.Env{
+			Uniforms: map[string]*ir.ConstVal{},
+			Inputs:   map[string]*ir.ConstVal{},
+			Samplers: map[string]exec.Sampler{},
+		}
+		uvals := []*ir.ConstVal{nil, ir.FloatConst(0.2, 0.4, 0.6, 0.8), ir.FloatConst(0.75)}
+		for i, u := range p.Uniforms {
+			if u.Type.IsSampler() {
+				e.Samplers[u.Name] = exec.DefaultSampler{}
+				continue
+			}
+			e.Uniforms[u.Name] = uvals[i]
+		}
+		for _, in := range p.Inputs {
+			e.Inputs[in.Name] = ir.FloatConst(0.3, 0.7)
+		}
+		return e
+	}
+	r1, err := exec.Run(origProg, env(origProg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exec.Run(convProg, env(convProg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 *ir.ConstVal
+	for _, v := range r1.Outputs {
+		v1 = v
+	}
+	for _, v := range r2.Outputs {
+		v2 = v
+	}
+	if v1 == nil || v2 == nil {
+		t.Fatal("missing outputs")
+	}
+	for i := 0; i < v1.Len(); i++ {
+		if math.Abs(v1.F[i]-v2.F[i]) > 1e-12 {
+			t.Errorf("component %d: %v vs %v", i, v1.F[i], v2.F[i])
+		}
+	}
+}
+
+func TestSpirvRoundTripExact(t *testing.T) {
+	prog, err := lower.Lower(glsl.MustParse(desktopSrc), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := spirv.Encode(prog)
+	if words[0] != spirv.Magic {
+		t.Errorf("magic = %#x", words[0])
+	}
+	decoded, err := spirv.Decode(words, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Body.CountInstrs() != prog.Body.CountInstrs() {
+		t.Errorf("instr count changed: %d -> %d", prog.Body.CountInstrs(), decoded.Body.CountInstrs())
+	}
+	if len(decoded.Uniforms) != len(prog.Uniforms) ||
+		len(decoded.Inputs) != len(prog.Inputs) ||
+		len(decoded.Outputs) != len(prog.Outputs) {
+		t.Error("interface counts changed")
+	}
+	// Re-encoding the decoded module must produce identical words
+	// (canonical encoding).
+	words2 := spirv.Encode(decoded)
+	if len(words) != len(words2) {
+		t.Fatalf("re-encode length %d != %d", len(words2), len(words))
+	}
+	for i := range words {
+		if words[i] != words2[i] {
+			t.Fatalf("word %d differs: %#x vs %#x", i, words[i], words2[i])
+		}
+	}
+}
+
+func TestSpirvDecodeErrors(t *testing.T) {
+	cases := [][]uint32{
+		{},
+		{1, 2, 3, 4, 5},
+		{spirv.Magic, 99, 0, 0, 0},
+		{spirv.Magic, spirv.Version, 0, 0, 0, 0xffff0000},
+	}
+	for i, w := range cases {
+		if _, err := spirv.Decode(w, "bad"); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestWhileSurvivesRoundTrip(t *testing.T) {
+	src := `#version 330
+uniform float k;
+out vec4 c;
+void main() {
+    float s = 1.0;
+    while (s < k) { s = s * 2.0; }
+    c = vec4(s);
+}
+`
+	out, err := ToES(src, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "while") {
+		t.Errorf("while loop lost:\n%s", out)
+	}
+}
+
+func TestWordsAccessor(t *testing.T) {
+	w, err := Words(desktopSrc, "w")
+	if err != nil || len(w) < 10 {
+		t.Fatalf("Words: %v, %d", err, len(w))
+	}
+	if _, err := Words("garbage((", "w"); err == nil {
+		t.Error("want error for bad source")
+	}
+}

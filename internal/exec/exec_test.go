@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+)
+
+func TestDefaultSamplerProperties(t *testing.T) {
+	s := DefaultSampler{}
+	// Opaque everywhere, channels in [0,1].
+	err := quick.Check(func(u, v float64) bool {
+		if math.IsNaN(u) || math.IsNaN(v) || math.Abs(u) > 1e6 || math.Abs(v) > 1e6 {
+			return true
+		}
+		px := s.Sample([]float64{u, v}, -1)
+		if px[3] != 1 {
+			return false
+		}
+		for c := 0; c < 3; c++ {
+			if px[c] < 0 || px[c] > 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+	// Smooth: nearby coordinates give nearby colours (needed for the unsafe
+	// FP tolerance tests).
+	a := s.Sample([]float64{0.3, 0.7}, -1)
+	b := s.Sample([]float64{0.3 + 1e-7, 0.7}, -1)
+	for c := 0; c < 4; c++ {
+		if math.Abs(a[c]-b[c]) > 1e-5 {
+			t.Errorf("sampler not smooth at channel %d", c)
+		}
+	}
+	// Colourful: channels differ somewhere.
+	px := s.Sample([]float64{0.13, 0.29}, -1)
+	if px[0] == px[1] && px[1] == px[2] {
+		t.Error("pattern is grayscale at a generic point")
+	}
+}
+
+func TestDefaultSamplerMipFade(t *testing.T) {
+	s := DefaultSampler{}
+	sharp := s.Sample([]float64{0.13, 0.29}, 0)
+	blurred := s.Sample([]float64{0.13, 0.29}, 8)
+	// High mip levels fade toward the 0.5 mean.
+	for c := 0; c < 3; c++ {
+		if math.Abs(blurred[c]-0.5) > math.Abs(sharp[c]-0.5)+1e-9 {
+			t.Errorf("channel %d did not fade toward mean: %v vs %v", c, sharp[c], blurred[c])
+		}
+	}
+}
+
+func TestCheckerSampler(t *testing.T) {
+	s := CheckerSampler{Cells: 2}
+	a := s.Sample([]float64{0.1, 0.1}, -1)
+	b := s.Sample([]float64{0.6, 0.1}, -1)
+	if a == b {
+		t.Error("adjacent cells should differ")
+	}
+	if (CheckerSampler{}).Sample([]float64{0, 0}, -1)[3] != 1 {
+		t.Error("alpha")
+	}
+}
+
+func TestConstSampler(t *testing.T) {
+	s := ConstSampler{RGBA: [4]float64{0.1, 0.2, 0.3, 0.4}}
+	if s.Sample([]float64{9, 9}, 3) != [4]float64{0.1, 0.2, 0.3, 0.4} {
+		t.Error("const sampler")
+	}
+}
+
+func TestRunMissingUniform(t *testing.T) {
+	sh := glsl.MustParse("uniform float k;\nout vec4 c;\nvoid main() { c = vec4(k); }")
+	prog, err := lower.Lower(sh, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, &Env{}); err == nil {
+		t.Error("want error for missing uniform")
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	sh := glsl.MustParse(`
+out vec4 c;
+void main() {
+    float s = 0.0;
+    for (int i = 0; i < 30000; i++) { s += 1.0; }
+    c = vec4(s);
+}
+`)
+	prog, err := lower.Lower(sh, "limit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, &Env{MaxSteps: 1000}); err == nil {
+		t.Error("want step-limit error")
+	}
+	if _, err := Run(prog, &Env{}); err != nil {
+		t.Errorf("default budget should suffice: %v", err)
+	}
+}
+
+func TestRunWhileGuard(t *testing.T) {
+	sh := glsl.MustParse(`
+out vec4 c;
+void main() {
+    float s = 1.0;
+    while (s > 0.0) { s = s + 1.0; }
+    c = vec4(s);
+}
+`)
+	prog, err := lower.Lower(sh, "inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, &Env{}); err == nil {
+		t.Error("runaway while must hit the guard")
+	}
+}
+
+func TestDynamicIndexClamped(t *testing.T) {
+	sh := glsl.MustParse(`
+uniform int idx;
+out vec4 c;
+void main() {
+    const float w[3] = float[](1.0, 2.0, 3.0);
+    c = vec4(w[idx]);
+}
+`)
+	prog, err := lower.Lower(sh, "oob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, &Env{Uniforms: map[string]*ir.ConstVal{"idx": ir.IntConst(99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GLSL robust-access style clamp to the last element.
+	if res.Outputs["c"].F[0] != 3 {
+		t.Errorf("out-of-bounds index not clamped: %v", res.Outputs["c"])
+	}
+}
+
+func TestDerivativesAreZero(t *testing.T) {
+	sh := glsl.MustParse(`
+in vec2 uv;
+out vec4 c;
+void main() { c = vec4(dFdx(uv.x), dFdy(uv.y), fwidth(uv.x), 1.0); }
+`)
+	prog, err := lower.Lower(sh, "deriv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, &Env{Inputs: map[string]*ir.ConstVal{"uv": ir.FloatConst(0.5, 0.5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["c"].F[0] != 0 || res.Outputs["c"].F[1] != 0 {
+		t.Error("derivatives of constant harness inputs should be zero")
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	sh := glsl.MustParse("out vec4 c;\nvoid main() { c = vec4(1.0); }")
+	prog, err := lower.Lower(sh, "steps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps <= 0 {
+		t.Error("steps not counted")
+	}
+}

@@ -1,0 +1,71 @@
+package exec
+
+import "math"
+
+// DefaultSampler is the harness's stand-in texture: a smooth, colourful,
+// opaque procedural pattern (§IV-B initialises texture bindings to "a
+// colourfully-patterned opaque power-of-two image"). The pattern is smooth
+// (Lipschitz-continuous) so small floating-point coordinate differences
+// from unsafe optimizations produce proportionally small colour
+// differences.
+type DefaultSampler struct{}
+
+// Sample implements Sampler with a band-limited sinusoidal plasma.
+func (DefaultSampler) Sample(coords []float64, lod float64) [4]float64 {
+	u, v := 0.0, 0.0
+	if len(coords) > 0 {
+		u = coords[0]
+	}
+	if len(coords) > 1 {
+		v = coords[1]
+	}
+	w := 0.0
+	if len(coords) > 2 {
+		w = coords[2]
+	}
+	// Mip level fades the pattern toward its mean, like a real mip chain.
+	fade := 1.0
+	if lod > 0 {
+		fade = math.Exp2(-lod)
+	}
+	r := 0.5 + 0.5*math.Sin(2*math.Pi*(u*3+w))*fade
+	g := 0.5 + 0.5*math.Sin(2*math.Pi*(v*5+u*2))*fade
+	b := 0.5 + 0.5*math.Sin(2*math.Pi*((u+v)*4-w*2))*fade
+	return [4]float64{r, g, b, 1}
+}
+
+// CheckerSampler is a hard-edged checkerboard; useful for tests that need
+// visible structure.
+type CheckerSampler struct {
+	// Cells per unit uv; 8 when zero.
+	Cells int
+}
+
+// Sample implements Sampler.
+func (s CheckerSampler) Sample(coords []float64, _ float64) [4]float64 {
+	cells := s.Cells
+	if cells == 0 {
+		cells = 8
+	}
+	u, v := 0.0, 0.0
+	if len(coords) > 0 {
+		u = coords[0]
+	}
+	if len(coords) > 1 {
+		v = coords[1]
+	}
+	iu := int(math.Floor(u * float64(cells)))
+	iv := int(math.Floor(v * float64(cells)))
+	if (iu+iv)%2 == 0 {
+		return [4]float64{0.9, 0.9, 0.9, 1}
+	}
+	return [4]float64{0.1, 0.1, 0.1, 1}
+}
+
+// ConstSampler returns a fixed colour regardless of coordinates.
+type ConstSampler struct {
+	RGBA [4]float64
+}
+
+// Sample implements Sampler.
+func (s ConstSampler) Sample([]float64, float64) [4]float64 { return s.RGBA }

@@ -1,0 +1,319 @@
+package glsl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Print renders a shader AST back to GLSL source.
+func Print(sh *Shader) string {
+	var pr printer
+	if sh.Version != "" {
+		pr.linef("#version %s", sh.Version)
+	}
+	for _, d := range sh.Decls {
+		pr.decl(d)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) linef(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("    ")
+	}
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *PrecisionDecl:
+		p.linef("precision %s %s;", d.Precision, d.Type)
+	case *GlobalVar:
+		var parts []string
+		if d.Layout != "" {
+			parts = append(parts, "layout("+strings.ReplaceAll(d.Layout, " ", "")+")")
+		}
+		if q := d.Qual.String(); q != "" {
+			parts = append(parts, q)
+		}
+		if d.Precision != "" {
+			parts = append(parts, d.Precision)
+		}
+		parts = append(parts, d.Type.Name, d.Name+arraySuffix(d.Type))
+		line := strings.Join(parts, " ")
+		if d.Init != nil {
+			line += " = " + ExprString(d.Init)
+		}
+		p.linef("%s;", line)
+	case *FuncDecl:
+		var ps []string
+		for _, prm := range d.Params {
+			s := prm.Type.Name + " " + prm.Name + arraySuffix(prm.Type)
+			if q := prm.Qual.String(); q != "" && prm.Qual != QualIn {
+				s = q + " " + s
+			}
+			ps = append(ps, s)
+		}
+		if d.Body == nil {
+			p.linef("%s %s(%s);", d.Return, d.Name, strings.Join(ps, ", "))
+			return
+		}
+		p.linef("%s %s(%s)", d.Return, d.Name, strings.Join(ps, ", "))
+		p.block(d.Body)
+	}
+}
+
+func arraySuffix(t TypeSpec) string {
+	if !t.IsArray() {
+		return ""
+	}
+	if t.ArrayLen == 0 {
+		return "[]"
+	}
+	return "[" + strconv.Itoa(t.ArrayLen) + "]"
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.linef("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.block(s)
+	case *DeclStmt:
+		prefix := ""
+		if s.Const {
+			prefix = "const "
+		}
+		line := prefix + s.Type.Name + " " + s.Name + arraySuffix(s.Type)
+		if s.Init != nil {
+			line += " = " + ExprString(s.Init)
+		}
+		p.linef("%s;", line)
+	case *AssignStmt:
+		p.linef("%s %s %s;", ExprString(s.LHS), s.Op, ExprString(s.RHS))
+	case *IfStmt:
+		p.linef("if (%s)", ExprString(s.Cond))
+		p.block(s.Then)
+		switch e := s.Else.(type) {
+		case nil:
+		case *BlockStmt:
+			if len(e.Stmts) > 0 {
+				p.linef("else")
+				p.block(e)
+			}
+		case *IfStmt:
+			p.linef("else")
+			p.indent++
+			p.stmt(e)
+			p.indent--
+		}
+	case *ForStmt:
+		init := strings.TrimSuffix(p.inlineStmt(s.Init), ";")
+		post := strings.TrimSuffix(p.inlineStmt(s.Post), ";")
+		cond := ""
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		p.linef("for (%s; %s; %s)", init, cond, post)
+		p.block(s.Body)
+	case *WhileStmt:
+		p.linef("while (%s)", ExprString(s.Cond))
+		p.block(s.Body)
+	case *ReturnStmt:
+		if s.Result == nil {
+			p.linef("return;")
+		} else {
+			p.linef("return %s;", ExprString(s.Result))
+		}
+	case *DiscardStmt:
+		p.linef("discard;")
+	case *BreakStmt:
+		p.linef("break;")
+	case *ContinueStmt:
+		p.linef("continue;")
+	case *ExprStmt:
+		p.linef("%s;", ExprString(s.X))
+	}
+}
+
+// inlineStmt renders a simple statement without indentation or newline, for
+// use inside for(...) headers.
+func (p *printer) inlineStmt(s Stmt) string {
+	switch s := s.(type) {
+	case nil:
+		return ""
+	case *DeclStmt:
+		prefix := ""
+		if s.Const {
+			prefix = "const "
+		}
+		out := prefix + s.Type.Name + " " + s.Name + arraySuffix(s.Type)
+		if s.Init != nil {
+			out += " = " + ExprString(s.Init)
+		}
+		return out
+	case *AssignStmt:
+		return ExprString(s.LHS) + " " + s.Op + " " + ExprString(s.RHS)
+	case *ExprStmt:
+		return ExprString(s.X)
+	}
+	return ""
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	return exprPrec(e, 0)
+}
+
+// opPrec mirrors the parser's precedence; primary expressions use 100.
+func exprOpPrec(e Expr) int {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		return binPrec[e.Op]
+	case *CondExpr:
+		return 0
+	case *UnaryExpr:
+		return 8
+	default:
+		return 100
+	}
+}
+
+func exprPrec(e Expr, min int) string {
+	s, prec := exprRender(e)
+	if prec < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func exprRender(e Expr) (string, int) {
+	switch e := e.(type) {
+	case *IdentExpr:
+		return e.Name, 100
+	case *IntLitExpr:
+		return strconv.FormatInt(e.Value, 10), 100
+	case *FloatLitExpr:
+		return FormatFloat(e.Value), 100
+	case *BoolLitExpr:
+		if e.Value {
+			return "true", 100
+		}
+		return "false", 100
+	case *BinaryExpr:
+		prec := binPrec[e.Op]
+		lhs := exprPrec(e.X, prec)
+		// Right operand needs strictly higher precedence for - / % which are
+		// not associative; doing it for all ops keeps output canonical.
+		rhs := exprPrec(e.Y, prec+1)
+		return lhs + " " + e.Op + " " + rhs, prec
+	case *UnaryExpr:
+		return e.Op + exprPrec(e.X, 9), 8
+	case *CondExpr:
+		return exprPrec(e.Cond, 1) + " ? " + exprPrec(e.Then, 1) + " : " + exprPrec(e.Else, 0), 0
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return e.Callee + "(" + strings.Join(args, ", ") + ")", 100
+	case *ArrayCtorExpr:
+		elems := make([]string, len(e.Elems))
+		for i, a := range e.Elems {
+			elems[i] = ExprString(a)
+		}
+		return e.Elem.Name + "[](" + strings.Join(elems, ", ") + ")", 100
+	case *IndexExpr:
+		return exprPrec(e.X, 100) + "[" + ExprString(e.Index) + "]", 100
+	case *FieldExpr:
+		return exprPrec(e.X, 100) + "." + e.Name, 100
+	}
+	return "/*?*/", 100
+}
+
+// FormatFloat renders a float GLSL-style: always with a decimal point or
+// exponent so it lexes as a float literal.
+func FormatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "1e38"
+	}
+	if math.IsInf(v, -1) {
+		return "-1e38"
+	}
+	if math.IsNaN(v) {
+		return "(0.0 / 0.0)"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	// "1e+06" -> "1e6" style cleanup for GLSL friendliness.
+	s = strings.ReplaceAll(s, "e+0", "e")
+	s = strings.ReplaceAll(s, "e-0", "e-")
+	s = strings.ReplaceAll(s, "e+", "e")
+	return s
+}
+
+// CountLines counts executable lines the way the paper's Fig. 4a metric
+// does: statements and declarations, ignoring blank lines, comments, lone
+// braces, and pure declarations of inputs/uniforms.
+func CountLines(sh *Shader) int {
+	n := 0
+	for _, d := range sh.Decls {
+		if f, ok := d.(*FuncDecl); ok && f.Body != nil {
+			n += countBlockLines(f.Body)
+		}
+		if g, ok := d.(*GlobalVar); ok && g.Qual == QualConst {
+			n++ // global constant tables count as executable content
+		}
+	}
+	return n
+}
+
+func countBlockLines(b *BlockStmt) int {
+	n := 0
+	for _, s := range b.Stmts {
+		n += countStmtLines(s)
+	}
+	return n
+}
+
+func countStmtLines(s Stmt) int {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return countBlockLines(s)
+	case *IfStmt:
+		n := 1 + countBlockLines(s.Then)
+		switch e := s.Else.(type) {
+		case *BlockStmt:
+			n += countBlockLines(e)
+		case *IfStmt:
+			n += countStmtLines(e)
+		}
+		return n
+	case *ForStmt:
+		return 1 + countBlockLines(s.Body)
+	case *WhileStmt:
+		return 1 + countBlockLines(s.Body)
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,119 @@
+package gpu
+
+import "math"
+
+// CostParams converts ISA statistics into cycles per fragment. The model
+// is a throughput/latency hybrid: per-pipe cycle totals execute in
+// parallel (the bound pipe dominates, like Mali's tripipe or the
+// ALU/SFU/TMU split on desktop parts), plus serial overheads that
+// parallelism cannot hide (branching, register spills, exposed texture
+// latency under low occupancy, instruction cache misses).
+type CostParams struct {
+	// ScalarALU selects the execution style: true = scalar SIMT machine
+	// (cycles follow per-component op counts), false = vec4 SIMD machine
+	// (cycles follow vector issue slots — a lone scalar op wastes a full
+	// slot, which is why scalar-grouping optimizations can hurt here).
+	ScalarALU bool
+
+	// Per-fragment issue throughputs (ops per cycle).
+	ALUPerCycle float64
+	SFUPerCycle float64
+	MovPerCycle float64
+	TexPerCycle float64
+
+	// BranchCost is cycles per dynamic branch/loop-iteration event.
+	BranchCost float64
+
+	// Texture latency hiding: a fragment waits TexLatency cycles per
+	// sample when occupancy is too low to hide it.
+	TexLatency float64
+	// RegBudget is the per-thread scalar register allocation at full
+	// occupancy; RegFile the total per-core capacity backing concurrent
+	// threads; HideThreads the thread count needed to fully hide latency.
+	RegBudget   int
+	RegFile     int
+	HideThreads int
+	// SpillCost is cycles per spilled scalar access when a shader exceeds
+	// the largest per-thread allocation the hardware supports.
+	MaxRegs   int
+	SpillCost float64
+
+	// Instruction cache model: beyond ICacheInstrs static instructions,
+	// compute cycles inflate by up to ICachePenalty.
+	ICacheInstrs  int
+	ICachePenalty float64
+
+	// VaryingCost is cycles per input-component interpolation; OutputCost
+	// per colour write.
+	VaryingCost float64
+	OutputCost  float64
+
+	// FragOverhead is the fixed per-fragment cost every shader pays
+	// (rasterization, scheduling, blending) — it damps relative shader-ALU
+	// differences the way real pipelines do.
+	FragOverhead float64
+
+	// NSPerFragCycle converts fragment-cycles to wall time for a draw
+	// (folds core count, clock, and rasterizer parallelism).
+	NSPerFragCycle float64
+	// DrawOverheadNS is fixed per-draw submission cost.
+	DrawOverheadNS float64
+}
+
+// fill computes the cycle decomposition for a compiled shader.
+func (cp *CostParams) fill(c *Compiled) {
+	s := c.Stats
+
+	alu := s.ALUScalarOps
+	if !cp.ScalarALU {
+		alu = s.ALUVecSlots
+	}
+	arith := alu/cp.ALUPerCycle + s.SFUScalarOps/cp.SFUPerCycle + s.MovScalarOps/cp.MovPerCycle
+
+	// Load/store pipe: varyings, outputs, spill traffic.
+	spills := 0.0
+	if s.PeakRegisters > cp.MaxRegs {
+		// Each excess scalar spills: traffic proportional to the overflow
+		// and to how much arithmetic churns it.
+		spills = float64(s.PeakRegisters-cp.MaxRegs) * cp.SpillCost
+	}
+	loadStore := s.VaryingOps*cp.VaryingCost + s.OutputOps*cp.OutputCost + spills
+
+	tex := s.TextureOps / cp.TexPerCycle
+
+	// Occupancy: how many threads the register file sustains at this
+	// shader's pressure, and how much texture latency that hides.
+	perThread := float64(s.PeakRegisters)
+	if perThread < float64(cp.RegBudget) {
+		perThread = float64(cp.RegBudget)
+	}
+	threads := float64(cp.RegFile) / perThread
+	hiding := threads / float64(cp.HideThreads)
+	if hiding > 1 {
+		hiding = 1
+	}
+	// Quadratic falloff: slightly reduced occupancy exposes little latency;
+	// severely reduced occupancy exposes most of it.
+	exposed := s.TextureOps * cp.TexLatency * (1 - hiding) * (1 - hiding)
+
+	// Instruction cache pressure on large unrolled/flattened bodies.
+	icache := 1.0
+	if s.StaticInstrs > cp.ICacheInstrs && cp.ICacheInstrs > 0 {
+		over := float64(s.StaticInstrs-cp.ICacheInstrs) / float64(cp.ICacheInstrs)
+		icache = 1 + math.Min(cp.ICachePenalty, cp.ICachePenalty*over)
+	}
+
+	overhead := s.BranchOps*cp.BranchCost + exposed
+
+	// Pipes overlap; the busiest one bounds throughput. Overheads and the
+	// i-cache factor are serial.
+	pipeBound := math.Max(arith, math.Max(loadStore, tex))
+	serial := 0.15 * (arith + loadStore + tex - pipeBound) // imperfect overlap
+	total := (pipeBound+serial)*icache + overhead + cp.FragOverhead
+
+	c.Arith = arith
+	c.LoadStore = loadStore
+	c.Texture = tex
+	c.Overhead = overhead
+	c.CyclesPerFragment = total
+}

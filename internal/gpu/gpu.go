@@ -1,0 +1,143 @@
+// Package gpu models the five evaluation platforms of the paper: Intel HD
+// Graphics 530, AMD RX 480, NVIDIA GeForce GTX 1080, ARM Mali-T880 MP12,
+// and Qualcomm Adreno 530. Each platform is a vendor driver compiler (its
+// own internal pass pipeline over the shared IR) plus a micro-architecture
+// cost model. The paper's central phenomenon — the same offline
+// optimization helping one GPU and hurting another — emerges from the
+// mechanical differences configured here (which optimizations each JIT
+// already performs, scalar vs. vector execution, register file size and
+// occupancy, instruction cache capacity, branch cost), not from hard-coded
+// outcomes.
+package gpu
+
+import (
+	"fmt"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/isa"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+)
+
+// DriverConfig describes which optimizations a vendor's JIT compiler
+// performs on incoming GLSL. Conformance forbids the unsafe FP rewrites,
+// so no driver has FP reassociation — only the offline optimizer does.
+type DriverConfig struct {
+	// UnrollMaxTrips is the largest constant trip count the JIT unrolls
+	// (0 = the driver never unrolls).
+	UnrollMaxTrips int
+	// UnrollMaxInstrs bounds the expanded body size the JIT accepts.
+	UnrollMaxInstrs int
+	// GVN enables driver-side cross-block value numbering.
+	GVN bool
+	// IntReassoc enables driver-side integer reassociation.
+	IntReassoc bool
+	// DivToMulConst enables driver-side constant-reciprocal folding.
+	DivToMulConst bool
+	// CoalesceMoves enables driver-side vector-insert coalescing.
+	CoalesceMoves bool
+	// HoistMaxOps is the arm-size budget for driver if-conversion
+	// (0 = never).
+	HoistMaxOps int
+}
+
+// Platform is one of the paper's five measurement targets.
+type Platform struct {
+	// Vendor is the short name used in the paper's tables: Intel, AMD,
+	// NVIDIA, ARM, Qualcomm.
+	Vendor string
+	// GPUName is the marketing name of the device.
+	GPUName string
+	// DriverName describes the driver stack (§IV-C).
+	DriverName string
+	// Mobile platforms receive shaders through the GLES conversion path.
+	Mobile bool
+
+	Driver DriverConfig
+	Cost   CostParams
+	ISA    isa.Config
+
+	// Timer query noise model parameters (§IV-B; Intel is the cleanest
+	// platform, Qualcomm the noisiest — §VI-D7/8).
+	NoiseSigma   float64
+	OverheadNS   float64
+	ResolutionNS float64
+}
+
+// Compiled is the result of running a shader through a platform's driver
+// compiler.
+type Compiled struct {
+	Platform *Platform
+	Stats    isa.Stats
+	// Cycle breakdown per fragment (the Mali offline analyser's A/LS/T
+	// decomposition in Fig. 4b generalizes to every platform here).
+	Arith     float64
+	LoadStore float64
+	Texture   float64
+	Overhead  float64 // branches, exposed latency, i-cache penalty
+	// CyclesPerFragment is the modelled total.
+	CyclesPerFragment float64
+}
+
+// CompileSource runs the vendor JIT on GLSL source: parse, lower (the
+// driver has its own front end — here they share ours, as real drivers
+// share Mesa's), internal driver passes, ISA analysis, cost model.
+func (pl *Platform) CompileSource(src string) (*Compiled, error) {
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+	}
+	prog, err := lower.Lower(sh, pl.Vendor)
+	if err != nil {
+		return nil, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+	}
+
+	// Driver-internal pipeline. Every driver folds constants and cleans up
+	// (canonicalize); the rest is vendor-specific.
+	passes.Canonicalize(prog)
+	d := pl.Driver
+	if d.UnrollMaxTrips > 0 {
+		maxInstrs := d.UnrollMaxInstrs
+		if maxInstrs == 0 {
+			maxInstrs = 4096
+		}
+		if passes.UnrollWithLimit(prog, d.UnrollMaxTrips, maxInstrs) {
+			passes.Canonicalize(prog)
+		}
+	}
+	if d.HoistMaxOps > 0 {
+		if passes.HoistWithBudget(prog, d.HoistMaxOps) {
+			passes.Canonicalize(prog)
+		}
+	}
+	if d.IntReassoc {
+		if passes.Reassociate(prog) {
+			passes.Canonicalize(prog)
+		}
+	}
+	if d.DivToMulConst {
+		if passes.DivToMul(prog) {
+			passes.Canonicalize(prog)
+		}
+	}
+	if d.GVN {
+		if passes.GVN(prog) {
+			passes.Canonicalize(prog)
+		}
+	}
+	if d.CoalesceMoves {
+		passes.Coalesce(prog)
+	}
+
+	stats := isa.Analyze(prog, pl.ISA)
+	c := &Compiled{Platform: pl, Stats: stats}
+	pl.Cost.fill(c)
+	return c, nil
+}
+
+// DrawNS returns the modelled true (noise-free) GPU time for one draw call
+// covering the given number of fragments.
+func (c *Compiled) DrawNS(fragments int) float64 {
+	return c.CyclesPerFragment*float64(fragments)*c.Platform.Cost.NSPerFragCycle +
+		c.Platform.Cost.DrawOverheadNS
+}

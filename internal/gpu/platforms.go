@@ -1,0 +1,175 @@
+package gpu
+
+import "shaderopt/internal/isa"
+
+// Platforms returns the paper's five measurement targets (§IV-C) in the
+// paper's presentation order: Intel, AMD, NVIDIA, ARM, Qualcomm.
+//
+// Driver capability differences are drawn from the public record of each
+// stack circa 2017 (Mesa i965, Mesa radeonsi on LLVM 3.9, NVIDIA 375.xx,
+// Mali and Adreno GLES drivers); cost parameters are scaled to each
+// device's published shader core counts and clocks. No flag outcome is
+// hard-coded: Table I and Figures 5-9 emerge from these mechanisms.
+func Platforms() []*Platform {
+	return []*Platform{NewIntel(), NewAMD(), NewNVIDIA(), NewARM(), NewQualcomm()}
+}
+
+// PlatformByVendor returns the named platform, or nil.
+func PlatformByVendor(vendor string) *Platform {
+	for _, p := range Platforms() {
+		if p.Vendor == vendor {
+			return p
+		}
+	}
+	return nil
+}
+
+// NewIntel models the HD Graphics 530 (Skylake GT2, 24 EUs) on Mesa i965.
+// Mesa's i965 unrolls small loops itself, value-numbers, and folds
+// constant reciprocals, so those offline flags land near zero here; the
+// unsafe FP reassociation is the main offline win. Measurement noise is
+// the lowest of the five (§VI-D7: "Intel, which has the least measurement
+// noise").
+func NewIntel() *Platform {
+	return &Platform{
+		Vendor:     "Intel",
+		GPUName:    "HD Graphics 530",
+		DriverName: "Mesa DRI Intel (Skylake GT2), Mesa 17.0.0-devel",
+		Driver: DriverConfig{
+			UnrollMaxTrips: 16, UnrollMaxInstrs: 512,
+			GVN: true, IntReassoc: true, DivToMulConst: true,
+			CoalesceMoves: true, HoistMaxOps: 16,
+		},
+		Cost: CostParams{
+			ScalarALU:   true,
+			ALUPerCycle: 5, SFUPerCycle: 1.5, MovPerCycle: 12, TexPerCycle: 0.25,
+			BranchCost: 2, TexLatency: 60,
+			RegBudget: 32, RegFile: 2048, HideThreads: 14,
+			MaxRegs: 112, SpillCost: 8,
+			ICacheInstrs: 3072, ICachePenalty: 0.3,
+			VaryingCost: 0.5, OutputCost: 2, FragOverhead: 10,
+			NSPerFragCycle: 1.0 / (192 * 1.15), DrawOverheadNS: 5000,
+		},
+		ISA:        isa.Config{DynamicLoopIters: 16, BranchDivergence: 0.3},
+		NoiseSigma: 0.003, OverheadNS: 400, ResolutionNS: 100,
+	}
+}
+
+// NewAMD models the RX 480 (Polaris 10) on Mesa radeonsi with LLVM 3.9.
+// That stack did not unroll GLSL loops, which is why offline unrolling
+// "always improves performance, and can result in 35% gains" (§VI-D5).
+func NewAMD() *Platform {
+	return &Platform{
+		Vendor:     "AMD",
+		GPUName:    "RX 480 (8GB)",
+		DriverName: "Gallium 0.4 on AMD POLARIS10, LLVM 3.9.1, Mesa 17.0.0-devel",
+		Driver: DriverConfig{
+			UnrollMaxTrips: 0,
+			GVN:            true, IntReassoc: true, DivToMulConst: true,
+			CoalesceMoves: true, HoistMaxOps: 8,
+		},
+		Cost: CostParams{
+			ScalarALU:   true,
+			ALUPerCycle: 8, SFUPerCycle: 1.5, MovPerCycle: 12, TexPerCycle: 0.25,
+			BranchCost: 1.5, TexLatency: 80,
+			RegBudget: 64, RegFile: 4096, HideThreads: 10,
+			MaxRegs: 200, SpillCost: 10,
+			ICacheInstrs: 4096, ICachePenalty: 0.25,
+			VaryingCost: 0.5, OutputCost: 2, FragOverhead: 10,
+			NSPerFragCycle: 1.0 / (2304 * 1.27), DrawOverheadNS: 4000,
+		},
+		ISA:        isa.Config{DynamicLoopIters: 16, BranchDivergence: 0.4},
+		NoiseSigma: 0.010, OverheadNS: 500, ResolutionNS: 100,
+	}
+}
+
+// NewNVIDIA models the GeForce GTX 1080 on the 375.39 proprietary driver —
+// the deepest JIT of the five (aggressive unrolling, value numbering,
+// reciprocal folding, if-conversion). Most offline flags therefore sit
+// near zero; only the unsafe FP rewrites reach beyond what the JIT may do.
+func NewNVIDIA() *Platform {
+	return &Platform{
+		Vendor:     "NVIDIA",
+		GPUName:    "GeForce GTX 1080",
+		DriverName: "NVIDIA proprietary 375.39, OpenGL 4.5",
+		Driver: DriverConfig{
+			UnrollMaxTrips: 64, UnrollMaxInstrs: 2048,
+			GVN: true, IntReassoc: true, DivToMulConst: true,
+			CoalesceMoves: true, HoistMaxOps: 24,
+		},
+		Cost: CostParams{
+			ScalarALU:   true,
+			ALUPerCycle: 4, SFUPerCycle: 1.5, MovPerCycle: 12, TexPerCycle: 0.25,
+			BranchCost: 2, TexLatency: 60,
+			RegBudget: 40, RegFile: 4096, HideThreads: 12,
+			MaxRegs: 255, SpillCost: 8,
+			ICacheInstrs: 4096, ICachePenalty: 0.2,
+			VaryingCost: 0.5, OutputCost: 2, FragOverhead: 8,
+			NSPerFragCycle: 1.0 / (2560 * 1.73), DrawOverheadNS: 3000,
+		},
+		ISA:        isa.Config{DynamicLoopIters: 16, BranchDivergence: 0.3},
+		NoiseSigma: 0.008, OverheadNS: 450, ResolutionNS: 100,
+	}
+}
+
+// NewARM models the Mali-T880 MP12 (Midgard tripipe: vec4 SIMD arithmetic
+// pipes, in-order issue, small per-thread register allocation). Its simple
+// GLES JIT performs none of the studied optimizations itself, so offline
+// GVN/reassociation/unrolling/hoisting all help (Table I's ARM row) — but
+// the vec4 issue style penalizes scalar-grouping rewrites, and oversized
+// flattened blocks cut occupancy and spill, producing the paper's deep ARM
+// troughs (-20% FP-reassociate case, -35% hoist case, §VI-D).
+func NewARM() *Platform {
+	return &Platform{
+		Vendor:     "ARM",
+		GPUName:    "Mali-T880 MP12 (Exynos 8890)",
+		DriverName: "ARM Mali GLES driver, Android 7.0",
+		Mobile:     true,
+		Driver:     DriverConfig{
+			// Constant folding/DCE only (Canonicalize); nothing else.
+		},
+		Cost: CostParams{
+			ScalarALU:   false, // vec4 SIMD slots
+			ALUPerCycle: 5, SFUPerCycle: 1, MovPerCycle: 12, TexPerCycle: 0.5,
+			BranchCost: 1, TexLatency: 120,
+			RegBudget: 16, RegFile: 480, HideThreads: 5,
+			MaxRegs: 128, SpillCost: 20,
+			ICacheInstrs: 2048, ICachePenalty: 0.3,
+			VaryingCost: 1, OutputCost: 3, FragOverhead: 14,
+			NSPerFragCycle: 1.0 / (12 * 0.65), DrawOverheadNS: 20000,
+		},
+		ISA:        isa.Config{DynamicLoopIters: 16, BranchDivergence: 0.9},
+		NoiseSigma: 0.015, OverheadNS: 2000, ResolutionNS: 1000,
+	}
+}
+
+// NewQualcomm models the Adreno 530 (Snapdragon 820): scalar ALUs with an
+// expensive special-function unit, a smart-but-conservative JIT (unrolls
+// only small bodies), a small instruction cache that large offline-unrolled
+// blocks overflow (§VI-D5's -8% case), no driver-side reciprocal folding
+// or value numbering (hence the +25% DivToMul and +15% GVN peaks), and the
+// noisiest timer of the five (§VI-D7/8).
+func NewQualcomm() *Platform {
+	return &Platform{
+		Vendor:     "Qualcomm",
+		GPUName:    "Adreno 530 (Snapdragon 820)",
+		DriverName: "Qualcomm GLES driver, Android 7.0",
+		Mobile:     true,
+		Driver: DriverConfig{
+			UnrollMaxTrips: 32, UnrollMaxInstrs: 256,
+			HoistMaxOps: 4,
+		},
+		Cost: CostParams{
+			ScalarALU:   true,
+			ALUPerCycle: 5, SFUPerCycle: 0.6, MovPerCycle: 8, TexPerCycle: 0.4,
+			BranchCost: 2.5, TexLatency: 140,
+			RegBudget: 24, RegFile: 512, HideThreads: 8,
+			MaxRegs: 96, SpillCost: 12,
+			ICacheInstrs: 384, ICachePenalty: 1.2,
+			VaryingCost: 0.75, OutputCost: 2.5, FragOverhead: 16,
+			NSPerFragCycle: 1.0 / (64 * 0.624), DrawOverheadNS: 25000,
+		},
+		ISA:        isa.Config{DynamicLoopIters: 16, BranchDivergence: 0.35},
+		NoiseSigma: 0.025, OverheadNS: 2500, ResolutionNS: 1000,
+	}
+}

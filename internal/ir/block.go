@@ -1,0 +1,127 @@
+package ir
+
+// Item is an element of a Block: an instruction or a structured control
+// flow region.
+type Item interface{ itemNode() }
+
+func (*Instr) itemNode() {}
+func (*If) itemNode()    {}
+func (*Loop) itemNode()  {}
+func (*While) itemNode() {}
+
+// Block is an ordered list of items.
+type Block struct {
+	Items []Item
+}
+
+// Append adds items to the end of the block.
+func (b *Block) Append(items ...Item) {
+	b.Items = append(b.Items, items...)
+}
+
+// If is a structured conditional. Else may be nil or empty.
+type If struct {
+	Cond *Instr // bool scalar, defined before this item
+	Then *Block
+	Else *Block // may be nil
+}
+
+// Loop is a canonical counted loop:
+//
+//	for (Counter = Start; Counter < End; Counter += Step) Body
+//
+// Start, End, and Step are int scalar instructions defined before the loop.
+// The body reads the counter with OpLoad. A loop is statically unrollable
+// when Start, End, and Step are OpConst and Step > 0.
+type Loop struct {
+	Counter          *Var
+	Start, End, Step *Instr
+	Body             *Block
+}
+
+// TripCount returns the constant iteration count, or -1 if not static.
+func (l *Loop) TripCount() (int, bool) {
+	if l.Start.Op != OpConst || l.End.Op != OpConst || l.Step.Op != OpConst {
+		return -1, false
+	}
+	start, end, step := l.Start.Const.Int(0), l.End.Const.Int(0), l.Step.Const.Int(0)
+	if step <= 0 {
+		return -1, false
+	}
+	n := 0
+	for i := start; i < end; i += step {
+		n++
+		if n > 1<<16 {
+			return -1, false
+		}
+	}
+	return n, true
+}
+
+// While is a general loop: each iteration evaluates the Cond block, tests
+// CondVal, and runs Body if true. MaxIter bounds interpretation.
+type While struct {
+	Cond    *Block
+	CondVal *Instr // bool scalar defined inside Cond
+	Body    *Block
+	MaxIter int
+}
+
+// WalkInstrs calls fn for every instruction in the block, in order,
+// descending into nested regions (including loop bound instructions, which
+// live in parent blocks and are not revisited).
+func (b *Block) WalkInstrs(fn func(*Instr)) {
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *Instr:
+			fn(it)
+		case *If:
+			it.Then.WalkInstrs(fn)
+			if it.Else != nil {
+				it.Else.WalkInstrs(fn)
+			}
+		case *Loop:
+			it.Body.WalkInstrs(fn)
+		case *While:
+			it.Cond.WalkInstrs(fn)
+			it.Body.WalkInstrs(fn)
+		}
+	}
+}
+
+// WalkBlocks calls fn for this block and every nested block, pre-order.
+func (b *Block) WalkBlocks(fn func(*Block)) {
+	fn(b)
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *If:
+			it.Then.WalkBlocks(fn)
+			if it.Else != nil {
+				it.Else.WalkBlocks(fn)
+			}
+		case *Loop:
+			it.Body.WalkBlocks(fn)
+		case *While:
+			it.Cond.WalkBlocks(fn)
+			it.Body.WalkBlocks(fn)
+		}
+	}
+}
+
+// HasControlFlow reports whether the block contains any nested region.
+func (b *Block) HasControlFlow() bool {
+	for _, it := range b.Items {
+		switch it.(type) {
+		case *If, *Loop, *While:
+			return true
+		}
+	}
+	return false
+}
+
+// CountInstrs returns the number of instructions in the region tree.
+func (b *Block) CountInstrs() int {
+	n := 0
+	b.WalkInstrs(func(*Instr) { n++ })
+	return n
+}

@@ -1,0 +1,112 @@
+package ir
+
+// Clone deep-copies the whole program. Interface globals and Var slots are
+// shared (they are identity-keyed and never mutated by passes; passes only
+// add new ones), while every instruction and block is duplicated, so the
+// clone can be optimized independently of the original.
+func (p *Program) Clone() *Program {
+	np := &Program{
+		Name:     p.Name,
+		Version:  p.Version,
+		Uniforms: append([]*Global(nil), p.Uniforms...),
+		Inputs:   append([]*Global(nil), p.Inputs...),
+		Outputs:  append([]*Var(nil), p.Outputs...),
+		Vars:     append([]*Var(nil), p.Vars...),
+		nextID:   p.nextID,
+	}
+	np.Body = np.CloneBlock(p.Body, map[*Instr]*Instr{}, map[*Var]*Var{})
+	np.RenumberIDs()
+	return np
+}
+
+// CloneBlock deep-copies a block tree. Instructions defined inside the
+// block are duplicated with fresh IDs; operand references to instructions
+// defined outside the block (per the subst map) are preserved, and the
+// subst map can pre-seed replacements (unrolling substitutes the loop
+// counter's loads this way, by mapping the counter Var in varSubst).
+//
+// subst maps original instruction -> replacement for instructions defined
+// outside the cloned region. varSubst maps Vars to replacement Vars (nil
+// entries keep the original).
+func (p *Program) CloneBlock(b *Block, subst map[*Instr]*Instr, varSubst map[*Var]*Var) *Block {
+	c := &cloner{p: p, subst: subst, varSubst: varSubst}
+	return c.block(b)
+}
+
+type cloner struct {
+	p        *Program
+	subst    map[*Instr]*Instr
+	varSubst map[*Var]*Var
+}
+
+func (c *cloner) resolve(in *Instr) *Instr {
+	if r, ok := c.subst[in]; ok {
+		return r
+	}
+	return in
+}
+
+func (c *cloner) variable(v *Var) *Var {
+	if r, ok := c.varSubst[v]; ok && r != nil {
+		return r
+	}
+	return v
+}
+
+func (c *cloner) block(b *Block) *Block {
+	out := &Block{Items: make([]Item, 0, len(b.Items))}
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *Instr:
+			ni := c.instr(it)
+			out.Items = append(out.Items, ni)
+		case *If:
+			ni := &If{Cond: c.resolve(it.Cond), Then: c.block(it.Then)}
+			if it.Else != nil {
+				ni.Else = c.block(it.Else)
+			}
+			out.Items = append(out.Items, ni)
+		case *Loop:
+			ni := &Loop{
+				Counter: c.variable(it.Counter),
+				Start:   c.resolve(it.Start),
+				End:     c.resolve(it.End),
+				Step:    c.resolve(it.Step),
+				Body:    c.block(it.Body),
+			}
+			out.Items = append(out.Items, ni)
+		case *While:
+			cond := c.block(it.Cond)
+			ni := &While{
+				Cond:    cond,
+				CondVal: c.resolve(it.CondVal),
+				Body:    c.block(it.Body),
+				MaxIter: it.MaxIter,
+			}
+			out.Items = append(out.Items, ni)
+		}
+	}
+	return out
+}
+
+func (c *cloner) instr(in *Instr) *Instr {
+	ni := c.p.NewInstr(in.Op, in.Type)
+	ni.BinOp = in.BinOp
+	ni.UnOp = in.UnOp
+	ni.Callee = in.Callee
+	ni.Index = in.Index
+	ni.Indices = append([]int(nil), in.Indices...)
+	if in.Var != nil {
+		ni.Var = c.variable(in.Var)
+	}
+	ni.Global = in.Global
+	if in.Const != nil {
+		ni.Const = in.Const.Clone()
+	}
+	ni.Args = make([]*Instr, len(in.Args))
+	for i, a := range in.Args {
+		ni.Args[i] = c.resolve(a)
+	}
+	c.subst[in] = ni
+	return ni
+}

@@ -1,0 +1,509 @@
+package ir
+
+import (
+	"math"
+
+	"shaderopt/internal/sem"
+)
+
+// This file is the functional semantics of the IR: evaluation of every pure
+// opcode on constant values. The constant-folding pass and the shader
+// interpreter share it, so "fold" and "run" can never disagree.
+
+// EvalBinTyped evaluates a binary operation given the operand types,
+// routing matrix algebra to EvalMatBin and everything else to the
+// componentwise EvalBin.
+func EvalBinTyped(op string, xt, yt sem.Type, x, y *ConstVal) (*ConstVal, bool) {
+	if xt.IsMatrix() || yt.IsMatrix() {
+		return EvalMatBin(op, xt, yt, x, y)
+	}
+	if xt.Components() != yt.Components() {
+		return nil, false
+	}
+	return EvalBin(op, x, y)
+}
+
+// EvalMatBin evaluates matrix algebra: mat*mat, mat*vec, vec*mat, mat±mat,
+// mat*scalar, scalar*mat, mat/scalar. Matrices are column-major.
+func EvalMatBin(op string, xt, yt sem.Type, x, y *ConstVal) (*ConstVal, bool) {
+	switch {
+	case op == "*" && xt.IsMatrix() && yt.IsMatrix():
+		n := xt.Mat
+		out := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += x.F[k*n+i] * y.F[j*n+k]
+				}
+				out[j*n+i] = s
+			}
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case op == "*" && xt.IsMatrix() && yt.IsVector():
+		n := xt.Mat
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += x.F[j*n+i] * y.F[j]
+			}
+			out[i] = s
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case op == "*" && xt.IsVector() && yt.IsMatrix():
+		n := yt.Mat
+		out := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += x.F[i] * y.F[j*n+i]
+			}
+			out[j] = s
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case (op == "+" || op == "-") && xt.IsMatrix() && yt.IsMatrix():
+		return EvalBin(op, x, y) // componentwise
+	case op == "*" && xt.IsMatrix() && yt.IsScalar():
+		return scaleMat(x, y.Float(0)), true
+	case op == "*" && xt.IsScalar() && yt.IsMatrix():
+		return scaleMat(y, x.Float(0)), true
+	case op == "/" && xt.IsMatrix() && yt.IsScalar():
+		return scaleMat(x, 1/y.Float(0)), true
+	}
+	return nil, false
+}
+
+func scaleMat(m *ConstVal, s float64) *ConstVal {
+	out := make([]float64, len(m.F))
+	for i, v := range m.F {
+		out[i] = v * s
+	}
+	return &ConstVal{Kind: sem.KindFloat, F: out}
+}
+
+// EvalBin evaluates a binary operation on equal-shaped operands. ok is
+// false when the operation cannot be evaluated (e.g. integer division by
+// zero, which must not be folded away).
+func EvalBin(op string, x, y *ConstVal) (*ConstVal, bool) {
+	switch op {
+	case "+", "-", "*", "/":
+		if x.Kind == sem.KindFloat {
+			n := x.Len()
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				a, b := x.F[i], y.F[i]
+				switch op {
+				case "+":
+					out[i] = a + b
+				case "-":
+					out[i] = a - b
+				case "*":
+					out[i] = a * b
+				case "/":
+					out[i] = a / b // GLSL: undefined, platforms give inf; match IEEE
+				}
+			}
+			return &ConstVal{Kind: sem.KindFloat, F: out}, true
+		}
+		if x.Kind == sem.KindInt {
+			n := x.Len()
+			out := make([]int64, n)
+			for i := 0; i < n; i++ {
+				a, b := x.I[i], y.I[i]
+				switch op {
+				case "+":
+					out[i] = a + b
+				case "-":
+					out[i] = a - b
+				case "*":
+					out[i] = a * b
+				case "/":
+					if b == 0 {
+						return nil, false
+					}
+					out[i] = a / b
+				}
+			}
+			return &ConstVal{Kind: sem.KindInt, I: out}, true
+		}
+		return nil, false
+	case "%":
+		if x.Kind != sem.KindInt {
+			return nil, false
+		}
+		n := x.Len()
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			if y.I[i] == 0 {
+				return nil, false
+			}
+			out[i] = x.I[i] % y.I[i]
+		}
+		return &ConstVal{Kind: sem.KindInt, I: out}, true
+	case "<", ">", "<=", ">=":
+		if x.Len() != 1 {
+			return nil, false
+		}
+		a, b := x.Float(0), y.Float(0)
+		var r bool
+		switch op {
+		case "<":
+			r = a < b
+		case ">":
+			r = a > b
+		case "<=":
+			r = a <= b
+		case ">=":
+			r = a >= b
+		}
+		return BoolConst(r), true
+	case "==":
+		return BoolConst(x.Equal(y)), true
+	case "!=":
+		return BoolConst(!x.Equal(y)), true
+	case "&&":
+		return BoolConst(x.B[0] && y.B[0]), true
+	case "||":
+		return BoolConst(x.B[0] || y.B[0]), true
+	case "^^":
+		return BoolConst(x.B[0] != y.B[0]), true
+	}
+	return nil, false
+}
+
+// EvalUn evaluates a unary operation.
+func EvalUn(op string, x *ConstVal) (*ConstVal, bool) {
+	switch op {
+	case "-":
+		switch x.Kind {
+		case sem.KindFloat:
+			out := make([]float64, len(x.F))
+			for i, v := range x.F {
+				out[i] = -v
+			}
+			return &ConstVal{Kind: sem.KindFloat, F: out}, true
+		case sem.KindInt:
+			out := make([]int64, len(x.I))
+			for i, v := range x.I {
+				out[i] = -v
+			}
+			return &ConstVal{Kind: sem.KindInt, I: out}, true
+		}
+	case "!":
+		if x.Kind == sem.KindBool && len(x.B) == 1 {
+			return BoolConst(!x.B[0]), true
+		}
+	}
+	return nil, false
+}
+
+// EvalConstruct concatenates argument components, converting to the target
+// type's kind.
+func EvalConstruct(t sem.Type, args []*ConstVal) *ConstVal {
+	n := t.Components()
+	switch t.Kind {
+	case sem.KindFloat:
+		out := make([]float64, 0, n)
+		for _, a := range args {
+			for i := 0; i < a.Len(); i++ {
+				out = append(out, a.Float(i))
+			}
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out[:n]}
+	case sem.KindInt:
+		out := make([]int64, 0, n)
+		for _, a := range args {
+			for i := 0; i < a.Len(); i++ {
+				switch a.Kind {
+				case sem.KindFloat:
+					out = append(out, int64(a.F[i])) // truncate toward zero
+				default:
+					out = append(out, a.Int(i))
+				}
+			}
+		}
+		return &ConstVal{Kind: sem.KindInt, I: out[:n]}
+	case sem.KindBool:
+		out := make([]bool, 0, n)
+		for _, a := range args {
+			for i := 0; i < a.Len(); i++ {
+				out = append(out, a.Float(i) != 0)
+			}
+		}
+		return &ConstVal{Kind: sem.KindBool, B: out[:n]}
+	}
+	return nil
+}
+
+// EvalExtract returns components [idx*size, idx*size+size) of agg, where
+// size is the element width of the source type.
+func EvalExtract(srcType sem.Type, agg *ConstVal, idx int) *ConstVal {
+	size := 1
+	switch {
+	case srcType.IsArray():
+		size = srcType.Elem().Components()
+	case srcType.IsMatrix():
+		size = srcType.Mat
+	}
+	return slice(agg, idx*size, size)
+}
+
+// EvalSwizzle selects components of a vector constant.
+func EvalSwizzle(agg *ConstVal, indices []int) *ConstVal {
+	out := &ConstVal{Kind: agg.Kind}
+	for _, i := range indices {
+		switch agg.Kind {
+		case sem.KindFloat:
+			out.F = append(out.F, agg.F[i])
+		case sem.KindInt:
+			out.I = append(out.I, agg.I[i])
+		case sem.KindBool:
+			out.B = append(out.B, agg.B[i])
+		}
+	}
+	return out
+}
+
+// EvalInsert replaces element idx of agg with elem.
+func EvalInsert(aggType sem.Type, agg, elem *ConstVal, idx int) *ConstVal {
+	size := 1
+	switch {
+	case aggType.IsArray():
+		size = aggType.Elem().Components()
+	case aggType.IsMatrix():
+		size = aggType.Mat
+	}
+	out := agg.Clone()
+	for i := 0; i < size; i++ {
+		switch out.Kind {
+		case sem.KindFloat:
+			out.F[idx*size+i] = elem.Float(i)
+		case sem.KindInt:
+			out.I[idx*size+i] = elem.Int(i)
+		case sem.KindBool:
+			out.B[idx*size+i] = elem.Float(i) != 0
+		}
+	}
+	return out
+}
+
+func slice(c *ConstVal, off, n int) *ConstVal {
+	out := &ConstVal{Kind: c.Kind}
+	switch c.Kind {
+	case sem.KindFloat:
+		out.F = append([]float64(nil), c.F[off:off+n]...)
+	case sem.KindInt:
+		out.I = append([]int64(nil), c.I[off:off+n]...)
+	case sem.KindBool:
+		out.B = append([]bool(nil), c.B[off:off+n]...)
+	}
+	return out
+}
+
+// broadcast widens a 1-component constant to n components.
+func broadcast(c *ConstVal, n int) *ConstVal {
+	if c.Len() == n {
+		return c
+	}
+	out := &ConstVal{Kind: c.Kind}
+	for i := 0; i < n; i++ {
+		switch c.Kind {
+		case sem.KindFloat:
+			out.F = append(out.F, c.F[0])
+		case sem.KindInt:
+			out.I = append(out.I, c.I[0])
+		case sem.KindBool:
+			out.B = append(out.B, c.B[0])
+		}
+	}
+	return out
+}
+
+// EvalBuiltin evaluates a pure math builtin on constants. ok is false for
+// builtins that depend on execution context (texturing, derivatives).
+func EvalBuiltin(name string, args []*ConstVal) (*ConstVal, bool) {
+	switch name {
+	case "texture", "texture2D", "textureCube", "textureLod", "texelFetch",
+		"dFdx", "dFdy", "fwidth":
+		return nil, false
+	}
+	// Determine result width: max arg width among float args.
+	width := 1
+	for _, a := range args {
+		if a.Len() > width {
+			width = a.Len()
+		}
+	}
+	at := func(i int) *ConstVal { return broadcast(args[i], width) }
+
+	cw1 := func(f func(float64) float64) (*ConstVal, bool) {
+		x := at(0)
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			out[i] = f(x.Float(i))
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	}
+	cw2 := func(f func(a, b float64) float64) (*ConstVal, bool) {
+		x, y := at(0), at(1)
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			out[i] = f(x.Float(i), y.Float(i))
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	}
+	cw3 := func(f func(a, b, c float64) float64) (*ConstVal, bool) {
+		x, y, z := at(0), at(1), at(2)
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			out[i] = f(x.Float(i), y.Float(i), z.Float(i))
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	}
+	dotf := func(a, b *ConstVal) float64 {
+		s := 0.0
+		for i := 0; i < a.Len(); i++ {
+			s += a.Float(i) * b.Float(i)
+		}
+		return s
+	}
+
+	switch name {
+	case "abs":
+		return cw1(math.Abs)
+	case "sign":
+		return cw1(func(v float64) float64 {
+			switch {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		})
+	case "floor":
+		return cw1(math.Floor)
+	case "ceil":
+		return cw1(math.Ceil)
+	case "fract":
+		return cw1(func(v float64) float64 { return v - math.Floor(v) })
+	case "radians":
+		return cw1(func(v float64) float64 { return v * math.Pi / 180 })
+	case "degrees":
+		return cw1(func(v float64) float64 { return v * 180 / math.Pi })
+	case "saturate":
+		return cw1(func(v float64) float64 { return math.Max(0, math.Min(1, v)) })
+	case "sin":
+		return cw1(math.Sin)
+	case "cos":
+		return cw1(math.Cos)
+	case "tan":
+		return cw1(math.Tan)
+	case "asin":
+		return cw1(math.Asin)
+	case "acos":
+		return cw1(math.Acos)
+	case "atan":
+		if len(args) == 2 {
+			return cw2(math.Atan2)
+		}
+		return cw1(math.Atan)
+	case "exp":
+		return cw1(math.Exp)
+	case "log":
+		return cw1(math.Log)
+	case "exp2":
+		return cw1(math.Exp2)
+	case "log2":
+		return cw1(math.Log2)
+	case "sqrt":
+		return cw1(math.Sqrt)
+	case "inversesqrt":
+		return cw1(func(v float64) float64 { return 1 / math.Sqrt(v) })
+	case "pow":
+		return cw2(math.Pow)
+	case "mod":
+		return cw2(func(a, b float64) float64 { return a - b*math.Floor(a/b) })
+	case "min":
+		return cw2(math.Min)
+	case "max":
+		return cw2(math.Max)
+	case "step":
+		return cw2(func(edge, x float64) float64 {
+			if x < edge {
+				return 0
+			}
+			return 1
+		})
+	case "clamp":
+		return cw3(func(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) })
+	case "mix":
+		return cw3(func(a, b, t float64) float64 { return a*(1-t) + b*t })
+	case "smoothstep":
+		return cw3(func(e0, e1, x float64) float64 {
+			t := (x - e0) / (e1 - e0)
+			t = math.Max(0, math.Min(1, t))
+			return t * t * (3 - 2*t)
+		})
+	case "dot":
+		return FloatConst(dotf(args[0], args[1])), true
+	case "length":
+		return FloatConst(math.Sqrt(dotf(args[0], args[0]))), true
+	case "distance":
+		s := 0.0
+		for i := 0; i < args[0].Len(); i++ {
+			d := args[0].Float(i) - args[1].Float(i)
+			s += d * d
+		}
+		return FloatConst(math.Sqrt(s)), true
+	case "normalize":
+		l := math.Sqrt(dotf(args[0], args[0]))
+		out := make([]float64, args[0].Len())
+		for i := range out {
+			out[i] = args[0].Float(i) / l
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case "cross":
+		a, b := args[0], args[1]
+		return FloatConst(
+			a.Float(1)*b.Float(2)-a.Float(2)*b.Float(1),
+			a.Float(2)*b.Float(0)-a.Float(0)*b.Float(2),
+			a.Float(0)*b.Float(1)-a.Float(1)*b.Float(0),
+		), true
+	case "reflect":
+		i, n := args[0], args[1]
+		d := dotf(n, i)
+		out := make([]float64, i.Len())
+		for k := range out {
+			out[k] = i.Float(k) - 2*d*n.Float(k)
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case "refract":
+		i, n, eta := args[0], args[1], args[2].Float(0)
+		d := dotf(n, i)
+		k := 1 - eta*eta*(1-d*d)
+		out := make([]float64, i.Len())
+		if k >= 0 {
+			sq := math.Sqrt(k)
+			for j := range out {
+				out[j] = eta*i.Float(j) - (eta*d+sq)*n.Float(j)
+			}
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	case "faceforward":
+		n, i, nref := args[0], args[1], args[2]
+		out := make([]float64, n.Len())
+		if dotf(nref, i) < 0 {
+			for k := range out {
+				out[k] = n.Float(k)
+			}
+		} else {
+			for k := range out {
+				out[k] = -n.Float(k)
+			}
+		}
+		return &ConstVal{Kind: sem.KindFloat, F: out}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the program as readable text IR for tests and debugging.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, g := range p.Uniforms {
+		fmt.Fprintf(&sb, "  uniform %s %s\n", g.Type, g.Name)
+	}
+	for _, g := range p.Inputs {
+		fmt.Fprintf(&sb, "  input %s %s\n", g.Type, g.Name)
+	}
+	for _, v := range p.Vars {
+		kind := "var"
+		if v.IsOutput {
+			kind = "output"
+		}
+		fmt.Fprintf(&sb, "  %s %s %s\n", kind, v.Type, v.Name)
+	}
+	writeBlock(&sb, p.Body, 1)
+	return sb.String()
+}
+
+func writeBlock(sb *strings.Builder, b *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *Instr:
+			fmt.Fprintf(sb, "%s%s\n", ind, it.String())
+		case *If:
+			fmt.Fprintf(sb, "%sif %%%d {\n", ind, it.Cond.ID)
+			writeBlock(sb, it.Then, depth+1)
+			if it.Else != nil && len(it.Else.Items) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				writeBlock(sb, it.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case *Loop:
+			fmt.Fprintf(sb, "%sloop %s = %%%d; < %%%d; += %%%d {\n", ind,
+				it.Counter.Name, it.Start.ID, it.End.ID, it.Step.ID)
+			writeBlock(sb, it.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(sb, "%swhile {\n", ind)
+			writeBlock(sb, it.Cond, depth+1)
+			fmt.Fprintf(sb, "%s} %%%d {\n", ind, it.CondVal.ID)
+			writeBlock(sb, it.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		}
+	}
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	lhs := ""
+	if in.HasResult() {
+		lhs = fmt.Sprintf("%%%d:%s = ", in.ID, in.Type)
+	}
+	args := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = "%" + strconv.Itoa(a.ID)
+	}
+	argList := strings.Join(args, ", ")
+	switch in.Op {
+	case OpConst:
+		return lhs + "const " + in.Const.String()
+	case OpUniform:
+		return lhs + "uniform " + in.Global.Name
+	case OpInput:
+		return lhs + "input " + in.Global.Name
+	case OpBin:
+		return lhs + fmt.Sprintf("bin %q %s", in.BinOp, argList)
+	case OpUn:
+		return lhs + fmt.Sprintf("un %q %s", in.UnOp, argList)
+	case OpCall:
+		return lhs + fmt.Sprintf("call %s(%s)", in.Callee, argList)
+	case OpConstruct:
+		return lhs + fmt.Sprintf("construct %s(%s)", in.Type, argList)
+	case OpExtract:
+		return lhs + fmt.Sprintf("extract %s[%d]", argList, in.Index)
+	case OpExtractDyn:
+		return lhs + fmt.Sprintf("extractdyn %s", argList)
+	case OpSwizzle:
+		return lhs + fmt.Sprintf("swizzle %s%v", argList, in.Indices)
+	case OpInsert:
+		return lhs + fmt.Sprintf("insert %s at %d", argList, in.Index)
+	case OpInsertDyn:
+		return lhs + fmt.Sprintf("insertdyn %s", argList)
+	case OpSelect:
+		return lhs + fmt.Sprintf("select %s", argList)
+	case OpLoad:
+		return lhs + "load " + in.Var.Name
+	case OpStore:
+		return fmt.Sprintf("store %s <- %s", in.Var.Name, argList)
+	case OpDiscard:
+		return "discard"
+	}
+	return lhs + in.Op.String() + " " + argList
+}
+
+// String renders a constant value.
+func (c *ConstVal) String() string {
+	parts := make([]string, 0, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		switch {
+		case c.F != nil:
+			parts = append(parts, strconv.FormatFloat(c.F[i], 'g', -1, 64))
+		case c.I != nil:
+			parts = append(parts, strconv.FormatInt(c.I[i], 10))
+		case c.B != nil:
+			parts = append(parts, strconv.FormatBool(c.B[i]))
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

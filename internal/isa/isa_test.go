@@ -1,0 +1,233 @@
+package isa
+
+import (
+	"testing"
+
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+)
+
+func analyze(t *testing.T, src string, cfg Config) Stats {
+	t.Helper()
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(sh, "isa-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Canonicalize(prog)
+	return Analyze(prog, cfg)
+}
+
+func TestAnalyzeSimpleCounts(t *testing.T) {
+	s := analyze(t, `
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() { c = texture(tex, uv) * 2.0; }
+`, DefaultConfig)
+	if s.TextureOps != 1 {
+		t.Errorf("tex ops = %v", s.TextureOps)
+	}
+	if s.VaryingOps != 2 {
+		t.Errorf("varying ops = %v, want 2 (vec2 uv)", s.VaryingOps)
+	}
+	if s.OutputOps != 1 {
+		t.Errorf("output ops = %v", s.OutputOps)
+	}
+	if s.ALUScalarOps != 4 { // vec4 * splat
+		t.Errorf("alu = %v, want 4", s.ALUScalarOps)
+	}
+	if s.ALUVecSlots != 1 {
+		t.Errorf("slots = %v, want 1", s.ALUVecSlots)
+	}
+}
+
+func TestAnalyzeLoopWeighting(t *testing.T) {
+	s := analyze(t, `
+out vec4 c;
+uniform float k;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 10; i++) { acc += k; }
+    c = vec4(acc);
+}
+`, DefaultConfig)
+	// The body add runs 10 times (plus counter increments).
+	if s.ALUScalarOps < 10 || s.ALUScalarOps > 30 {
+		t.Errorf("alu = %v, want ~10-30 for 10 iterations", s.ALUScalarOps)
+	}
+	if s.BranchOps < 10 {
+		t.Errorf("branch ops = %v", s.BranchOps)
+	}
+}
+
+func TestAnalyzeDynamicLoopUsesConfig(t *testing.T) {
+	src := `
+uniform int n;
+uniform float k;
+out vec4 c;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) { acc += k; }
+    c = vec4(acc);
+}
+`
+	low := analyze(t, src, Config{DynamicLoopIters: 4, BranchDivergence: 0.5})
+	high := analyze(t, src, Config{DynamicLoopIters: 64, BranchDivergence: 0.5})
+	if high.ALUScalarOps <= low.ALUScalarOps {
+		t.Errorf("dynamic iteration assumption ignored: %v vs %v", low.ALUScalarOps, high.ALUScalarOps)
+	}
+}
+
+func TestAnalyzeBranchDivergence(t *testing.T) {
+	src := `
+uniform float k;
+out vec4 c;
+void main() {
+    vec4 v = vec4(0.0);
+    if (k > 0.5) { v = vec4(k * 2.0); } else { v = vec4(sin(k)); }
+    c = v;
+}
+`
+	perfect := analyze(t, src, Config{DynamicLoopIters: 16, BranchDivergence: 0})
+	simt := analyze(t, src, Config{DynamicLoopIters: 16, BranchDivergence: 1})
+	if simt.SFUScalarOps <= perfect.SFUScalarOps && simt.ALUScalarOps <= perfect.ALUScalarOps {
+		t.Errorf("divergence should add the light arm's cost: %+v vs %+v", perfect, simt)
+	}
+}
+
+func TestAnalyzeSFUClassification(t *testing.T) {
+	s := analyze(t, `
+uniform float k;
+out vec4 c;
+void main() { c = vec4(sin(k), pow(k, 2.0), sqrt(k), k / 3.0); }
+`, DefaultConfig)
+	if s.SFUScalarOps < 4 {
+		t.Errorf("sfu ops = %v, want >= 4 (sin, pow, sqrt, rcp)", s.SFUScalarOps)
+	}
+}
+
+func TestAnalyzeMatrixNative(t *testing.T) {
+	s := analyze(t, `
+uniform mat4 m;
+in vec3 p;
+out vec4 c;
+void main() { c = m * vec4(p, 1.0); }
+`, DefaultConfig)
+	// Native mat4*vec4: 16 scalar FMAs, 4 vector slots.
+	if s.ALUScalarOps < 16 || s.ALUScalarOps > 24 {
+		t.Errorf("matrix alu = %v, want ~16", s.ALUScalarOps)
+	}
+}
+
+func TestAnalyzeScalarizedCostsMore(t *testing.T) {
+	src := `
+uniform mat4 m;
+in vec3 p;
+out vec4 c;
+void main() { c = m * vec4(p, 1.0); }
+`
+	sh := glsl.MustParse(src)
+	native, err := lower.Lower(sh, "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Canonicalize(native)
+	scal, err := lower.Lower(sh, "scal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.ScalarizeMatrices(scal)
+	passes.Canonicalize(scal)
+	sn := Analyze(native, DefaultConfig)
+	ss := Analyze(scal, DefaultConfig)
+	if ss.ALUScalarOps <= sn.ALUScalarOps {
+		t.Errorf("scalarized form should cost more ALU: %v vs %v", ss.ALUScalarOps, sn.ALUScalarOps)
+	}
+	if ss.MovScalarOps <= sn.MovScalarOps {
+		t.Errorf("scalarized form should add movs: %v vs %v", ss.MovScalarOps, sn.MovScalarOps)
+	}
+}
+
+func TestPeakRegistersGrowWithLiveValues(t *testing.T) {
+	narrow := analyze(t, `
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() {
+    vec4 acc = texture(tex, uv);
+    acc += texture(tex, uv * 2.0);
+    acc += texture(tex, uv * 3.0);
+    c = acc;
+}
+`, DefaultConfig)
+	wide := analyze(t, `
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() {
+    vec4 a = texture(tex, uv);
+    vec4 b = texture(tex, uv * 2.0);
+    vec4 d = texture(tex, uv * 3.0);
+    vec4 e = texture(tex, uv * 4.0);
+    vec4 f = texture(tex, uv * 5.0);
+    vec4 g = texture(tex, uv * 6.0);
+    c = ((a + b) + (d + e)) + (f + g);
+}
+`, DefaultConfig)
+	if wide.PeakRegisters <= narrow.PeakRegisters {
+		t.Errorf("peak registers: wide %d <= narrow %d", wide.PeakRegisters, narrow.PeakRegisters)
+	}
+}
+
+func TestStaticInstrsGrowWithUnroll(t *testing.T) {
+	src := `
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 16; i++) { acc += texture(tex, uv + vec2(float(i), 0.0)); }
+    c = acc;
+}
+`
+	sh := glsl.MustParse(src)
+	rolled, err := lower.Lower(sh, "rolled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Canonicalize(rolled)
+	unrolled, err := lower.Lower(sh, "unrolled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.Canonicalize(unrolled)
+	passes.Unroll(unrolled)
+	passes.Canonicalize(unrolled)
+	sr := Analyze(rolled, DefaultConfig)
+	su := Analyze(unrolled, DefaultConfig)
+	if su.StaticInstrs <= sr.StaticInstrs {
+		t.Errorf("unrolled static instrs %d <= rolled %d", su.StaticInstrs, sr.StaticInstrs)
+	}
+	if su.BranchOps >= sr.BranchOps {
+		t.Errorf("unrolled branches %v >= rolled %v", su.BranchOps, sr.BranchOps)
+	}
+}
+
+func TestUniformComponentCount(t *testing.T) {
+	s := analyze(t, `
+uniform vec4 a;
+uniform float b;
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() { c = a * b + texture(tex, uv); }
+`, DefaultConfig)
+	if s.UsedUniforms != 5 {
+		t.Errorf("uniform components = %d, want 5 (vec4 + float; samplers excluded)", s.UsedUniforms)
+	}
+}

@@ -1,0 +1,546 @@
+package lower
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"shaderopt/internal/exec"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/ir"
+)
+
+// run lowers src and interprets it with the given env.
+func run(t *testing.T, src string, env *exec.Env) *exec.Result {
+	t.Helper()
+	prog := mustLower(t, src)
+	if env == nil {
+		env = &exec.Env{}
+	}
+	res, err := exec.Run(prog, env)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, prog)
+	}
+	return res
+}
+
+func mustLower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Lower(sh, "test")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func wantVec(t *testing.T, res *exec.Result, name string, want ...float64) {
+	t.Helper()
+	got := res.Outputs[name]
+	if got == nil {
+		t.Fatalf("no output %q", name)
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("output %q has %d components, want %d", name, got.Len(), len(want))
+	}
+	for i := range want {
+		if math.Abs(got.F[i]-want[i]) > 1e-9 {
+			t.Fatalf("output %q[%d] = %v, want %v (full: %v)", name, i, got.F[i], want[i], got)
+		}
+	}
+}
+
+func TestLowerArithmetic(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    float a = 2.0;
+    float b = a * 3.0 + 1.0;
+    c = vec4(b, b - a, b / a, -a);
+}
+`, nil)
+	wantVec(t, res, "c", 7, 5, 3.5, -2)
+}
+
+func TestLowerVectorSplat(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+    c = v * 2.0 + 1.0 * v;
+}
+`, nil)
+	wantVec(t, res, "c", 3, 6, 9, 12)
+}
+
+func TestLowerSwizzles(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+    vec2 a = v.zw;
+    c = vec4(a, v.yx);
+    c.x += 10.0;
+}
+`, nil)
+	wantVec(t, res, "c", 13, 4, 2, 1)
+}
+
+func TestLowerSwizzleStore(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    c = vec4(0.0);
+    c.xy = vec2(1.0, 2.0);
+    c.w = 9.0;
+}
+`, nil)
+	wantVec(t, res, "c", 1, 2, 0, 9)
+}
+
+func TestLowerUniformsAndInputs(t *testing.T) {
+	res := run(t, `
+uniform vec4 tint;
+uniform float k;
+in vec2 uv;
+out vec4 c;
+void main() { c = tint * k + vec4(uv, 0.0, 0.0); }
+`, &exec.Env{
+		Uniforms: map[string]*ir.ConstVal{
+			"tint": ir.FloatConst(1, 2, 3, 4),
+			"k":    ir.FloatConst(10),
+		},
+		Inputs: map[string]*ir.ConstVal{"uv": ir.FloatConst(0.25, 0.75)},
+	})
+	wantVec(t, res, "c", 10.25, 20.75, 30, 40)
+}
+
+func TestLowerIfElse(t *testing.T) {
+	src := `
+uniform float k;
+out vec4 c;
+void main() {
+    if (k > 0.5) { c = vec4(1.0); } else if (k > 0.25) { c = vec4(0.5); } else { c = vec4(0.0); }
+}
+`
+	for _, tc := range []struct {
+		k    float64
+		want float64
+	}{{0.9, 1}, {0.3, 0.5}, {0.1, 0}} {
+		res := run(t, src, &exec.Env{Uniforms: map[string]*ir.ConstVal{"k": ir.FloatConst(tc.k)}})
+		wantVec(t, res, "c", tc.want, tc.want, tc.want, tc.want)
+	}
+}
+
+func TestLowerTernarySelect(t *testing.T) {
+	prog := mustLower(t, `
+uniform float k;
+out vec4 c;
+void main() { c = k > 0.0 ? vec4(1.0) : vec4(2.0); }
+`)
+	// Side-effect-free ternary must lower to select, not control flow.
+	hasSelect := false
+	prog.Body.WalkInstrs(func(in *ir.Instr) {
+		if in.Op == ir.OpSelect {
+			hasSelect = true
+		}
+	})
+	if !hasSelect || prog.Body.HasControlFlow() {
+		t.Errorf("ternary should lower to select:\n%s", prog)
+	}
+}
+
+func TestLowerCountedLoop(t *testing.T) {
+	prog := mustLower(t, `
+out vec4 c;
+void main() {
+    float s = 0.0;
+    for (int i = 0; i < 9; i++) { s += float(i); }
+    c = vec4(s);
+}
+`)
+	// Must produce an ir.Loop (unrollable shape).
+	var loop *ir.Loop
+	for _, it := range prog.Body.Items {
+		if l, ok := it.(*ir.Loop); ok {
+			loop = l
+		}
+	}
+	if loop == nil {
+		t.Fatalf("no counted loop:\n%s", prog)
+	}
+	if n, ok := loop.TripCount(); !ok || n != 9 {
+		t.Errorf("trip count = %d, %v", n, ok)
+	}
+	res, err := exec.Run(prog, &exec.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVec(t, res, "c", 36, 36, 36, 36)
+}
+
+func TestLowerLoopLessEqual(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    float s = 0.0;
+    for (int i = 1; i <= 4; i++) { s += float(i); }
+    c = vec4(s);
+}
+`, nil)
+	wantVec(t, res, "c", 10, 10, 10, 10)
+}
+
+func TestLowerDynamicBoundLoop(t *testing.T) {
+	src := `
+uniform int n;
+out vec4 c;
+void main() {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) { s += 2.0; }
+    c = vec4(s);
+}
+`
+	prog := mustLower(t, src)
+	var loop *ir.Loop
+	for _, it := range prog.Body.Items {
+		if l, ok := it.(*ir.Loop); ok {
+			loop = l
+		}
+	}
+	if loop == nil {
+		t.Fatalf("dynamic-bound for should still lower to counted loop:\n%s", prog)
+	}
+	if _, ok := loop.TripCount(); ok {
+		t.Error("dynamic loop must not have static trip count")
+	}
+	res, err := exec.Run(prog, &exec.Env{Uniforms: map[string]*ir.ConstVal{"n": ir.IntConst(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVec(t, res, "c", 10, 10, 10, 10)
+}
+
+func TestLowerWhile(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    float s = 1.0;
+    while (s < 10.0) { s = s * 2.0; }
+    c = vec4(s);
+}
+`, nil)
+	wantVec(t, res, "c", 16, 16, 16, 16)
+}
+
+func TestLowerMatrixVectorScalarized(t *testing.T) {
+	prog := mustLower(t, `
+uniform mat2 m;
+out vec4 c;
+void main() {
+    vec2 v = m * vec2(1.0, 2.0);
+    c = vec4(v, 0.0, 1.0);
+}
+`)
+	// Scalarization artefact: no OpBin on matrix types, many scalar ops.
+	prog.Body.WalkInstrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBin && in.Type.IsMatrix() {
+			t.Errorf("matrix op survived scalarization: %s", in)
+		}
+	})
+	// m = [[1,2],[3,4]] columns: col0=(1,2), col1=(3,4).
+	// m*v = (1*1+3*2, 2*1+4*2) = (7, 10)
+	res, err := exec.Run(prog, &exec.Env{Uniforms: map[string]*ir.ConstVal{"m": ir.FloatConst(1, 2, 3, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVec(t, res, "c", 7, 10, 0, 1)
+}
+
+func TestLowerMatrixMatrix(t *testing.T) {
+	// m*m with m = [[1,2],[3,4]] (columns (1,2),(3,4)):
+	// result col j, comp i = Σ_k m[k][i]*m[j][k]
+	// col0 = (1*1+3*2, 2*1+4*2) = (7,10); col1 = (1*3+3*4, 2*3+4*4) = (15,22)
+	res := run(t, `
+out vec4 c;
+void main() {
+    mat2 m = mat2(1.0, 2.0, 3.0, 4.0);
+    mat2 p = m * m;
+    c = vec4(p[0], p[1]);
+}
+`, nil)
+	wantVec(t, res, "c", 7, 10, 15, 22)
+}
+
+func TestLowerMatrixScale(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    mat2 m = mat2(1.0, 2.0, 3.0, 4.0);
+    mat2 s = m * 2.0;
+    mat2 q = s + m;
+    c = vec4(q[0], q[1]);
+}
+`, nil)
+	wantVec(t, res, "c", 3, 6, 9, 12)
+}
+
+func TestLowerMatrixDiagonalCtor(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    mat2 m = mat2(3.0);
+    c = vec4(m[0], m[1]);
+}
+`, nil)
+	wantVec(t, res, "c", 3, 0, 0, 3)
+}
+
+func TestLowerVecMat(t *testing.T) {
+	// v*m: out_j = dot(v, col_j). v=(1,2), cols (1,2),(3,4) -> (5, 11)
+	res := run(t, `
+out vec4 c;
+void main() {
+    mat2 m = mat2(1.0, 2.0, 3.0, 4.0);
+    vec2 r = vec2(1.0, 2.0) * m;
+    c = vec4(r, 0.0, 0.0);
+}
+`, nil)
+	wantVec(t, res, "c", 5, 11, 0, 0)
+}
+
+func TestLowerConstArrays(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    const float w[3] = float[](0.25, 0.5, 0.25);
+    float s = 0.0;
+    for (int i = 0; i < 3; i++) { s += w[i]; }
+    c = vec4(s, w[1], 0.0, 1.0);
+}
+`, nil)
+	wantVec(t, res, "c", 1, 0.5, 0, 1)
+}
+
+func TestLowerGlobalConstArray(t *testing.T) {
+	res := run(t, `
+const vec2 offs[] = vec2[](vec2(1.0, 0.0), vec2(0.0, 2.0));
+out vec4 c;
+void main() { c = vec4(offs[0] + offs[1], 0.0, 0.0); }
+`, nil)
+	wantVec(t, res, "c", 1, 2, 0, 0)
+}
+
+func TestLowerFunctionInlining(t *testing.T) {
+	prog := mustLower(t, `
+float sq(float x) { return x * x; }
+float twice(float x) { return sq(x) + sq(x); }
+out vec4 c;
+void main() { c = vec4(twice(3.0)); }
+`)
+	res, err := exec.Run(prog, &exec.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVec(t, res, "c", 18, 18, 18, 18)
+}
+
+func TestLowerFunctionParamMutation(t *testing.T) {
+	// Parameters are mutable copies; mutation must not leak to caller.
+	res := run(t, `
+float bump(float x) { x = x + 1.0; return x; }
+out vec4 c;
+void main() {
+    float a = 1.0;
+    float b = bump(a);
+    c = vec4(a, b, 0.0, 0.0);
+}
+`, nil)
+	wantVec(t, res, "c", 1, 2, 0, 0)
+}
+
+func TestLowerDiscard(t *testing.T) {
+	src := `
+uniform float k;
+out vec4 c;
+void main() {
+    c = vec4(1.0);
+    if (k > 0.5) { discard; }
+    c = vec4(2.0);
+}
+`
+	res := run(t, src, &exec.Env{Uniforms: map[string]*ir.ConstVal{"k": ir.FloatConst(0.9)}})
+	if !res.Discarded {
+		t.Error("fragment should be discarded")
+	}
+	res = run(t, src, &exec.Env{Uniforms: map[string]*ir.ConstVal{"k": ir.FloatConst(0.1)}})
+	if res.Discarded {
+		t.Error("fragment should not be discarded")
+	}
+	wantVec(t, res, "c", 2, 2, 2, 2)
+}
+
+func TestLowerTexture(t *testing.T) {
+	res := run(t, `
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 c;
+void main() { c = texture(tex, uv); }
+`, &exec.Env{
+		Inputs:   map[string]*ir.ConstVal{"uv": ir.FloatConst(0.5, 0.5)},
+		Samplers: map[string]exec.Sampler{"tex": exec.ConstSampler{RGBA: [4]float64{0.1, 0.2, 0.3, 1}}},
+	})
+	wantVec(t, res, "c", 0.1, 0.2, 0.3, 1)
+}
+
+func TestLowerBuiltins(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    vec3 n = normalize(vec3(0.0, 0.0, 2.0));
+    float d = dot(n, vec3(0.0, 0.0, 1.0));
+    c = vec4(d, max(0.0, -1.0), clamp(5.0, 0.0, 1.0), mix(0.0, 10.0, 0.5));
+}
+`, nil)
+	wantVec(t, res, "c", 1, 0, 1, 5)
+}
+
+func TestLowerBlurShaderEndToEnd(t *testing.T) {
+	// The paper's Listing 1, evaluated against a Go reimplementation.
+	src := `#version 330
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 ambient;
+void main() {
+    const vec4 weights[9] = vec4[](vec4(0.01), vec4(0.05), vec4(0.14),
+        vec4(0.21), vec4(0.61), vec4(0.21), vec4(0.14), vec4(0.05), vec4(0.01));
+    const vec2 offsets[9] = vec2[](vec2(-0.0083), vec2(-0.0062), vec2(-0.0042),
+        vec2(-0.0021), vec2(0.0), vec2(0.0021), vec2(0.0042), vec2(0.0062), vec2(0.0083));
+    float weightTotal = 0.0;
+    fragColor = vec4(0.0);
+    for (int i = 0; i < 9; i++) {
+        weightTotal += weights[i][0];
+        fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 * ambient;
+    }
+    fragColor /= weightTotal;
+}
+`
+	samp := exec.DefaultSampler{}
+	env := &exec.Env{
+		Uniforms: map[string]*ir.ConstVal{"ambient": ir.FloatConst(0.5, 0.5, 0.5, 0.5)},
+		Inputs:   map[string]*ir.ConstVal{"uv": ir.FloatConst(0.3, 0.7)},
+		Samplers: map[string]exec.Sampler{"tex": samp},
+	}
+	res := run(t, src, env)
+
+	weights := []float64{0.01, 0.05, 0.14, 0.21, 0.61, 0.21, 0.14, 0.05, 0.01}
+	offsets := []float64{-0.0083, -0.0062, -0.0042, -0.0021, 0, 0.0021, 0.0042, 0.0062, 0.0083}
+	var want [4]float64
+	total := 0.0
+	for i := range weights {
+		total += weights[i]
+		s := samp.Sample([]float64{0.3 + offsets[i], 0.7 + offsets[i]}, -1)
+		for k := 0; k < 4; k++ {
+			want[k] += weights[i] * s[k] * 3.0 * 0.5
+		}
+	}
+	for k := range want {
+		want[k] /= total
+	}
+	wantVec(t, res, "fragColor", want[0], want[1], want[2], want[3])
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"out vec4 c;\nfloat f(float x) { if (x > 0.0) { return 1.0; } return 2.0; }\nvoid main() { c = vec4(f(1.0)); }", "non-tail return"},
+		{"out vec4 c;\nvoid main() { return; c = vec4(1.0); }", "early return"},
+		{"out vec4 c;\nvoid main() { for (int i = 0; i < 4; i++) { break; } }", "break/continue"},
+		{"out vec4 c;\nvoid f(out float x) { x = 1.0; }\nvoid main() { float y; f(y); }", "out/inout"},
+	}
+	for _, tc := range cases {
+		sh, err := glsl.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		_, err = Lower(sh, "t")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Lower(%q) error = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestLowerVerifiesOutput(t *testing.T) {
+	// Every lowered program must pass the IR verifier (Lower runs it, but
+	// double-check the invariant holds for a complex shader).
+	prog := mustLower(t, `
+uniform mat4 mvp;
+uniform sampler2D tex;
+in vec2 uv;
+in vec3 pos;
+out vec4 c;
+float lum(vec3 x) { return dot(x, vec3(0.2126, 0.7152, 0.0722)); }
+void main() {
+    vec4 p = mvp * vec4(pos, 1.0);
+    vec4 base = texture(tex, uv + p.xy * 0.001);
+    float l = lum(base.rgb);
+    if (l < 0.1) { discard; }
+    c = vec4(base.rgb * l, 1.0);
+}
+`)
+	if err := prog.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(prog.Uniforms) != 2 || len(prog.Inputs) != 2 || len(prog.Outputs) != 1 {
+		t.Errorf("interface: %d uniforms, %d inputs, %d outputs", len(prog.Uniforms), len(prog.Inputs), len(prog.Outputs))
+	}
+}
+
+func TestLowerIntOps(t *testing.T) {
+	res := run(t, `
+out vec4 c;
+void main() {
+    int a = 7;
+    int b = a / 2 + a % 3;
+    c = vec4(float(b), float(a * 2), 0.0, 0.0);
+}
+`, nil)
+	wantVec(t, res, "c", 4, 14, 0, 0)
+}
+
+func TestLowerIndexDynamicVector(t *testing.T) {
+	res := run(t, `
+uniform int idx;
+out vec4 c;
+void main() {
+    vec4 v = vec4(10.0, 20.0, 30.0, 40.0);
+    c = vec4(v[idx]);
+}
+`, &exec.Env{Uniforms: map[string]*ir.ConstVal{"idx": ir.IntConst(2)}})
+	wantVec(t, res, "c", 30, 30, 30, 30)
+}
+
+func TestLowerNestedControlFlow(t *testing.T) {
+	res := run(t, `
+uniform float k;
+out vec4 c;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 4; i++) {
+        if (float(i) < k) {
+            for (int j = 0; j < 2; j++) { acc += 1.0; }
+        } else {
+            acc += 0.25;
+        }
+    }
+    c = vec4(acc);
+}
+`, &exec.Env{Uniforms: map[string]*ir.ConstVal{"k": ir.FloatConst(2)}})
+	// i=0,1: +2 each; i=2,3: +0.25 each = 4.5
+	wantVec(t, res, "c", 4.5, 4.5, 4.5, 4.5)
+}

@@ -1,0 +1,153 @@
+package passes
+
+import (
+	"shaderopt/internal/ir"
+)
+
+// ADCE is aggressive dead code elimination: assume everything dead, mark
+// live from observable effects (output stores and discards), then sweep.
+// Because the always-on canonicalization already removes trivially dead
+// instructions and dead stores, this pass "in practice never changes the
+// source output" (§VI-D1) — exactly the paper's observation — but it is a
+// real mark-sweep implementation and does fire on IR that has not been
+// canonicalized.
+func ADCE(p *ir.Program) bool {
+	live := map[*ir.Instr]bool{}
+	liveVars := map[*ir.Var]bool{}
+	for _, out := range p.Outputs {
+		liveVars[out] = true
+	}
+
+	// Iterate to a fixed point: effects and everything they need.
+	for {
+		grew := false
+		mark := func(in *ir.Instr) {
+			if !live[in] {
+				live[in] = true
+				grew = true
+			}
+		}
+		var walkBlock func(b *ir.Block, condLive bool, conds []*ir.Instr)
+		walkBlock = func(b *ir.Block, condLive bool, conds []*ir.Instr) {
+			markConds := func() {
+				for _, c := range conds {
+					mark(c)
+				}
+			}
+			for _, it := range b.Items {
+				switch it := it.(type) {
+				case *ir.Instr:
+					switch it.Op {
+					case ir.OpDiscard:
+						mark(it)
+						markConds()
+					case ir.OpStore:
+						if liveVars[it.Var] {
+							mark(it)
+							markConds()
+						}
+					}
+					if live[it] {
+						for _, a := range it.Args {
+							mark(a)
+						}
+						if it.Op == ir.OpLoad && !liveVars[it.Var] {
+							liveVars[it.Var] = true
+							grew = true
+						}
+					}
+				case *ir.If:
+					walkBlock(it.Then, condLive, append(conds, it.Cond))
+					if it.Else != nil {
+						walkBlock(it.Else, condLive, append(conds, it.Cond))
+					}
+				case *ir.Loop:
+					liveVars[it.Counter] = liveVars[it.Counter] // counter only live if loaded
+					walkBlock(it.Body, condLive, append(conds, it.Start, it.End, it.Step))
+				case *ir.While:
+					// Loop trip count is control-dependent on the cond value.
+					walkBlock(it.Body, condLive, append(conds, it.CondVal))
+					// If anything in the body is live, the cond chain is too;
+					// handled by the conds propagation on live items inside.
+					walkBlock(it.Cond, condLive, conds)
+				}
+			}
+		}
+		walkBlock(p.Body, false, nil)
+		if !grew {
+			break
+		}
+	}
+
+	// Sweep: remove non-live pure instructions and dead stores; drop empty
+	// regions.
+	changed := false
+	var sweep func(b *ir.Block)
+	sweep = func(b *ir.Block) {
+		var out []ir.Item
+		for _, it := range b.Items {
+			switch it := it.(type) {
+			case *ir.Instr:
+				keep := live[it]
+				if !keep {
+					changed = true
+					continue
+				}
+				out = append(out, it)
+			case *ir.If:
+				sweep(it.Then)
+				if it.Else != nil {
+					sweep(it.Else)
+				}
+				if len(it.Then.Items) == 0 && (it.Else == nil || len(it.Else.Items) == 0) {
+					changed = true
+					continue
+				}
+				out = append(out, it)
+			case *ir.Loop:
+				sweep(it.Body)
+				if len(it.Body.Items) == 0 {
+					changed = true
+					continue
+				}
+				out = append(out, it)
+			case *ir.While:
+				sweep(it.Body)
+				// Keep the cond block intact: its value controls
+				// termination and is marked live transitively.
+				keepCond := make([]ir.Item, 0, len(it.Cond.Items))
+				for _, ci := range it.Cond.Items {
+					if in, ok := ci.(*ir.Instr); ok && !live[in] && in != it.CondVal {
+						changed = true
+						continue
+					}
+					keepCond = append(keepCond, ci)
+				}
+				it.Cond.Items = keepCond
+				out = append(out, it)
+			}
+		}
+		b.Items = out
+	}
+	// The while cond value must always be live.
+	p.Body.WalkBlocks(func(b *ir.Block) {
+		for _, it := range b.Items {
+			if w, ok := it.(*ir.While); ok {
+				live[w.CondVal] = true
+				var markTree func(in *ir.Instr)
+				markTree = func(in *ir.Instr) {
+					live[in] = true
+					for _, a := range in.Args {
+						markTree(a)
+					}
+				}
+				markTree(w.CondVal)
+			}
+		}
+	})
+	sweep(p.Body)
+	if changed {
+		p.RenumberIDs()
+	}
+	return changed
+}

@@ -1,0 +1,687 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shaderopt/internal/ir"
+	"shaderopt/internal/sem"
+)
+
+// Canonicalize runs the always-on cleanup pipeline to a fixed point:
+// constant folding and instruction simplification, store-to-load
+// forwarding, local common subexpression elimination, dead store removal,
+// and trivially-dead instruction elimination. LunarGlass keeps these
+// enabled for every flag combination ("some were necessary passes to
+// canonicalize instructions", §III-A); all measurements are relative to
+// output that has been through this pipeline.
+func Canonicalize(p *ir.Program) {
+	for i := 0; i < 16; i++ {
+		changed := false
+		if foldBlock(p, p.Body) {
+			changed = true
+		}
+		if forwardLoads(p, p.Body, map[*ir.Var]*ir.Instr{}) {
+			changed = true
+		}
+		if localCSE(p) {
+			changed = true
+		}
+		if removeDeadStores(p) {
+			changed = true
+		}
+		if trivialDCE(p) {
+			changed = true
+		}
+		if simplifyRegions(p) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	p.RenumberIDs()
+}
+
+// --- constant folding & instruction simplification ---
+
+func foldBlock(p *ir.Program, b *ir.Block) bool {
+	changed := false
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *ir.Instr:
+			if foldInstr(p, it) {
+				changed = true
+			}
+		case *ir.If:
+			if foldBlock(p, it.Then) {
+				changed = true
+			}
+			if it.Else != nil && foldBlock(p, it.Else) {
+				changed = true
+			}
+		case *ir.Loop:
+			if foldBlock(p, it.Body) {
+				changed = true
+			}
+		case *ir.While:
+			if foldBlock(p, it.Cond) {
+				changed = true
+			}
+			if foldBlock(p, it.Body) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func allConst(args []*ir.Instr) bool {
+	for _, a := range args {
+		if a.Op != ir.OpConst {
+			return false
+		}
+	}
+	return true
+}
+
+func constArgs(args []*ir.Instr) []*ir.ConstVal {
+	out := make([]*ir.ConstVal, len(args))
+	for i, a := range args {
+		out[i] = a.Const
+	}
+	return out
+}
+
+// foldInstr folds or simplifies one instruction in place. It returns true
+// when something changed.
+func foldInstr(p *ir.Program, in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpBin:
+		// Canonical commutative order: constant second, else lower ID first.
+		// Matrix multiplication does not commute; leave matrix forms alone.
+		if isCommutative(in.BinOp) &&
+			!in.Args[0].Type.IsMatrix() && !in.Args[1].Type.IsMatrix() {
+			x, y := in.Args[0], in.Args[1]
+			if (x.Op == ir.OpConst && y.Op != ir.OpConst) ||
+				(x.Op != ir.OpConst && y.Op != ir.OpConst && x.ID > y.ID) {
+				in.Args[0], in.Args[1] = y, x
+				return true
+			}
+		}
+		if allConst(in.Args) {
+			if v, ok := ir.EvalBinTyped(in.BinOp, in.Args[0].Type, in.Args[1].Type, in.Args[0].Const, in.Args[1].Const); ok {
+				makeConst(in, v)
+				return true
+			}
+		}
+	case ir.OpUn:
+		if allConst(in.Args) {
+			if v, ok := ir.EvalUn(in.UnOp, in.Args[0].Const); ok {
+				makeConst(in, v)
+				return true
+			}
+		}
+		// Double negation.
+		if a := in.Args[0]; a.Op == ir.OpUn && a.UnOp == in.UnOp {
+			replaceUses(p, in, a.Args[0])
+			return true
+		}
+	case ir.OpCall:
+		if allConst(in.Args) {
+			if v, ok := ir.EvalBuiltin(in.Callee, constArgs(in.Args)); ok {
+				makeConst(in, v)
+				return true
+			}
+		}
+	case ir.OpConstruct:
+		if allConst(in.Args) && !in.Type.IsSampler() {
+			makeConst(in, ir.EvalConstruct(in.Type, constArgs(in.Args)))
+			return true
+		}
+		// construct T(x) where x already has type T is a copy.
+		if len(in.Args) == 1 && in.Args[0].Type.Equal(in.Type) {
+			replaceUses(p, in, in.Args[0])
+			return true
+		}
+		// Reconstruction of a whole vector from its own components in
+		// order: vecN(v.x, v.y, ...) -> v.
+		if in.Type.IsVector() && len(in.Args) == in.Type.Vec {
+			src := reconstructSource(in)
+			if src != nil {
+				replaceUses(p, in, src)
+				return true
+			}
+		}
+	case ir.OpExtract:
+		src := in.Args[0]
+		switch {
+		case src.Op == ir.OpConst:
+			makeConst(in, ir.EvalExtract(src.Type, src.Const, in.Index))
+			return true
+		case src.Op == ir.OpConstruct:
+			// Map the component through the construct operands.
+			if arg, off, exact := constructComponent(src, in.Index, elemWidth(src.Type)); exact {
+				replaceUses(p, in, arg)
+				return true
+			} else if arg != nil && arg.Type.IsVector() && elemWidth(src.Type) == 1 {
+				in.Args[0] = arg
+				in.Index = off
+				return true
+			}
+		case src.Op == ir.OpSwizzle:
+			in.Args[0] = src.Args[0]
+			in.Index = src.Indices[in.Index]
+			return true
+		case src.Op == ir.OpInsert:
+			if src.Index == in.Index {
+				if src.Args[1].Type.Equal(in.Type) {
+					replaceUses(p, in, src.Args[1])
+					return true
+				}
+			} else {
+				in.Args[0] = src.Args[0]
+				return true
+			}
+		case src.Op == ir.OpSelect && src.Args[1].Op == ir.OpConst && src.Args[2].Op == ir.OpConst:
+			// extract(select(c, k1, k2)) -> select(c, k1[i], k2[i])
+			a := newConst(p, in.Type, ir.EvalExtract(src.Type, src.Args[1].Const, in.Index))
+			bc := newConst(p, in.Type, ir.EvalExtract(src.Type, src.Args[2].Const, in.Index))
+			insertBefore(p.Body, in, a, bc)
+			in.Op = ir.OpSelect
+			in.Args = []*ir.Instr{src.Args[0], a, bc}
+			in.Index = 0
+			return true
+		}
+	case ir.OpExtractDyn:
+		if in.Args[1].Op == ir.OpConst {
+			idx := int(in.Args[1].Const.Int(0))
+			n := aggLen(in.Args[0].Type)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			in.Op = ir.OpExtract
+			in.Index = idx
+			in.Args = in.Args[:1]
+			return true
+		}
+	case ir.OpInsertDyn:
+		if in.Args[1].Op == ir.OpConst {
+			idx := int(in.Args[1].Const.Int(0))
+			n := aggLen(in.Args[0].Type)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			in.Op = ir.OpInsert
+			in.Index = idx
+			in.Args = []*ir.Instr{in.Args[0], in.Args[2]}
+			return true
+		}
+	case ir.OpSwizzle:
+		src := in.Args[0]
+		switch {
+		case src.Op == ir.OpConst:
+			makeConst(in, ir.EvalSwizzle(src.Const, in.Indices))
+			return true
+		case src.Op == ir.OpSwizzle:
+			composed := make([]int, len(in.Indices))
+			for i, ix := range in.Indices {
+				composed[i] = src.Indices[ix]
+			}
+			in.Args[0] = src.Args[0]
+			in.Indices = composed
+			return true
+		}
+		// Identity swizzle.
+		if len(in.Indices) == src.Type.Vec {
+			id := true
+			for i, ix := range in.Indices {
+				if ix != i {
+					id = false
+				}
+			}
+			if id {
+				replaceUses(p, in, src)
+				return true
+			}
+		}
+	case ir.OpSelect:
+		if in.Args[0].Op == ir.OpConst {
+			if in.Args[0].Const.B[0] {
+				replaceUses(p, in, in.Args[1])
+			} else {
+				replaceUses(p, in, in.Args[2])
+			}
+			return true
+		}
+		if in.Args[1] == in.Args[2] {
+			replaceUses(p, in, in.Args[1])
+			return true
+		}
+	}
+	return false
+}
+
+// reconstructSource detects vecN(v[0], v[1], ..., v[n-1]) and returns v.
+func reconstructSource(in *ir.Instr) *ir.Instr {
+	var src *ir.Instr
+	for i, a := range in.Args {
+		if a.Op != ir.OpExtract || a.Index != i {
+			return nil
+		}
+		if src == nil {
+			src = a.Args[0]
+		} else if src != a.Args[0] {
+			return nil
+		}
+	}
+	if src != nil && src.Type.Equal(in.Type) {
+		return src
+	}
+	return nil
+}
+
+// constructComponent maps flat component idx of a construct to the operand
+// covering it. exact is true when the operand is exactly that component.
+func constructComponent(c *ir.Instr, idx, width int) (arg *ir.Instr, off int, exact bool) {
+	flat := idx * width
+	for _, a := range c.Args {
+		n := a.Type.Components()
+		if flat < n {
+			if n == width {
+				return a, 0, true
+			}
+			if width == 1 && a.Type.IsVector() {
+				return a, flat, false
+			}
+			return nil, 0, false
+		}
+		flat -= n
+	}
+	return nil, 0, false
+}
+
+func elemWidth(t sem.Type) int {
+	switch {
+	case t.IsArray():
+		return t.Elem().Components()
+	case t.IsMatrix():
+		return t.Mat
+	default:
+		return 1
+	}
+}
+
+func aggLen(t sem.Type) int {
+	switch {
+	case t.IsArray():
+		return t.ArrayLen
+	case t.IsMatrix():
+		return t.Mat
+	default:
+		return t.Vec
+	}
+}
+
+// insertBefore places new instructions immediately before target in the
+// block tree rooted at b. Panics if target is not found (internal error).
+func insertBefore(b *ir.Block, target *ir.Instr, newItems ...*ir.Instr) {
+	if tryInsertBefore(b, target, newItems) {
+		return
+	}
+	panic(fmt.Sprintf("insertBefore: target %%%d not found", target.ID))
+}
+
+func tryInsertBefore(b *ir.Block, target *ir.Instr, newItems []*ir.Instr) bool {
+	for i, it := range b.Items {
+		switch it := it.(type) {
+		case *ir.Instr:
+			if it == target {
+				items := make([]ir.Item, 0, len(b.Items)+len(newItems))
+				items = append(items, b.Items[:i]...)
+				for _, ni := range newItems {
+					items = append(items, ni)
+				}
+				items = append(items, b.Items[i:]...)
+				b.Items = items
+				return true
+			}
+		case *ir.If:
+			if tryInsertBefore(it.Then, target, newItems) {
+				return true
+			}
+			if it.Else != nil && tryInsertBefore(it.Else, target, newItems) {
+				return true
+			}
+		case *ir.Loop:
+			if tryInsertBefore(it.Body, target, newItems) {
+				return true
+			}
+		case *ir.While:
+			if tryInsertBefore(it.Cond, target, newItems) {
+				return true
+			}
+			if tryInsertBefore(it.Body, target, newItems) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- store-to-load forwarding ---
+
+// forwardLoads replaces loads with the most recent stored value when that
+// value is known on every path, walking the region tree with appropriate
+// invalidation.
+func forwardLoads(p *ir.Program, b *ir.Block, known map[*ir.Var]*ir.Instr) bool {
+	changed := false
+	for _, item := range b.Items {
+		switch item := item.(type) {
+		case *ir.Instr:
+			switch item.Op {
+			case ir.OpLoad:
+				if v, ok := known[item.Var]; ok && v != nil {
+					replaceUses(p, item, v)
+					changed = true
+				}
+			case ir.OpStore:
+				known[item.Var] = item.Args[0]
+			}
+		case *ir.If:
+			thenKnown := copyMap(known)
+			if forwardLoads(p, item.Then, thenKnown) {
+				changed = true
+			}
+			if item.Else != nil {
+				elseKnown := copyMap(known)
+				if forwardLoads(p, item.Else, elseKnown) {
+					changed = true
+				}
+			}
+			for v := range storedVars(item.Then) {
+				delete(known, v)
+			}
+			if item.Else != nil {
+				for v := range storedVars(item.Else) {
+					delete(known, v)
+				}
+			}
+		case *ir.Loop:
+			bodyStores := storedVars(item.Body)
+			bodyKnown := copyMap(known)
+			delete(bodyKnown, item.Counter)
+			for v := range bodyStores {
+				delete(bodyKnown, v)
+			}
+			if forwardLoads(p, item.Body, bodyKnown) {
+				changed = true
+			}
+			for v := range bodyStores {
+				delete(known, v)
+			}
+			delete(known, item.Counter)
+		case *ir.While:
+			stores := storedVars(item.Body)
+			for v := range storedVars(item.Cond) {
+				stores[v] = true
+			}
+			innerKnown := copyMap(known)
+			for v := range stores {
+				delete(innerKnown, v)
+			}
+			if forwardLoads(p, item.Cond, copyMap(innerKnown)) {
+				changed = true
+			}
+			if forwardLoads(p, item.Body, innerKnown) {
+				changed = true
+			}
+			for v := range stores {
+				delete(known, v)
+			}
+		}
+	}
+	return changed
+}
+
+func copyMap(m map[*ir.Var]*ir.Instr) map[*ir.Var]*ir.Instr {
+	out := make(map[*ir.Var]*ir.Instr, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// --- local CSE ---
+
+// localCSE merges identical pure instructions within each straight-line
+// block (the always-on subset of value numbering; the GVN flag extends it
+// across nested regions).
+func localCSE(p *ir.Program) bool {
+	changed := false
+	p.Body.WalkBlocks(func(b *ir.Block) {
+		seen := map[string]*ir.Instr{}
+		for _, it := range b.Items {
+			in, ok := it.(*ir.Instr)
+			if !ok || !in.IsPure() || !in.HasResult() {
+				continue
+			}
+			key := instrKey(in)
+			if prev, dup := seen[key]; dup {
+				replaceUses(p, in, prev)
+				changed = true
+			} else {
+				seen[key] = in
+			}
+		}
+	})
+	return changed
+}
+
+// instrKey builds a structural hash key for value numbering.
+func instrKey(in *ir.Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%s|%s|%d|%v|", int(in.Op), in.Type, in.BinOp+in.UnOp, in.Callee, in.Index, in.Indices)
+	if in.Const != nil {
+		fmt.Fprintf(&sb, "c%v%v%v|", in.Const.F, in.Const.I, in.Const.B)
+	}
+	if in.Global != nil {
+		fmt.Fprintf(&sb, "g%p|", in.Global)
+	}
+	for _, a := range in.Args {
+		fmt.Fprintf(&sb, "%d,", a.ID)
+	}
+	return sb.String()
+}
+
+// --- dead store & dead code elimination ---
+
+// removeDeadStores drops stores to non-output vars that are never loaded,
+// and stores immediately overwritten within the same block.
+func removeDeadStores(p *ir.Program) bool {
+	loaded := loadedVars(p.Body)
+	changed := false
+	p.Body.WalkBlocks(func(b *ir.Block) {
+		var out []ir.Item
+		for i, it := range b.Items {
+			in, ok := it.(*ir.Instr)
+			if !ok || in.Op != ir.OpStore {
+				out = append(out, it)
+				continue
+			}
+			if !in.Var.IsOutput && !loaded[in.Var] {
+				changed = true
+				continue
+			}
+			// Overwritten before any possible read: scan forward within the
+			// block for a store to the same var with no load of it or
+			// region in between.
+			dead := false
+			for j := i + 1; j < len(b.Items); j++ {
+				next, ok := b.Items[j].(*ir.Instr)
+				if !ok {
+					break // region: anything may read
+				}
+				if next.Op == ir.OpLoad && next.Var == in.Var {
+					break
+				}
+				if next.Op == ir.OpDiscard {
+					break
+				}
+				if next.Op == ir.OpStore && next.Var == in.Var {
+					dead = true
+					break
+				}
+			}
+			if dead {
+				changed = true
+				continue
+			}
+			out = append(out, it)
+		}
+		b.Items = out
+	})
+	return changed
+}
+
+// trivialDCE removes pure instructions with no uses, iterating to a fixed
+// point (LLVM's isTriviallyDead loop — always on, which is why the ADCE
+// flag never changes the output in practice, §VI-D1).
+func trivialDCE(p *ir.Program) bool {
+	changed := false
+	for {
+		uses := p.UseCounts()
+		removed := false
+		p.Body.WalkBlocks(func(b *ir.Block) {
+			var out []ir.Item
+			for _, it := range b.Items {
+				if in, ok := it.(*ir.Instr); ok && in.IsPure() && in.HasResult() && uses[in] == 0 {
+					removed = true
+					continue
+				}
+				out = append(out, it)
+			}
+			b.Items = out
+		})
+		// Loads with no uses are also trivially dead (reads have no side
+		// effects).
+		usesAfter := p.UseCounts()
+		p.Body.WalkBlocks(func(b *ir.Block) {
+			var out []ir.Item
+			for _, it := range b.Items {
+				if in, ok := it.(*ir.Instr); ok && in.Op == ir.OpLoad && usesAfter[in] == 0 {
+					removed = true
+					continue
+				}
+				out = append(out, it)
+			}
+			b.Items = out
+		})
+		if !removed {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// simplifyRegions folds constant-condition ifs, removes empty regions, and
+// deletes zero-trip loops.
+func simplifyRegions(p *ir.Program) bool {
+	changed := false
+	var walk func(b *ir.Block) bool
+	walk = func(b *ir.Block) bool {
+		local := false
+		var out []ir.Item
+		for _, it := range b.Items {
+			switch item := it.(type) {
+			case *ir.If:
+				if walk(item.Then) {
+					local = true
+				}
+				if item.Else != nil && walk(item.Else) {
+					local = true
+				}
+				if item.Cond.Op == ir.OpConst {
+					if item.Cond.Const.B[0] {
+						out = append(out, item.Then.Items...)
+					} else if item.Else != nil {
+						out = append(out, item.Else.Items...)
+					}
+					local = true
+					continue
+				}
+				emptyThen := len(item.Then.Items) == 0
+				emptyElse := item.Else == nil || len(item.Else.Items) == 0
+				if emptyThen && emptyElse {
+					local = true
+					continue
+				}
+				if emptyThen && !emptyElse {
+					// Invert: if(!c) else-branch.
+					neg := p.NewInstr(ir.OpUn, sem.Bool, item.Cond)
+					neg.UnOp = "!"
+					out = append(out, neg)
+					item.Cond = neg
+					item.Then = item.Else
+					item.Else = nil
+					local = true
+					out = append(out, item)
+					continue
+				}
+				out = append(out, item)
+			case *ir.Loop:
+				if walk(item.Body) {
+					local = true
+				}
+				if n, ok := item.TripCount(); ok && n == 0 {
+					local = true
+					continue
+				}
+				if len(item.Body.Items) == 0 {
+					local = true
+					continue
+				}
+				out = append(out, item)
+			case *ir.While:
+				if walk(item.Cond) {
+					local = true
+				}
+				if walk(item.Body) {
+					local = true
+				}
+				condPure := len(storedVars(item.Cond)) == 0 && !hasDiscard(item.Cond)
+				if item.CondVal.Op == ir.OpConst && !item.CondVal.Const.B[0] && condPure {
+					local = true
+					continue
+				}
+				out = append(out, item)
+			default:
+				out = append(out, it)
+			}
+		}
+		b.Items = out
+		return local
+	}
+	for walk(p.Body) {
+		changed = true
+	}
+	return changed
+}
+
+// sortedVarsByName is a helper for deterministic iteration in passes.
+func sortedVarsByName(m map[*ir.Var]bool) []*ir.Var {
+	out := make([]*ir.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

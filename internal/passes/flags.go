@@ -1,0 +1,118 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flags selects which optional optimization passes run, mirroring
+// LunarGlass's command-line flags plus the paper's two custom unsafe
+// floating point additions. With 8 flags there are 256 combinations —
+// small enough for the exhaustive search of §III-A.
+type Flags uint16
+
+// The eight flags, in the paper's Table I column order.
+const (
+	FlagADCE Flags = 1 << iota
+	FlagCoalesce
+	FlagGVN
+	FlagReassociate
+	FlagUnroll
+	FlagHoist
+	FlagFPReassociate
+	FlagDivToMul
+)
+
+// NumFlags is the number of independent flags.
+const NumFlags = 8
+
+// AllFlags enables everything.
+const AllFlags Flags = 1<<NumFlags - 1
+
+// DefaultFlags matches LunarGlass's defaults: the six pre-existing passes
+// are on, the two custom unsafe floating point passes are off ("the best
+// flags chosen experimentally are not the flags enabled by default",
+// §VI-B).
+const DefaultFlags = FlagADCE | FlagCoalesce | FlagGVN | FlagReassociate | FlagUnroll | FlagHoist
+
+// NoFlags is the all-off baseline used to isolate per-flag impact from
+// codegen artefacts (§VI-D, Figure 9).
+const NoFlags Flags = 0
+
+// flagOrder lists flags in canonical display order.
+var flagOrder = []Flags{
+	FlagADCE, FlagCoalesce, FlagGVN, FlagReassociate,
+	FlagUnroll, FlagHoist, FlagFPReassociate, FlagDivToMul,
+}
+
+var flagNames = map[Flags]string{
+	FlagADCE:          "adce",
+	FlagCoalesce:      "coalesce",
+	FlagGVN:           "gvn",
+	FlagReassociate:   "reassociate",
+	FlagUnroll:        "unroll",
+	FlagHoist:         "hoist",
+	FlagFPReassociate: "fp-reassociate",
+	FlagDivToMul:      "div-to-mul",
+}
+
+// FlagList returns the individual flags in canonical order.
+func FlagList() []Flags { return append([]Flags(nil), flagOrder...) }
+
+// FlagName returns the command-line name of a single flag.
+func FlagName(f Flags) string { return flagNames[f] }
+
+// Has reports whether all bits in q are set.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+// String renders the enabled set, e.g. "coalesce+unroll+fp-reassociate".
+func (f Flags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fl := range flagOrder {
+		if f.Has(fl) {
+			parts = append(parts, flagNames[fl])
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseFlags parses a "+"- or ","-separated list of flag names. "none",
+// "default", and "all" are accepted.
+func ParseFlags(s string) (Flags, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "", "none":
+		return NoFlags, nil
+	case "default":
+		return DefaultFlags, nil
+	case "all":
+		return AllFlags, nil
+	}
+	var out Flags
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == '+' || r == ',' }) {
+		found := false
+		for fl, name := range flagNames {
+			if part == name {
+				out |= fl
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("unknown optimization flag %q", part)
+		}
+	}
+	return out, nil
+}
+
+// AllCombinations returns all 2^NumFlags flag sets in ascending bit order.
+func AllCombinations() []Flags {
+	out := make([]Flags, 0, 1<<NumFlags)
+	for i := 0; i < 1<<NumFlags; i++ {
+		out = append(out, Flags(i))
+	}
+	return out
+}

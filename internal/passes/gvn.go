@@ -1,0 +1,63 @@
+package passes
+
+import (
+	"shaderopt/internal/ir"
+)
+
+// GVN performs global value numbering over the structured region tree:
+// pure instructions are merged with any equivalent instruction defined in
+// an enclosing (dominating) scope, extending the always-on per-block CSE
+// across conditional arms and loop bodies. As in the paper, it "applies
+// mainly to the few more complex shaders" — straight-line duplicates are
+// already gone by the time GVN runs (§VI-D2).
+func GVN(p *ir.Program) bool {
+	changed := false
+	type scope struct {
+		table  map[string]*ir.Instr
+		parent *scope
+	}
+	lookup := func(s *scope, key string) (*ir.Instr, bool) {
+		for ; s != nil; s = s.parent {
+			if v, ok := s.table[key]; ok {
+				return v, true
+			}
+		}
+		return nil, false
+	}
+
+	var walk func(b *ir.Block, parent *scope)
+	walk = func(b *ir.Block, parent *scope) {
+		cur := &scope{table: map[string]*ir.Instr{}, parent: parent}
+		for _, it := range b.Items {
+			switch it := it.(type) {
+			case *ir.Instr:
+				if !it.IsPure() || !it.HasResult() {
+					continue
+				}
+				key := instrKey(it)
+				if prev, ok := lookup(cur, key); ok && prev != it {
+					replaceUses(p, it, prev)
+					changed = true
+					continue
+				}
+				cur.table[key] = it
+			case *ir.If:
+				walk(it.Then, cur)
+				if it.Else != nil {
+					walk(it.Else, cur)
+				}
+			case *ir.Loop:
+				walk(it.Body, cur)
+			case *ir.While:
+				walk(it.Cond, cur)
+				walk(it.Body, cur)
+			}
+		}
+	}
+	walk(p.Body, nil)
+	if changed {
+		trivialDCE(p)
+		p.RenumberIDs()
+	}
+	return changed
+}

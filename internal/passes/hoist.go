@@ -1,0 +1,170 @@
+package passes
+
+import (
+	"shaderopt/internal/ir"
+	"shaderopt/internal/sem"
+)
+
+// Hoist flattens conditionals: an if/else whose arms contain only pure
+// computation and variable assignments becomes straight-line code with
+// select instructions ("changing assignments inside 'if' blocks into
+// 'select' instructions", §III-A). Like LunarGlass it applies without a
+// size budget, which is how the "very large basic blocks" artefact arises.
+func Hoist(p *ir.Program) bool {
+	return HoistWithBudget(p, 1<<30)
+}
+
+// HoistWithBudget flattens only conditionals whose combined arm size stays
+// within maxArmOps instructions. Driver models use small budgets (JITs
+// if-convert conservatively); the offline pass uses no budget, which is
+// where the pathological large-block cases come from.
+func HoistWithBudget(p *ir.Program, maxArmOps int) bool {
+	changed := false
+	var walk func(b *ir.Block) bool
+	walk = func(b *ir.Block) bool {
+		local := false
+		var out []ir.Item
+		for _, it := range b.Items {
+			switch item := it.(type) {
+			case *ir.If:
+				// Innermost-first: flatten nested ifs so outer ones become
+				// eligible.
+				if walk(item.Then) {
+					local = true
+				}
+				if item.Else != nil && walk(item.Else) {
+					local = true
+				}
+				if item.Then.CountInstrs()+elseCount(item) <= maxArmOps {
+					if flat, ok := flattenIf(p, item); ok {
+						out = append(out, flat...)
+						local = true
+						continue
+					}
+				}
+				out = append(out, item)
+			case *ir.Loop:
+				if walk(item.Body) {
+					local = true
+				}
+				out = append(out, item)
+			case *ir.While:
+				if walk(item.Cond) {
+					local = true
+				}
+				if walk(item.Body) {
+					local = true
+				}
+				out = append(out, item)
+			default:
+				out = append(out, it)
+			}
+		}
+		b.Items = out
+		return local
+	}
+	for walk(p.Body) {
+		changed = true
+	}
+	if changed {
+		p.RenumberIDs()
+	}
+	return changed
+}
+
+func elseCount(item *ir.If) int {
+	if item.Else == nil {
+		return 0
+	}
+	return item.Else.CountInstrs()
+}
+
+// flattenIf converts one if/else into hoisted items + selects. It succeeds
+// only when both arms are straight-line, side-effect-free except for var
+// stores, and no arm loads a var after storing it (canonicalization's
+// forwarding guarantees that shape).
+func flattenIf(p *ir.Program, item *ir.If) ([]ir.Item, bool) {
+	if !armHoistable(item.Then) {
+		return nil, false
+	}
+	if item.Else != nil && !armHoistable(item.Else) {
+		return nil, false
+	}
+
+	var out []ir.Item
+	thenVals := map[*ir.Var]*ir.Instr{}
+	elseVals := map[*ir.Var]*ir.Instr{}
+
+	hoistArm := func(b *ir.Block, vals map[*ir.Var]*ir.Instr) {
+		for _, it := range b.Items {
+			in := it.(*ir.Instr)
+			if in.Op == ir.OpStore {
+				vals[in.Var] = in.Args[0]
+				continue
+			}
+			out = append(out, in)
+		}
+	}
+	hoistArm(item.Then, thenVals)
+	if item.Else != nil {
+		hoistArm(item.Else, elseVals)
+	}
+
+	// Stored vars in deterministic order.
+	varSet := map[*ir.Var]bool{}
+	for v := range thenVals {
+		varSet[v] = true
+	}
+	for v := range elseVals {
+		varSet[v] = true
+	}
+	for _, v := range sortedVarsByName(varSet) {
+		tv, ev := thenVals[v], elseVals[v]
+		if tv == nil || ev == nil {
+			// One arm keeps the old value: load it before the select.
+			ld := p.NewInstr(ir.OpLoad, v.Type)
+			ld.Var = v
+			out = append(out, ld)
+			if tv == nil {
+				tv = ld
+			} else {
+				ev = ld
+			}
+		}
+		sel := p.NewInstr(ir.OpSelect, v.Type, item.Cond, tv, ev)
+		st := p.NewInstr(ir.OpStore, sem.Void, sel)
+		st.Var = v
+		out = append(out, sel, st)
+	}
+	return out, true
+}
+
+// armHoistable reports whether a block is straight-line pure computation
+// plus var stores, with no load-after-store hazards and at most one store
+// per var.
+func armHoistable(b *ir.Block) bool {
+	if b.HasControlFlow() {
+		return false
+	}
+	stored := map[*ir.Var]bool{}
+	for _, it := range b.Items {
+		in, ok := it.(*ir.Instr)
+		if !ok {
+			return false
+		}
+		switch in.Op {
+		case ir.OpDiscard:
+			return false
+		case ir.OpStore:
+			if stored[in.Var] {
+				return false // double store: order matters
+			}
+			stored[in.Var] = true
+		case ir.OpLoad:
+			if stored[in.Var] {
+				return false // would read the conditional value unconditionally
+			}
+		}
+	}
+	return true
+}

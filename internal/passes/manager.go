@@ -1,0 +1,55 @@
+package passes
+
+import "shaderopt/internal/ir"
+
+// Run applies the optimizer with the given flag set: the always-on
+// canonicalization pipeline first (constant folding, local CSE, redundant
+// load/store elimination — the passes LunarGlass cannot disable, §III-A),
+// then the flagged passes in a fixed LunarGlass-like order,
+// re-canonicalizing after each structural change. The result is
+// deterministic: the same program and flags always produce the same IR.
+func Run(p *ir.Program, flags Flags) {
+	// The offline middle end has no matrix types: scalarization always
+	// happens, independent of flags — it is the §III-C(a) codegen artefact
+	// all measurements relative to the all-off baseline share.
+	ScalarizeMatrices(p)
+	Canonicalize(p)
+
+	if flags.Has(FlagUnroll) {
+		if Unroll(p) {
+			Canonicalize(p)
+		}
+	}
+	if flags.Has(FlagHoist) {
+		if Hoist(p) {
+			Canonicalize(p)
+		}
+	}
+	if flags.Has(FlagReassociate) {
+		if Reassociate(p) {
+			Canonicalize(p)
+		}
+	}
+	if flags.Has(FlagDivToMul) {
+		if DivToMul(p) {
+			Canonicalize(p)
+		}
+	}
+	if flags.Has(FlagFPReassociate) {
+		FPReassoc(p) // canonicalizes internally per round
+	}
+	if flags.Has(FlagGVN) {
+		if GVN(p) {
+			Canonicalize(p)
+		}
+	}
+	if flags.Has(FlagCoalesce) {
+		Coalesce(p) // canonicalizes internally when it fires
+	}
+	if flags.Has(FlagADCE) {
+		if ADCE(p) {
+			Canonicalize(p)
+		}
+	}
+	p.RenumberIDs()
+}

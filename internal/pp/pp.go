@@ -1,0 +1,536 @@
+// Package pp implements the GLSL preprocessor subset used by übershader
+// corpora: object-like macros, conditional compilation, and #version
+// handling. GFXBench-style shaders are "large base shaders split up and
+// recombined with GLSL preprocessor directives" (paper §IV-A); this package
+// performs that recombination so the paper's post-preprocessing metrics
+// (Fig. 4a) can be computed.
+package pp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Preprocess expands src with the given predefined macros (the übershader
+// specialisation knobs). Returned source contains no directives other than
+// a propagated #version line.
+func Preprocess(src string, defines map[string]string) (string, error) {
+	p := &state{
+		macros: map[string]string{"GL_ES": ""},
+	}
+	delete(p.macros, "GL_ES") // only defined for ES shaders, see below
+	for k, v := range defines {
+		p.macros[k] = v
+	}
+	var out strings.Builder
+	lines := splitLogicalLines(src)
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			if err := p.directive(trimmed, &out); err != nil {
+				return "", fmt.Errorf("line %d: %w", i+1, err)
+			}
+			continue
+		}
+		if !p.active() {
+			continue
+		}
+		out.WriteString(p.expand(line))
+		out.WriteByte('\n')
+	}
+	if len(p.conds) != 0 {
+		return "", fmt.Errorf("unterminated #if")
+	}
+	return out.String(), nil
+}
+
+// state is the preprocessor state machine.
+type state struct {
+	macros map[string]string
+	conds  []cond
+}
+
+// cond tracks one #if/#elif/#else nesting level.
+type cond struct {
+	taken     bool // some branch at this level has been taken
+	active    bool // the current branch is active
+	elseTaken bool
+}
+
+func (p *state) active() bool {
+	for _, c := range p.conds {
+		if !c.active {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *state) directive(line string, out *strings.Builder) error {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	word := body
+	rest := ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		word, rest = body[:i], strings.TrimSpace(body[i+1:])
+	}
+	switch word {
+	case "version":
+		if p.active() {
+			fmt.Fprintf(out, "#version %s\n", rest)
+			if strings.Contains(rest, "es") {
+				p.macros["GL_ES"] = "1"
+			}
+		}
+	case "extension", "pragma":
+		// Dropped: extensions do not affect the supported subset.
+	case "define":
+		if !p.active() {
+			return nil
+		}
+		name := rest
+		val := ""
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			name, val = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		if name == "" {
+			return fmt.Errorf("#define with no name")
+		}
+		if strings.Contains(name, "(") {
+			return fmt.Errorf("function-like macro %q not supported", name)
+		}
+		p.macros[name] = val
+	case "undef":
+		if p.active() {
+			delete(p.macros, rest)
+		}
+	case "ifdef":
+		_, ok := p.macros[rest]
+		p.push(ok)
+	case "ifndef":
+		_, ok := p.macros[rest]
+		p.push(!ok)
+	case "if":
+		v, err := p.evalExpr(rest)
+		if err != nil {
+			return err
+		}
+		p.push(v != 0)
+	case "elif":
+		if len(p.conds) == 0 {
+			return fmt.Errorf("#elif without #if")
+		}
+		c := &p.conds[len(p.conds)-1]
+		if c.elseTaken {
+			return fmt.Errorf("#elif after #else")
+		}
+		if c.taken {
+			c.active = false
+			return nil
+		}
+		v, err := p.evalExpr(rest)
+		if err != nil {
+			return err
+		}
+		c.active = v != 0
+		c.taken = c.taken || c.active
+	case "else":
+		if len(p.conds) == 0 {
+			return fmt.Errorf("#else without #if")
+		}
+		c := &p.conds[len(p.conds)-1]
+		if c.elseTaken {
+			return fmt.Errorf("duplicate #else")
+		}
+		c.elseTaken = true
+		c.active = !c.taken
+		c.taken = true
+	case "endif":
+		if len(p.conds) == 0 {
+			return fmt.Errorf("#endif without #if")
+		}
+		p.conds = p.conds[:len(p.conds)-1]
+	case "line", "error":
+		// #error in an inactive branch is fine; active #error is an error.
+		if word == "error" && p.active() {
+			return fmt.Errorf("#error %s", rest)
+		}
+	default:
+		return fmt.Errorf("unknown directive #%s", word)
+	}
+	return nil
+}
+
+func (p *state) push(active bool) {
+	// A branch nested inside an inactive region is never active.
+	if !p.active() {
+		p.conds = append(p.conds, cond{taken: true, active: false})
+		return
+	}
+	p.conds = append(p.conds, cond{taken: active, active: active})
+}
+
+// expand substitutes object-like macros in a source line, iterating until a
+// fixed point (bounded to avoid infinite self-reference).
+func (p *state) expand(line string) string {
+	for depth := 0; depth < 8; depth++ {
+		next := p.expandOnce(line)
+		if next == line {
+			return line
+		}
+		line = next
+	}
+	return line
+}
+
+func (p *state) expandOnce(line string) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if isIdentStart(c) {
+			j := i + 1
+			for j < len(line) && isIdentCont(line[j]) {
+				j++
+			}
+			word := line[i:j]
+			if val, ok := p.macros[word]; ok && val != "" {
+				sb.WriteString(val)
+			} else if ok && val == "" {
+				// Defined-empty macro expands to nothing.
+			} else {
+				sb.WriteString(word)
+			}
+			i = j
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// splitLogicalLines splits on newlines, merging backslash continuations.
+func splitLogicalLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	if n := len(raw); n > 0 && raw[n-1] == "" {
+		raw = raw[:n-1] // a trailing newline does not start a new line
+	}
+	var out []string
+	for i := 0; i < len(raw); i++ {
+		line := raw[i]
+		for strings.HasSuffix(strings.TrimRight(line, " \t\r"), "\\") && i+1 < len(raw) {
+			line = strings.TrimSuffix(strings.TrimRight(line, " \t\r"), "\\") + raw[i+1]
+			i++
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// --- #if expression evaluation ---
+
+// evalExpr evaluates a preprocessor integer expression with macros expanded
+// and defined(X) resolved.
+func (p *state) evalExpr(s string) (int64, error) {
+	// Resolve defined(X) / defined X before macro expansion.
+	s = p.resolveDefined(s)
+	s = p.expand(s)
+	e := &exprParser{src: s}
+	v, err := e.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("trailing tokens in #if expression %q", s)
+	}
+	return v, nil
+}
+
+func (p *state) resolveDefined(s string) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(s) {
+		if strings.HasPrefix(s[i:], "defined") &&
+			(i+7 == len(s) || !isIdentCont(s[i+7])) &&
+			(i == 0 || !isIdentCont(s[i-1])) {
+			j := i + 7
+			for j < len(s) && (s[j] == ' ' || s[j] == '\t') {
+				j++
+			}
+			paren := false
+			if j < len(s) && s[j] == '(' {
+				paren = true
+				j++
+				for j < len(s) && (s[j] == ' ' || s[j] == '\t') {
+					j++
+				}
+			}
+			k := j
+			for k < len(s) && isIdentCont(s[k]) {
+				k++
+			}
+			name := s[j:k]
+			if paren {
+				for k < len(s) && (s[k] == ' ' || s[k] == '\t') {
+					k++
+				}
+				if k < len(s) && s[k] == ')' {
+					k++
+				}
+			}
+			if _, ok := p.macros[name]; ok {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+			i = k
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// exprParser is a tiny recursive-descent evaluator for #if expressions.
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) match(op string) bool {
+	e.skipSpace()
+	if strings.HasPrefix(e.src[e.pos:], op) {
+		// Avoid matching "<" when input has "<=".
+		if (op == "<" || op == ">") && e.pos+1 < len(e.src) && e.src[e.pos+1] == '=' {
+			return false
+		}
+		if op == "!" && e.pos+1 < len(e.src) && e.src[e.pos+1] == '=' {
+			return false
+		}
+		e.pos += len(op)
+		return true
+	}
+	return false
+}
+
+func (e *exprParser) parseOr() (int64, error) {
+	v, err := e.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for e.match("||") {
+		w, err := e.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		if v != 0 || w != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v, nil
+}
+
+func (e *exprParser) parseAnd() (int64, error) {
+	v, err := e.parseCmp()
+	if err != nil {
+		return 0, err
+	}
+	for e.match("&&") {
+		w, err := e.parseCmp()
+		if err != nil {
+			return 0, err
+		}
+		if v != 0 && w != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v, nil
+}
+
+func (e *exprParser) parseCmp() (int64, error) {
+	v, err := e.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		var op string
+		switch {
+		case e.match("=="):
+			op = "=="
+		case e.match("!="):
+			op = "!="
+		case e.match("<="):
+			op = "<="
+		case e.match(">="):
+			op = ">="
+		case e.match("<"):
+			op = "<"
+		case e.match(">"):
+			op = ">"
+		default:
+			return v, nil
+		}
+		w, err := e.parseAdd()
+		if err != nil {
+			return 0, err
+		}
+		var b bool
+		switch op {
+		case "==":
+			b = v == w
+		case "!=":
+			b = v != w
+		case "<=":
+			b = v <= w
+		case ">=":
+			b = v >= w
+		case "<":
+			b = v < w
+		case ">":
+			b = v > w
+		}
+		if b {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+}
+
+func (e *exprParser) parseAdd() (int64, error) {
+	v, err := e.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case e.match("+"):
+			w, err := e.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case e.match("-"):
+			w, err := e.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseMul() (int64, error) {
+	v, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case e.match("*"):
+			w, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case e.match("/"):
+			w, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, fmt.Errorf("division by zero in #if")
+			}
+			v /= w
+		case e.match("%"):
+			w, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, fmt.Errorf("mod by zero in #if")
+			}
+			v %= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseUnary() (int64, error) {
+	switch {
+	case e.match("!"):
+		v, err := e.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case e.match("-"):
+		v, err := e.parseUnary()
+		return -v, err
+	case e.match("+"):
+		return e.parseUnary()
+	}
+	return e.parsePrimary()
+}
+
+func (e *exprParser) parsePrimary() (int64, error) {
+	e.skipSpace()
+	if e.pos >= len(e.src) {
+		return 0, fmt.Errorf("unexpected end of #if expression")
+	}
+	if e.src[e.pos] == '(' {
+		e.pos++
+		v, err := e.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		e.skipSpace()
+		if e.pos >= len(e.src) || e.src[e.pos] != ')' {
+			return 0, fmt.Errorf("missing ')' in #if expression")
+		}
+		e.pos++
+		return v, nil
+	}
+	start := e.pos
+	for e.pos < len(e.src) && (isIdentCont(e.src[e.pos])) {
+		e.pos++
+	}
+	word := e.src[start:e.pos]
+	if word == "" {
+		return 0, fmt.Errorf("unexpected character %q in #if expression", string(e.src[e.pos]))
+	}
+	if word[0] >= '0' && word[0] <= '9' {
+		v, err := strconv.ParseInt(strings.TrimRight(word, "uUlL"), 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q in #if", word)
+		}
+		return v, nil
+	}
+	// Undefined identifiers evaluate to 0, per the C preprocessor rule.
+	return 0, nil
+}

@@ -1,0 +1,257 @@
+package pp
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPP(t *testing.T, src string, defs map[string]string) string {
+	t.Helper()
+	out, err := Preprocess(src, defs)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return out
+}
+
+func TestPassThrough(t *testing.T) {
+	src := "void main() {\n    x = 1.0;\n}\n"
+	if got := mustPP(t, src, nil); got != src {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestVersionPropagated(t *testing.T) {
+	out := mustPP(t, "#version 330\nfloat x;\n", nil)
+	if !strings.HasPrefix(out, "#version 330\n") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestObjectMacro(t *testing.T) {
+	src := "#define SCALE 2.5\nfloat x = SCALE;\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "float x = 2.5;") {
+		t.Errorf("got %q", out)
+	}
+	if strings.Contains(out, "SCALE") {
+		t.Errorf("macro not expanded: %q", out)
+	}
+}
+
+func TestMacroWordBoundary(t *testing.T) {
+	src := "#define N 4\nfloat Nx = 1.0; float y = float(N);\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "Nx = 1.0") {
+		t.Errorf("identifier Nx corrupted: %q", out)
+	}
+	if !strings.Contains(out, "float(4)") {
+		t.Errorf("N not expanded: %q", out)
+	}
+}
+
+func TestNestedMacro(t *testing.T) {
+	src := "#define A B\n#define B 3.0\nfloat x = A;\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "x = 3.0") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestIfdef(t *testing.T) {
+	src := `#ifdef USE_FOG
+float fog = 1.0;
+#else
+float fog = 0.0;
+#endif
+`
+	out := mustPP(t, src, map[string]string{"USE_FOG": "1"})
+	if !strings.Contains(out, "fog = 1.0") || strings.Contains(out, "fog = 0.0") {
+		t.Errorf("got %q", out)
+	}
+	out = mustPP(t, src, nil)
+	if strings.Contains(out, "fog = 1.0") || !strings.Contains(out, "fog = 0.0") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestIfndef(t *testing.T) {
+	src := "#ifndef X\nfloat a;\n#endif\n"
+	if out := mustPP(t, src, nil); !strings.Contains(out, "float a") {
+		t.Errorf("got %q", out)
+	}
+	if out := mustPP(t, src, map[string]string{"X": ""}); strings.Contains(out, "float a") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestIfElifElse(t *testing.T) {
+	src := `#if QUALITY >= 2
+float q = 2.0;
+#elif QUALITY == 1
+float q = 1.0;
+#else
+float q = 0.0;
+#endif
+`
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"3", "q = 2.0"},
+		{"2", "q = 2.0"},
+		{"1", "q = 1.0"},
+		{"0", "q = 0.0"},
+	}
+	for _, c := range cases {
+		out := mustPP(t, src, map[string]string{"QUALITY": c.q})
+		if !strings.Contains(out, c.want) || strings.Count(out, "float q") != 1 {
+			t.Errorf("QUALITY=%s: got %q", c.q, out)
+		}
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := `#ifdef A
+#ifdef B
+float ab;
+#else
+float a;
+#endif
+#else
+float none;
+#endif
+`
+	out := mustPP(t, src, map[string]string{"A": "", "B": ""})
+	if !strings.Contains(out, "float ab") {
+		t.Errorf("A,B: %q", out)
+	}
+	out = mustPP(t, src, map[string]string{"A": ""})
+	if !strings.Contains(out, "float a;") || strings.Contains(out, "ab") {
+		t.Errorf("A: %q", out)
+	}
+	out = mustPP(t, src, nil)
+	if !strings.Contains(out, "float none") {
+		t.Errorf("none: %q", out)
+	}
+}
+
+func TestInactiveBranchSkipsDefines(t *testing.T) {
+	src := "#ifdef NOPE\n#define X 5\n#endif\nfloat x = X;\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "float x = X;") {
+		t.Errorf("X should not expand: %q", out)
+	}
+}
+
+func TestDefinedOperator(t *testing.T) {
+	src := "#if defined(FOO) && !defined(BAR)\nfloat yes;\n#endif\n"
+	out := mustPP(t, src, map[string]string{"FOO": "1"})
+	if !strings.Contains(out, "float yes") {
+		t.Errorf("got %q", out)
+	}
+	out = mustPP(t, src, map[string]string{"FOO": "1", "BAR": "1"})
+	if strings.Contains(out, "float yes") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestIfArithmetic(t *testing.T) {
+	src := "#if N * 2 + 1 > 8\nbig\n#else\nsmall\n#endif\n"
+	if out := mustPP(t, src, map[string]string{"N": "4"}); !strings.Contains(out, "big") {
+		t.Errorf("got %q", out)
+	}
+	if out := mustPP(t, src, map[string]string{"N": "3"}); !strings.Contains(out, "small") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	src := "#define X 1\n#undef X\n#ifdef X\nyes\n#else\nno\n#endif\n"
+	if out := mustPP(t, src, nil); !strings.Contains(out, "no") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := "#define LONG 1.0 + \\\n 2.0\nfloat x = LONG;\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "1.0 +  2.0") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestGLESDetection(t *testing.T) {
+	src := "#version 300 es\n#ifdef GL_ES\nprecision mediump float;\n#endif\nvoid main() {}\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "precision mediump float;") {
+		t.Errorf("got %q", out)
+	}
+	// Desktop shader: GL_ES not defined.
+	src2 := "#version 330\n#ifdef GL_ES\nprecision mediump float;\n#endif\nvoid main() {}\n"
+	out2 := mustPP(t, src2, nil)
+	if strings.Contains(out2, "precision") {
+		t.Errorf("got %q", out2)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"#endif\n",
+		"#else\n",
+		"#elif 1\n",
+		"#ifdef A\n",
+		"#if (1\nx\n#endif\n",
+		"#define F(x) x\n",
+		"#bogus\n",
+		"#if 1/0\nx\n#endif\n",
+		"#error broken\n",
+		"#ifdef A\n#else\n#else\n#endif\n",
+	}
+	for _, src := range cases {
+		if _, err := Preprocess(src, nil); err == nil {
+			t.Errorf("Preprocess(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorInInactiveBranchIgnored(t *testing.T) {
+	src := "#ifdef NOPE\n#error unreachable\n#endif\nok\n"
+	out := mustPP(t, src, nil)
+	if !strings.Contains(out, "ok") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestUbershaderScenario(t *testing.T) {
+	// A miniature übershader: one base source, several specialisations.
+	src := `#version 330
+uniform sampler2D albedo;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 base = texture(albedo, uv);
+#if NUM_LIGHTS > 0
+    vec3 lit = vec3(0.0);
+    for (int i = 0; i < NUM_LIGHTS; i++) { lit += vec3(0.1); }
+    base.rgb *= lit;
+#endif
+#ifdef USE_FOG
+    base.rgb = mix(base.rgb, vec3(0.5), 0.2);
+#endif
+    color = base;
+}
+`
+	plain := mustPP(t, src, nil)
+	if strings.Contains(plain, "lit") || strings.Contains(plain, "mix") {
+		t.Errorf("plain variant wrong: %q", plain)
+	}
+	lit := mustPP(t, src, map[string]string{"NUM_LIGHTS": "4"})
+	if !strings.Contains(lit, "i < 4") {
+		t.Errorf("lights variant wrong: %q", lit)
+	}
+	full := mustPP(t, src, map[string]string{"NUM_LIGHTS": "2", "USE_FOG": ""})
+	if !strings.Contains(full, "i < 2") || !strings.Contains(full, "mix") {
+		t.Errorf("full variant wrong: %q", full)
+	}
+}

@@ -1,0 +1,323 @@
+// Package search implements the paper's iterative-compilation study: the
+// exhaustive evaluation of all 256 flag combinations for every corpus
+// shader on every platform (§III-A), and the analyses behind Table I and
+// Figures 3 and 5-9.
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/passes"
+)
+
+// ShaderResult holds one shader's exhaustive measurements.
+type ShaderResult struct {
+	Shader   *corpus.Shader
+	Variants *core.VariantSet
+	// OrigNS is the measured time of the unmodified original source per
+	// platform vendor.
+	OrigNS map[string]float64
+	// VariantNS maps vendor -> variant hash -> measured time.
+	VariantNS map[string]map[string]float64
+}
+
+// NSFor returns the measured time of the variant produced by flags.
+func (r *ShaderResult) NSFor(vendor string, flags core.Flags) float64 {
+	v := r.Variants.VariantFor(flags)
+	return r.VariantNS[vendor][v.Hash]
+}
+
+// SpeedupFor returns the % speedup of the flags variant vs the original.
+func (r *ShaderResult) SpeedupFor(vendor string, flags core.Flags) float64 {
+	return harness.Speedup(r.OrigNS[vendor], r.NSFor(vendor, flags))
+}
+
+// BestVariant returns the fastest variant and its time.
+func (r *ShaderResult) BestVariant(vendor string) (*core.Variant, float64) {
+	var best *core.Variant
+	bestNS := 0.0
+	for _, v := range r.Variants.Variants {
+		ns := r.VariantNS[vendor][v.Hash]
+		if best == nil || ns < bestNS {
+			best, bestNS = v, ns
+		}
+	}
+	return best, bestNS
+}
+
+// BestSpeedup returns the best-per-shader % speedup vs the original.
+func (r *ShaderResult) BestSpeedup(vendor string) float64 {
+	_, ns := r.BestVariant(vendor)
+	return harness.Speedup(r.OrigNS[vendor], ns)
+}
+
+// Sweep is the full study result.
+type Sweep struct {
+	Platforms []*gpu.Platform
+	Results   []*ShaderResult
+	Cfg       harness.Config
+}
+
+// Options configures a sweep run.
+type Options struct {
+	Cfg harness.Config
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes the exhaustive study over the given shaders and platforms.
+// Results are deterministic: noise streams are seeded per (platform,
+// shader, variant), independent of scheduling.
+func Run(shaders []*corpus.Shader, platforms []*gpu.Platform, opts Options) (*Sweep, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*ShaderResult, len(shaders))
+	errs := make([]error, len(shaders))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, sh := range shaders {
+		wg.Add(1)
+		go func(i int, sh *corpus.Shader) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = measureShader(sh, platforms, opts.Cfg)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", shaders[i].Name, err)
+		}
+	}
+	return &Sweep{Platforms: platforms, Results: results, Cfg: opts.Cfg}, nil
+}
+
+func measureShader(sh *corpus.Shader, platforms []*gpu.Platform, cfg harness.Config) (*ShaderResult, error) {
+	vs, err := core.EnumerateVariants(sh.Source, sh.Name)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShaderResult{
+		Shader:    sh,
+		Variants:  vs,
+		OrigNS:    map[string]float64{},
+		VariantNS: map[string]map[string]float64{},
+	}
+	for _, pl := range platforms {
+		m, err := harness.MeasureSource(pl, sh.Source, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("original on %s: %w", pl.Vendor, err)
+		}
+		r.OrigNS[pl.Vendor] = m.Score()
+		perVariant := map[string]float64{}
+		for _, v := range vs.Variants {
+			vm, err := harness.MeasureSource(pl, v.Source, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
+			}
+			perVariant[v.Hash] = vm.Score()
+		}
+		r.VariantNS[pl.Vendor] = perVariant
+	}
+	return r, nil
+}
+
+// --- Analyses ---
+
+// BestStaticFlags returns the single flag combination maximizing the mean
+// speedup across all shaders for the vendor (Table I).
+func (s *Sweep) BestStaticFlags(vendor string) (core.Flags, float64) {
+	bestFlags := core.NoFlags
+	bestMean := -1e18
+	for _, flags := range passes.AllCombinations() {
+		sum := 0.0
+		for _, r := range s.Results {
+			sum += r.SpeedupFor(vendor, flags)
+		}
+		mean := sum / float64(len(s.Results))
+		if mean > bestMean {
+			bestMean, bestFlags = mean, flags
+		}
+	}
+	return bestFlags, bestMean
+}
+
+// MeanSpeedups computes Figure 5's three bars for a vendor: best per
+// shader, default LunarGlass flags, and the best static flag set.
+type MeanSpeedups struct {
+	Vendor     string
+	Best       float64
+	Default    float64
+	BestStatic float64
+	StaticSet  core.Flags
+}
+
+// MeanSpeedups returns the Fig. 5 aggregates for a vendor.
+func (s *Sweep) MeanSpeedups(vendor string) MeanSpeedups {
+	staticSet, staticMean := s.BestStaticFlags(vendor)
+	out := MeanSpeedups{Vendor: vendor, BestStatic: staticMean, StaticSet: staticSet}
+	for _, r := range s.Results {
+		out.Best += r.BestSpeedup(vendor)
+		out.Default += r.SpeedupFor(vendor, core.DefaultFlags)
+	}
+	n := float64(len(s.Results))
+	out.Best /= n
+	out.Default /= n
+	return out
+}
+
+// PerShaderSpeedups returns, for each shader, (best, default, best-static)
+// speedups on a vendor, sorted descending by best — the data behind
+// Figures 6 and 7.
+type PerShader struct {
+	Name                      string
+	Best, Default, BestStatic float64
+}
+
+// PerShaderSpeedups computes the per-shader series for a vendor.
+func (s *Sweep) PerShaderSpeedups(vendor string) []PerShader {
+	staticSet, _ := s.BestStaticFlags(vendor)
+	out := make([]PerShader, 0, len(s.Results))
+	for _, r := range s.Results {
+		out = append(out, PerShader{
+			Name:       r.Shader.Name,
+			Best:       r.BestSpeedup(vendor),
+			Default:    r.SpeedupFor(vendor, core.DefaultFlags),
+			BestStatic: r.SpeedupFor(vendor, staticSet),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Best > out[j].Best })
+	return out
+}
+
+// Top30Mean returns Figure 6's value: the mean best speedup over the 30
+// most-improved shaders.
+func (s *Sweep) Top30Mean(vendor string) float64 {
+	per := s.PerShaderSpeedups(vendor)
+	n := 30
+	if len(per) < n {
+		n = len(per)
+	}
+	sum := 0.0
+	for _, p := range per[:n] {
+		sum += p.Best
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// FlagApplicability is Figure 8's three bars for one flag.
+type FlagApplicability struct {
+	Flag core.Flags
+	// Total shaders studied (blue).
+	Total int
+	// ChangesCode counts shaders where toggling the flag changes the
+	// generated source for some setting of the other flags (red).
+	ChangesCode int
+	// InOptimalSet counts shaders where the flag is included in at least
+	// half of the optimal 10% of variants (green).
+	InOptimalSet map[string]int // per vendor
+}
+
+// FlagApplicabilities computes Fig. 8 for all flags.
+func (s *Sweep) FlagApplicabilities() []FlagApplicability {
+	var out []FlagApplicability
+	for _, f := range passes.FlagList() {
+		fa := FlagApplicability{Flag: f, Total: len(s.Results), InOptimalSet: map[string]int{}}
+		for _, r := range s.Results {
+			if r.Variants.FlagChangesOutput(f) {
+				fa.ChangesCode++
+			}
+			for _, pl := range s.Platforms {
+				if flagInOptimalTenth(r, pl.Vendor, f) {
+					fa.InOptimalSet[pl.Vendor]++
+				}
+			}
+		}
+		out = append(out, fa)
+	}
+	return out
+}
+
+// flagInOptimalTenth implements the paper's Fig. 8 green criterion: the
+// flag is included for at least half of the optimal 10% of variants for
+// that shader.
+func flagInOptimalTenth(r *ShaderResult, vendor string, f core.Flags) bool {
+	variants := append([]*core.Variant(nil), r.Variants.Variants...)
+	times := r.VariantNS[vendor]
+	sort.Slice(variants, func(i, j int) bool {
+		if times[variants[i].Hash] != times[variants[j].Hash] {
+			return times[variants[i].Hash] < times[variants[j].Hash]
+		}
+		return variants[i].Hash < variants[j].Hash
+	})
+	n := (len(variants) + 9) / 10 // ceil(10%), at least 1
+	if n < 1 {
+		n = 1
+	}
+	withFlag := 0
+	for _, v := range variants[:n] {
+		// A variant corresponds to many flag settings; attribute the flag
+		// if a majority of the settings that produce this variant set it.
+		set := 0
+		for _, fs := range v.FlagSets {
+			if fs.Has(f) {
+				set++
+			}
+		}
+		if set*2 >= len(v.FlagSets) {
+			withFlag++
+		}
+	}
+	return withFlag*2 >= n
+}
+
+// FlagIsolation computes Figure 9: the speedup distribution of each flag
+// alone relative to the all-off LunarGlass baseline (so codegen artefacts
+// cancel out, §VI-D).
+func (s *Sweep) FlagIsolation(vendor string) map[core.Flags][]float64 {
+	out := map[core.Flags][]float64{}
+	for _, f := range passes.FlagList() {
+		var speeds []float64
+		for _, r := range s.Results {
+			base := r.NSFor(vendor, core.NoFlags)
+			solo := r.NSFor(vendor, f)
+			speeds = append(speeds, harness.Speedup(base, solo))
+		}
+		out[f] = speeds
+	}
+	return out
+}
+
+// SpeedupDistribution returns the per-shader speedups of one flag set vs
+// the original across all shaders (Fig. 3 right: the Mali histogram).
+func (s *Sweep) SpeedupDistribution(vendor string, flags core.Flags) []float64 {
+	var out []float64
+	for _, r := range s.Results {
+		out = append(out, r.SpeedupFor(vendor, flags))
+	}
+	return out
+}
+
+// ResultFor returns the result for a named shader, or nil.
+func (s *Sweep) ResultFor(name string) *ShaderResult {
+	for _, r := range s.Results {
+		if r.Shader.Name == name {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package search
+
+import (
+	"testing"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/passes"
+)
+
+// miniSweep runs the study on a small, behaviour-diverse subset.
+func miniSweep(t *testing.T) *Sweep {
+	t.Helper()
+	all := corpus.MustLoad()
+	var shaders []*corpus.Shader
+	for _, name := range []string{"blur/v9", "ui/flat", "simple/luma", "alu/d3", "projtex/compose", "relief/basic"} {
+		s := corpus.ByName(all, name)
+		if s == nil {
+			t.Fatalf("missing corpus shader %s", name)
+		}
+		shaders = append(shaders, s)
+	}
+	sweep, err := Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep
+}
+
+func TestSweepRunsAndIsComplete(t *testing.T) {
+	sweep := miniSweep(t)
+	if len(sweep.Results) != 6 {
+		t.Fatalf("results = %d", len(sweep.Results))
+	}
+	for _, r := range sweep.Results {
+		for _, pl := range sweep.Platforms {
+			if r.OrigNS[pl.Vendor] <= 0 {
+				t.Errorf("%s on %s: no original time", r.Shader.Name, pl.Vendor)
+			}
+			for _, v := range r.Variants.Variants {
+				if r.VariantNS[pl.Vendor][v.Hash] <= 0 {
+					t.Errorf("%s on %s: missing variant time", r.Shader.Name, pl.Vendor)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a := miniSweep(t)
+	b := miniSweep(t)
+	for i := range a.Results {
+		for vendor, ns := range a.Results[i].OrigNS {
+			if b.Results[i].OrigNS[vendor] != ns {
+				t.Fatalf("nondeterministic sweep: %s %s", a.Results[i].Shader.Name, vendor)
+			}
+		}
+	}
+}
+
+func TestBestSpeedupNeverNegative(t *testing.T) {
+	// The best variant can always fall back to the all-off output, but the
+	// BASELINE is the unmodified original, so best speedup can be negative
+	// only when every variant (including all-off) is slower — the
+	// artefact-dominated shaders. Check both cases exist in the subset.
+	sweep := miniSweep(t)
+	sawPositive := false
+	for _, r := range sweep.Results {
+		for _, pl := range sweep.Platforms {
+			if r.BestSpeedup(pl.Vendor) > 1 {
+				sawPositive = true
+			}
+		}
+	}
+	if !sawPositive {
+		t.Error("no shader improved anywhere — sweep is broken")
+	}
+}
+
+func TestMatrixShaderArtefactCanLose(t *testing.T) {
+	// projtex/compose is matrix-heavy: the offline scalarization artefact
+	// should make its all-off variant SLOWER than the original on at least
+	// one desktop platform (§III-C: artefacts "could sometimes negatively
+	// impact the code's performance").
+	sweep := miniSweep(t)
+	r := sweep.ResultFor("projtex/compose")
+	lost := false
+	for _, pl := range sweep.Platforms {
+		if r.SpeedupFor(pl.Vendor, core.NoFlags) < -0.5 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("matrix scalarization artefact shows no cost anywhere")
+	}
+}
+
+func TestBestStaticFlags(t *testing.T) {
+	sweep := miniSweep(t)
+	flags, mean := sweep.BestStaticFlags("AMD")
+	// The best static mean must be at least as good as any single flag set
+	// we test by hand.
+	for _, f := range []core.Flags{core.NoFlags, core.DefaultFlags, core.AllFlags} {
+		sum := 0.0
+		for _, r := range sweep.Results {
+			sum += r.SpeedupFor("AMD", f)
+		}
+		if m := sum / float64(len(sweep.Results)); m > mean+1e-9 {
+			t.Errorf("best static %v (%+.2f%%) beaten by %v (%+.2f%%)", flags, mean, f, m)
+		}
+	}
+}
+
+func TestMeanSpeedupsOrdering(t *testing.T) {
+	sweep := miniSweep(t)
+	for _, pl := range sweep.Platforms {
+		ms := sweep.MeanSpeedups(pl.Vendor)
+		if ms.Best < ms.BestStatic-1e-9 {
+			t.Errorf("%s: best per shader %.3f below best static %.3f", pl.Vendor, ms.Best, ms.BestStatic)
+		}
+		if ms.BestStatic < ms.Default-1e-9 {
+			t.Errorf("%s: best static %.3f below default %.3f", pl.Vendor, ms.BestStatic, ms.Default)
+		}
+	}
+}
+
+func TestPerShaderSpeedupsSorted(t *testing.T) {
+	sweep := miniSweep(t)
+	per := sweep.PerShaderSpeedups("ARM")
+	for i := 1; i < len(per); i++ {
+		if per[i].Best > per[i-1].Best {
+			t.Error("per-shader list not sorted by best")
+		}
+	}
+	if got := sweep.Top30Mean("ARM"); got < per[len(per)-1].Best {
+		t.Error("top-30 mean below the weakest shader")
+	}
+}
+
+func TestFlagApplicabilities(t *testing.T) {
+	sweep := miniSweep(t)
+	apps := sweep.FlagApplicabilities()
+	if len(apps) != passes.NumFlags {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	byFlag := map[core.Flags]FlagApplicability{}
+	for _, a := range apps {
+		byFlag[a.Flag] = a
+		if a.Total != len(sweep.Results) {
+			t.Errorf("%v: total = %d", a.Flag, a.Total)
+		}
+		if a.ChangesCode > a.Total {
+			t.Errorf("%v: changes > total", a.Flag)
+		}
+	}
+	// §VI-D1: ADCE never changes the output.
+	if byFlag[core.FlagADCE].ChangesCode != 0 {
+		t.Errorf("ADCE changed code for %d shaders, paper says never", byFlag[core.FlagADCE].ChangesCode)
+	}
+	// Unroll must change the blur shader at least.
+	if byFlag[core.FlagUnroll].ChangesCode == 0 {
+		t.Error("unroll never changed code")
+	}
+}
+
+func TestFlagIsolationBaselines(t *testing.T) {
+	sweep := miniSweep(t)
+	iso := sweep.FlagIsolation("Qualcomm")
+	if len(iso) != passes.NumFlags {
+		t.Fatalf("iso flags = %d", len(iso))
+	}
+	// ADCE-alone equals the all-off baseline modulo measurement noise.
+	for _, v := range iso[core.FlagADCE] {
+		if v > 1.5 || v < -1.5 {
+			t.Errorf("ADCE isolated speedup %v%% should be measurement noise only", v)
+		}
+	}
+	for f, speeds := range iso {
+		if len(speeds) != len(sweep.Results) {
+			t.Errorf("%v: %d samples", f, len(speeds))
+		}
+	}
+}
+
+func TestSpeedupDistribution(t *testing.T) {
+	sweep := miniSweep(t)
+	dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
+	if len(dist) != len(sweep.Results) {
+		t.Fatalf("dist = %d", len(dist))
+	}
+}
+
+func TestResultFor(t *testing.T) {
+	sweep := miniSweep(t)
+	if sweep.ResultFor("blur/v9") == nil {
+		t.Error("blur/v9 missing")
+	}
+	if sweep.ResultFor("nope") != nil {
+		t.Error("unexpected result")
+	}
+}

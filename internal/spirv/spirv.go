@@ -1,0 +1,504 @@
+// Package spirv implements a compact SPIR-V-like binary module format for
+// the optimizer IR: a word stream with a magic/version header, a type and
+// interface section, and a structured instruction stream. It is the
+// interchange format of the mobile conversion path (glslang → SPIR-V →
+// SPIRV-Cross in the paper, §III-C(d)). Like real SPIR-V without debug
+// info, the encoding does not carry variable names — the decoder
+// synthesizes them, which is one of the translation artefacts the paper
+// observes on mobile.
+package spirv
+
+import (
+	"fmt"
+	"math"
+
+	"shaderopt/internal/ir"
+	"shaderopt/internal/sem"
+)
+
+// Magic identifies a module (SPIR-V's own magic, as a homage).
+const Magic = 0x07230203
+
+// Version of the encoding.
+const Version = 0x00010000
+
+// Generator tag.
+const Generator = 0x53484F50 // "SHOP"
+
+// Module opcodes. Declarations first, then body ops (mirroring ir.Op),
+// then structured-region markers.
+const (
+	opUniform uint32 = iota + 1
+	opInput
+	opOutput
+	opVar
+	opBodyBase // body ops encode as opBodyBase + uint32(ir.Op)
+)
+
+const (
+	opIfBegin uint32 = iota + 64
+	opElse
+	opIfEnd
+	opLoopBegin
+	opLoopEnd
+	opWhileBegin
+	opWhileCond
+	opWhileEnd
+)
+
+var samplerDims = []string{"2D", "3D", "Cube", "2DShadow", "2DArray"}
+
+func dimIndex(d string) uint32 {
+	for i, s := range samplerDims {
+		if s == d {
+			return uint32(i)
+		}
+	}
+	return 0
+}
+
+// encodeType packs a sem.Type into two words.
+func encodeType(t sem.Type) [2]uint32 {
+	w0 := uint32(t.Kind)<<24 | uint32(t.Vec)<<16 | uint32(t.Mat)<<8 | dimIndex(t.Dim)
+	return [2]uint32{w0, uint32(t.ArrayLen)}
+}
+
+func decodeType(w [2]uint32) sem.Type {
+	t := sem.Type{
+		Kind: sem.Kind(w[0] >> 24),
+		Vec:  int(w[0] >> 16 & 0xff),
+		Mat:  int(w[0] >> 8 & 0xff),
+	}
+	if t.Kind == sem.KindSampler {
+		t.Dim = samplerDims[w[0]&0xff]
+	}
+	t.ArrayLen = int(w[1])
+	return t
+}
+
+// Encode serializes a program to a word stream.
+func Encode(p *ir.Program) []uint32 {
+	e := &encoder{
+		instrID: map[*ir.Instr]uint32{},
+		varID:   map[*ir.Var]uint32{},
+		globID:  map[*ir.Global]uint32{},
+	}
+	e.words = append(e.words, Magic, Version, Generator, 0 /* bound patched below */, 0)
+
+	for _, g := range p.Uniforms {
+		id := e.newID()
+		e.globID[g] = id
+		e.emitTyped(opUniform, id, g.Type)
+	}
+	for _, g := range p.Inputs {
+		id := e.newID()
+		e.globID[g] = id
+		e.emitTyped(opInput, id, g.Type)
+	}
+	for _, v := range p.Vars {
+		id := e.newID()
+		e.varID[v] = id
+		if v.IsOutput {
+			e.emitTyped(opOutput, id, v.Type)
+		} else {
+			e.emitTyped(opVar, id, v.Type)
+		}
+	}
+	e.block(p.Body)
+	e.words[3] = e.nextID // bound
+	return e.words
+}
+
+type encoder struct {
+	words   []uint32
+	nextID  uint32
+	instrID map[*ir.Instr]uint32
+	varID   map[*ir.Var]uint32
+	globID  map[*ir.Global]uint32
+}
+
+func (e *encoder) newID() uint32 {
+	e.nextID++
+	return e.nextID
+}
+
+// emit writes one instruction: (wordcount<<16 | opcode) followed by
+// operand words.
+func (e *encoder) emit(op uint32, operands ...uint32) {
+	e.words = append(e.words, uint32(len(operands)+1)<<16|op)
+	e.words = append(e.words, operands...)
+}
+
+func (e *encoder) emitTyped(op, id uint32, t sem.Type) {
+	tw := encodeType(t)
+	e.emit(op, id, tw[0], tw[1])
+}
+
+func (e *encoder) block(b *ir.Block) {
+	for _, it := range b.Items {
+		switch it := it.(type) {
+		case *ir.Instr:
+			e.instr(it)
+		case *ir.If:
+			e.emit(opIfBegin, e.instrID[it.Cond])
+			e.block(it.Then)
+			if it.Else != nil && len(it.Else.Items) > 0 {
+				e.emit(opElse)
+				e.block(it.Else)
+			}
+			e.emit(opIfEnd)
+		case *ir.Loop:
+			e.emit(opLoopBegin, e.varID[it.Counter],
+				e.instrID[it.Start], e.instrID[it.End], e.instrID[it.Step])
+			e.block(it.Body)
+			e.emit(opLoopEnd)
+		case *ir.While:
+			e.emit(opWhileBegin, uint32(it.MaxIter))
+			e.block(it.Cond)
+			e.emit(opWhileCond, e.instrID[it.CondVal])
+			e.block(it.Body)
+			e.emit(opWhileEnd)
+		}
+	}
+}
+
+func (e *encoder) instr(in *ir.Instr) {
+	id := uint32(0)
+	if in.HasResult() {
+		id = e.newID()
+		e.instrID[in] = id
+	}
+	tw := encodeType(in.Type)
+	ops := []uint32{id, tw[0], tw[1]}
+
+	// Fixed metadata: binop/unop/callee as interned strings, index,
+	// swizzle, var/global refs, const payload.
+	ops = append(ops, internString(in.BinOp+in.UnOp+in.Callee))
+	ops = append(ops, uint32(int32(in.Index)))
+	ops = append(ops, uint32(len(in.Indices)))
+	for _, ix := range in.Indices {
+		ops = append(ops, uint32(ix))
+	}
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore:
+		ops = append(ops, e.varID[in.Var])
+	case ir.OpUniform, ir.OpInput:
+		ops = append(ops, e.globID[in.Global])
+	case ir.OpConst:
+		c := in.Const
+		ops = append(ops, uint32(c.Kind), uint32(c.Len()))
+		for i := 0; i < c.Len(); i++ {
+			switch c.Kind {
+			case sem.KindFloat:
+				bits := math.Float64bits(c.F[i])
+				ops = append(ops, uint32(bits>>32), uint32(bits))
+			case sem.KindInt:
+				bits := uint64(c.I[i])
+				ops = append(ops, uint32(bits>>32), uint32(bits))
+			case sem.KindBool:
+				v := uint32(0)
+				if c.B[i] {
+					v = 1
+				}
+				ops = append(ops, v, 0)
+			}
+		}
+	}
+	ops = append(ops, uint32(len(in.Args)))
+	for _, a := range in.Args {
+		ops = append(ops, e.instrID[a])
+	}
+	e.emit(opBodyBase+uint32(in.Op), ops...)
+}
+
+// internString packs short op mnemonics into a word (they are all ASCII
+// and at most 14 chars; we hash deterministically and keep a side table).
+var stringTable = []string{
+	"", "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||", "^^", "!",
+	"abs", "sign", "floor", "ceil", "fract", "radians", "degrees", "saturate",
+	"mod", "min", "max", "step", "clamp", "mix", "smoothstep", "reflect",
+	"refract", "normalize", "faceforward", "sin", "cos", "tan", "asin",
+	"acos", "atan", "pow", "exp", "log", "exp2", "log2", "sqrt",
+	"inversesqrt", "dot", "length", "distance", "cross", "texture",
+	"texture2D", "textureCube", "textureLod", "texelFetch", "dFdx", "dFdy",
+	"fwidth",
+}
+
+func internString(s string) uint32 {
+	for i, x := range stringTable {
+		if x == s {
+			return uint32(i)
+		}
+	}
+	return 0
+}
+
+// Decode reconstructs a program from a word stream. Variable and interface
+// names are synthesized (u0, in1, v2, ...), as with real SPIR-V stripped
+// of debug info.
+func Decode(words []uint32, name string) (*ir.Program, error) {
+	if len(words) < 5 {
+		return nil, fmt.Errorf("spirv: module too short")
+	}
+	if words[0] != Magic {
+		return nil, fmt.Errorf("spirv: bad magic %#x", words[0])
+	}
+	if words[1] != Version {
+		return nil, fmt.Errorf("spirv: unsupported version %#x", words[1])
+	}
+	d := &decoder{
+		p:      ir.NewProgram(name),
+		instrs: map[uint32]*ir.Instr{},
+		vars:   map[uint32]*ir.Var{},
+		globs:  map[uint32]*ir.Global{},
+	}
+	d.p.Version = "300 es"
+	pos := 5
+	blockStack := []*ir.Block{d.p.Body}
+	type pendingWhile struct {
+		w    *ir.While
+		body *ir.Block
+	}
+	var whileStack []*pendingWhile
+	var ifStack []*ir.If
+
+	cur := func() *ir.Block { return blockStack[len(blockStack)-1] }
+
+	for pos < len(words) {
+		head := words[pos]
+		wc := int(head >> 16)
+		op := head & 0xffff
+		if wc == 0 || pos+wc > len(words) {
+			return nil, fmt.Errorf("spirv: truncated instruction at word %d", pos)
+		}
+		operands := words[pos+1 : pos+wc]
+		pos += wc
+
+		switch {
+		case op == opUniform || op == opInput || op == opOutput || op == opVar:
+			if len(operands) != 3 {
+				return nil, fmt.Errorf("spirv: bad declaration")
+			}
+			id := operands[0]
+			t := decodeType([2]uint32{operands[1], operands[2]})
+			switch op {
+			case opUniform:
+				d.globs[id] = d.p.AddUniform(fmt.Sprintf("u%d", id), t)
+			case opInput:
+				d.globs[id] = d.p.AddInput(fmt.Sprintf("in%d", id), t)
+			case opOutput:
+				d.vars[id] = d.p.AddOutput(fmt.Sprintf("out%d", id), t)
+			case opVar:
+				d.vars[id] = d.p.AddVar(fmt.Sprintf("v%d", id), t)
+			}
+		case op == opIfBegin:
+			cond, ok := d.instrs[operands[0]]
+			if !ok {
+				return nil, fmt.Errorf("spirv: if references unknown id %d", operands[0])
+			}
+			node := &ir.If{Cond: cond, Then: &ir.Block{}}
+			cur().Append(node)
+			ifStack = append(ifStack, node)
+			blockStack = append(blockStack, node.Then)
+		case op == opElse:
+			if len(ifStack) == 0 {
+				return nil, fmt.Errorf("spirv: else without if")
+			}
+			node := ifStack[len(ifStack)-1]
+			node.Else = &ir.Block{}
+			blockStack[len(blockStack)-1] = node.Else
+		case op == opIfEnd:
+			if len(ifStack) == 0 {
+				return nil, fmt.Errorf("spirv: endif without if")
+			}
+			ifStack = ifStack[:len(ifStack)-1]
+			blockStack = blockStack[:len(blockStack)-1]
+		case op == opLoopBegin:
+			counter := d.vars[operands[0]]
+			start := d.instrs[operands[1]]
+			end := d.instrs[operands[2]]
+			step := d.instrs[operands[3]]
+			if counter == nil || start == nil || end == nil || step == nil {
+				return nil, fmt.Errorf("spirv: loop references unknown ids")
+			}
+			node := &ir.Loop{Counter: counter, Start: start, End: end, Step: step, Body: &ir.Block{}}
+			cur().Append(node)
+			blockStack = append(blockStack, node.Body)
+		case op == opLoopEnd:
+			blockStack = blockStack[:len(blockStack)-1]
+		case op == opWhileBegin:
+			node := &ir.While{Cond: &ir.Block{}, Body: &ir.Block{}, MaxIter: int(operands[0])}
+			cur().Append(node)
+			whileStack = append(whileStack, &pendingWhile{w: node, body: node.Body})
+			blockStack = append(blockStack, node.Cond)
+		case op == opWhileCond:
+			if len(whileStack) == 0 {
+				return nil, fmt.Errorf("spirv: while-cond without while")
+			}
+			pw := whileStack[len(whileStack)-1]
+			cv := d.instrs[operands[0]]
+			if cv == nil {
+				return nil, fmt.Errorf("spirv: while cond id unknown")
+			}
+			pw.w.CondVal = cv
+			blockStack[len(blockStack)-1] = pw.body
+		case op == opWhileEnd:
+			whileStack = whileStack[:len(whileStack)-1]
+			blockStack = blockStack[:len(blockStack)-1]
+		case op >= opBodyBase && op < opIfBegin:
+			in, err := d.decodeInstr(ir.Op(op-opBodyBase), operands)
+			if err != nil {
+				return nil, err
+			}
+			cur().Append(in)
+		default:
+			return nil, fmt.Errorf("spirv: unknown opcode %d", op)
+		}
+	}
+	if len(blockStack) != 1 {
+		return nil, fmt.Errorf("spirv: unbalanced regions")
+	}
+	d.p.RenumberIDs()
+	if err := d.p.Verify(); err != nil {
+		return nil, fmt.Errorf("spirv: decoded module invalid: %w", err)
+	}
+	return d.p, nil
+}
+
+type decoder struct {
+	p      *ir.Program
+	instrs map[uint32]*ir.Instr
+	vars   map[uint32]*ir.Var
+	globs  map[uint32]*ir.Global
+}
+
+func (d *decoder) decodeInstr(op ir.Op, w []uint32) (*ir.Instr, error) {
+	rd := func() (uint32, error) {
+		if len(w) == 0 {
+			return 0, fmt.Errorf("spirv: short instruction")
+		}
+		v := w[0]
+		w = w[1:]
+		return v, nil
+	}
+	id, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	t0, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	t1, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	t := decodeType([2]uint32{t0, t1})
+	in := d.p.NewInstr(op, t)
+
+	strIdx, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	if int(strIdx) >= len(stringTable) {
+		return nil, fmt.Errorf("spirv: bad string index")
+	}
+	s := stringTable[strIdx]
+	switch op {
+	case ir.OpBin:
+		in.BinOp = s
+	case ir.OpUn:
+		in.UnOp = s
+	case ir.OpCall:
+		in.Callee = s
+	}
+	idx, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	in.Index = int(int32(idx))
+	nIdx, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nIdx; i++ {
+		v, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		in.Indices = append(in.Indices, int(v))
+	}
+
+	switch op {
+	case ir.OpLoad, ir.OpStore:
+		vid, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		in.Var = d.vars[vid]
+		if in.Var == nil {
+			return nil, fmt.Errorf("spirv: unknown var id %d", vid)
+		}
+	case ir.OpUniform, ir.OpInput:
+		gid, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		in.Global = d.globs[gid]
+		if in.Global == nil {
+			return nil, fmt.Errorf("spirv: unknown global id %d", gid)
+		}
+	case ir.OpConst:
+		kindW, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		n, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		c := &ir.ConstVal{Kind: sem.Kind(kindW)}
+		for i := uint32(0); i < n; i++ {
+			hi, err := rd()
+			if err != nil {
+				return nil, err
+			}
+			lo, err := rd()
+			if err != nil {
+				return nil, err
+			}
+			switch c.Kind {
+			case sem.KindFloat:
+				c.F = append(c.F, math.Float64frombits(uint64(hi)<<32|uint64(lo)))
+			case sem.KindInt:
+				c.I = append(c.I, int64(uint64(hi)<<32|uint64(lo)))
+			case sem.KindBool:
+				c.B = append(c.B, hi != 0)
+			}
+		}
+		in.Const = c
+	}
+
+	nArgs, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nArgs; i++ {
+		aid, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		a := d.instrs[aid]
+		if a == nil {
+			return nil, fmt.Errorf("spirv: unknown operand id %d", aid)
+		}
+		in.Args = append(in.Args, a)
+	}
+	if len(w) != 0 {
+		return nil, fmt.Errorf("spirv: %d trailing operand words", len(w))
+	}
+	if id != 0 {
+		d.instrs[id] = in
+	}
+	return in, nil
+}

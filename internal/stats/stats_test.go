@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 10}
+	if Mean(xs) != 4 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if Median([]float64{1, 2}) != 1.5 {
+		t.Error("even median")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Quantile(xs, 0) != 0 || Quantile(xs, 1) != 10 {
+		t.Error("extremes")
+	}
+	if Quantile(xs, 0.5) != 5 {
+		t.Errorf("p50 = %v", Quantile(xs, 0.5))
+	}
+	if got := Quantile(xs, 0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestMinMaxStdDev(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("min/max")
+	}
+	if StdDev([]float64{5, 5, 5}) != 0 {
+		t.Error("stddev of constant should be 0")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("stddev of singleton")
+	}
+	sd := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input should give 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-100, -5, 0, 5, 100}, -10, 10, 4)
+	// -100 clamps to bin 0; -5 lands in bin 1; 100 clamps to bin 3.
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("bins = %v", h.Counts)
+	}
+	if h.Counts[3] != 2 {
+		t.Errorf("bin3 = %d", h.Counts[3])
+	}
+	if h.MaxCount() != 2 {
+		t.Errorf("max = %d", h.MaxCount())
+	}
+	if c := h.BinCenter(0); math.Abs(c-(-7.5)) > 1e-12 {
+		t.Errorf("center0 = %v", c)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		prev := Quantile(xs, 0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := Quantile(xs, q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is between min and max.
+func TestMeanBounded(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

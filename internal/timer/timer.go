@@ -1,0 +1,63 @@
+// Package timer models GL_TIME_ELAPSED timer queries. Real queries are
+// noisy and add profiling overhead (§IV-B: "these queries can be noisy and
+// introduce profiling overhead"); the model injects deterministic,
+// seed-driven multiplicative jitter, additive query overhead, and clock
+// quantization so the harness's repeat-and-aggregate protocol has real work
+// to do, and so per-platform noise differences (Intel cleanest, Qualcomm
+// noisiest — §VI-D7/8) reproduce.
+package timer
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Query models one platform's GL_TIME_ELAPSED behaviour.
+type Query struct {
+	// Sigma is the relative standard deviation of multiplicative noise.
+	Sigma float64
+	// OverheadNS is the mean additive measurement overhead per query.
+	OverheadNS float64
+	// ResolutionNS is the clock tick; measurements quantize to it.
+	ResolutionNS float64
+	// TailProb is the probability of a slow-frame outlier (scheduler
+	// preemption, thermal event) multiplying the time by TailScale.
+	TailProb  float64
+	TailScale float64
+
+	rng *rand.Rand
+}
+
+// New returns a query model seeded deterministically.
+func New(sigma, overheadNS, resolutionNS float64, seed int64) *Query {
+	return &Query{
+		Sigma:        sigma,
+		OverheadNS:   overheadNS,
+		ResolutionNS: resolutionNS,
+		TailProb:     0.005,
+		TailScale:    1.5,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Measure returns the measured value for a true elapsed time of trueNS.
+func (q *Query) Measure(trueNS float64) float64 {
+	noise := 1 + q.rng.NormFloat64()*q.Sigma
+	if noise < 0.5 {
+		noise = 0.5
+	}
+	t := trueNS*noise + q.OverheadNS*(1+0.25*q.rng.Float64())
+	if q.TailProb > 0 && q.rng.Float64() < q.TailProb {
+		t *= q.TailScale
+	}
+	if q.ResolutionNS > 0 {
+		t = math.Round(t/q.ResolutionNS) * q.ResolutionNS
+	}
+	return t
+}
+
+// Reseed resets the noise stream (each shader measurement run uses a
+// derived seed so experiment order does not perturb results).
+func (q *Query) Reseed(seed int64) {
+	q.rng = rand.New(rand.NewSource(seed))
+}

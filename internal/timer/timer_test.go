@@ -1,0 +1,97 @@
+package timer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureDeterministic(t *testing.T) {
+	a := New(0.01, 100, 10, 42)
+	b := New(0.01, 100, 10, 42)
+	for i := 0; i < 100; i++ {
+		if a.Measure(1e6) != b.Measure(1e6) {
+			t.Fatal("same seed must give identical noise streams")
+		}
+	}
+}
+
+func TestMeasureSeedsDiffer(t *testing.T) {
+	a := New(0.01, 100, 10, 1)
+	b := New(0.01, 100, 10, 2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Measure(1e6) == b.Measure(1e6) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/50 identical samples", same)
+	}
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	q := New(0.01, 0, 0, 7)
+	q.TailProb = 0
+	trueNS := 1e6
+	n := 5000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += q.Measure(trueNS)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-trueNS)/trueNS > 0.01 {
+		t.Errorf("mean %.0f deviates from true %.0f", mean, trueNS)
+	}
+}
+
+func TestMeasureOverheadAdditive(t *testing.T) {
+	q := New(0, 500, 0, 1)
+	q.TailProb = 0
+	m := q.Measure(1e6)
+	if m < 1e6+500 || m > 1e6+500*1.25 {
+		t.Errorf("overhead not applied: %v", m)
+	}
+}
+
+func TestMeasureQuantization(t *testing.T) {
+	q := New(0, 0, 1000, 1)
+	q.TailProb = 0
+	m := q.Measure(123456)
+	if math.Mod(m, 1000) != 0 {
+		t.Errorf("measurement %v not quantized to 1000ns", m)
+	}
+}
+
+func TestTailOutliers(t *testing.T) {
+	q := New(0, 0, 0, 3)
+	q.TailProb = 0.5
+	q.TailScale = 2
+	outliers := 0
+	for i := 0; i < 1000; i++ {
+		if q.Measure(100) > 150 {
+			outliers++
+		}
+	}
+	if outliers < 300 || outliers > 700 {
+		t.Errorf("tail outliers = %d/1000, want ~500", outliers)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	q := New(0.05, 0, 0, 9)
+	first := []float64{q.Measure(1e6), q.Measure(1e6)}
+	q.Reseed(9)
+	second := []float64{q.Measure(1e6), q.Measure(1e6)}
+	if first[0] != second[0] || first[1] != second[1] {
+		t.Error("reseed must restart the stream")
+	}
+}
+
+func TestNoiseNeverNegative(t *testing.T) {
+	q := New(0.5, 0, 0, 11) // absurdly noisy
+	for i := 0; i < 1000; i++ {
+		if q.Measure(100) <= 0 {
+			t.Fatal("measurement went non-positive")
+		}
+	}
+}

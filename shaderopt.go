@@ -1,0 +1,195 @@
+// Package shaderopt is a pure-Go reproduction of the experimental stack
+// from "A Cross-platform Evaluation of Graphics Shader Compiler
+// Optimization" (Crawford & O'Boyle, ISPASS 2018): an offline
+// source-to-source GLSL optimizer with LunarGlass's eight flag-controlled
+// passes (including the paper's custom unsafe floating-point additions),
+// five simulated GPU platforms with vendor-specific driver compilers and
+// cost models, a timer-query measurement harness, and the exhaustive
+// 256-combination iterative-compilation study.
+//
+// The root package is a stable facade over the internal packages:
+//
+//	out, _ := shaderopt.Optimize(src, "myshader", shaderopt.AllFlags)
+//	for _, pl := range shaderopt.Platforms() {
+//	    m, _ := shaderopt.Measure(pl, out, shaderopt.DefaultProtocol())
+//	    fmt.Println(pl.Vendor, m.MedianNS)
+//	}
+package shaderopt
+
+import (
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/crossc"
+	"shaderopt/internal/exec"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+	"shaderopt/internal/search"
+	"shaderopt/internal/sem"
+)
+
+// Flags selects optimization passes; combine with bitwise or.
+type Flags = passes.Flags
+
+// The eight optimization flags (Table I column order) and the standard
+// sets.
+const (
+	ADCE          = passes.FlagADCE
+	Coalesce      = passes.FlagCoalesce
+	GVN           = passes.FlagGVN
+	Reassociate   = passes.FlagReassociate
+	Unroll        = passes.FlagUnroll
+	Hoist         = passes.FlagHoist
+	FPReassociate = passes.FlagFPReassociate
+	DivToMul      = passes.FlagDivToMul
+
+	// DefaultFlags is LunarGlass's default set (the six pre-existing
+	// passes); NoFlags is the all-off artefact baseline; AllFlags enables
+	// everything including the unsafe FP passes.
+	DefaultFlags = passes.DefaultFlags
+	NoFlags      = passes.NoFlags
+	AllFlags     = passes.AllFlags
+)
+
+// ParseFlags parses "unroll+fp-reassociate" style flag lists; "none",
+// "default", and "all" are accepted.
+func ParseFlags(s string) (Flags, error) { return passes.ParseFlags(s) }
+
+// Optimize runs the offline optimizer on desktop GLSL fragment shader
+// source and returns optimized desktop GLSL.
+func Optimize(src, name string, flags Flags) (string, error) {
+	return core.Optimize(src, name, flags)
+}
+
+// Variants enumerates all 256 flag combinations for a shader and
+// deduplicates the distinct outputs (Fig. 4c).
+func Variants(src, name string) (*core.VariantSet, error) {
+	return core.EnumerateVariants(src, name)
+}
+
+// Variant re-exports the deduplicated variant type.
+type Variant = core.Variant
+
+// VariantSet re-exports the enumeration result type.
+type VariantSet = core.VariantSet
+
+// Platform is one of the five simulated GPUs.
+type Platform = gpu.Platform
+
+// Platforms returns the paper's five platforms: Intel HD 530, AMD RX 480,
+// NVIDIA GTX 1080, ARM Mali-T880, Qualcomm Adreno 530.
+func Platforms() []*Platform { return gpu.Platforms() }
+
+// PlatformByVendor looks a platform up by its short name.
+func PlatformByVendor(vendor string) *Platform { return gpu.PlatformByVendor(vendor) }
+
+// Protocol is the measurement configuration (§IV-B).
+type Protocol = harness.Config
+
+// DefaultProtocol is the paper's protocol: 500×500 fragments per draw,
+// 1000 draws per frame on desktop (100 on mobile), 100 frames × 5 repeats.
+func DefaultProtocol() Protocol { return harness.DefaultConfig() }
+
+// FastProtocol trades samples for speed.
+func FastProtocol() Protocol { return harness.FastConfig() }
+
+// Measurement holds frame time samples and their aggregates.
+type Measurement = harness.Measurement
+
+// Measure times desktop GLSL source on a platform under the protocol
+// (mobile platforms receive it through the GLES conversion pipeline).
+func Measure(pl *Platform, src string, cfg Protocol) (*Measurement, error) {
+	return harness.MeasureSource(pl, src, cfg)
+}
+
+// Speedup converts a baseline/variant time pair into the paper's
+// percentage speed-up metric.
+func Speedup(baselineNS, variantNS float64) float64 {
+	return harness.Speedup(baselineNS, variantNS)
+}
+
+// ConvertToES runs the glslang/SPIRV-Cross-style mobile conversion.
+func ConvertToES(src, name string) (string, error) { return crossc.ToES(src, name) }
+
+// GenerateVertexShader builds the §IV-B matching vertex shader for a
+// fragment shader.
+func GenerateVertexShader(fragSrc string) (string, error) {
+	return harness.GenerateVertexShader(fragSrc)
+}
+
+// Corpus loads the synthetic GFXBench-4.0-like shader suite.
+func Corpus() ([]*corpus.Shader, error) { return corpus.Load() }
+
+// CorpusShader re-exports the corpus entry type.
+type CorpusShader = corpus.Shader
+
+// Sweep runs the full exhaustive study (all shaders × 256 combinations ×
+// all platforms).
+func Sweep(shaders []*corpus.Shader, platforms []*Platform, cfg Protocol) (*search.Sweep, error) {
+	return search.Run(shaders, platforms, search.Options{Cfg: cfg})
+}
+
+// SweepResult re-exports the study result type.
+type SweepResult = search.Sweep
+
+// Render interprets a fragment shader functionally for every pixel of a
+// w×h image with default-initialized uniforms (0.5 floats, the patterned
+// texture) and uv varying over [0,1]². It returns RGBA rows — handy for
+// visually confirming optimization equivalence.
+func Render(src, name string, w, h int, flags Flags) ([][][4]float64, error) {
+	prog, err := compileForRender(src, name, flags)
+	if err != nil {
+		return nil, err
+	}
+	env := harness.DefaultEnv(prog)
+	img := make([][][4]float64, h)
+	for y := 0; y < h; y++ {
+		img[y] = make([][4]float64, w)
+		for x := 0; x < w; x++ {
+			u := (float64(x) + 0.5) / float64(w)
+			v := (float64(y) + 0.5) / float64(h)
+			for _, in := range prog.Inputs {
+				if in.Type.Equal(sem.Vec2) {
+					env.Inputs[in.Name] = ir.FloatConst(u, v)
+				}
+			}
+			res, err := exec.Run(prog, env)
+			if err != nil {
+				return nil, err
+			}
+			var px [4]float64
+			if !res.Discarded {
+				for _, out := range prog.Outputs {
+					val := res.Outputs[out.Name]
+					for i := 0; i < val.Len() && i < 4; i++ {
+						px[i] = val.Float(i)
+					}
+					if val.Len() < 4 {
+						px[3] = 1
+					}
+					break
+				}
+			}
+			img[y][x] = px
+		}
+	}
+	return img, nil
+}
+
+func compileForRender(src, name string, flags Flags) (*ir.Program, error) {
+	sh, err := glsl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.Lower(sh, name)
+	if err != nil {
+		return nil, err
+	}
+	if flags != NoFlags {
+		passes.Run(prog, flags)
+	}
+	return prog, nil
+}

@@ -1,0 +1,146 @@
+package shaderopt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `#version 330
+uniform sampler2D tex;
+uniform vec4 tint;
+in vec2 uv;
+out vec4 color;
+void main() {
+    color = texture(tex, uv) * tint * 2.0 + texture(tex, uv) * tint;
+}
+`
+
+func TestFacadeOptimizeAndMeasure(t *testing.T) {
+	out, err := Optimize(facadeSrc, "facade", AllFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#version 330") {
+		t.Error("bad output")
+	}
+	cfg := FastProtocol()
+	for _, pl := range Platforms() {
+		orig, err := Measure(pl, facadeSrc, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Vendor, err)
+		}
+		opt, err := Measure(pl, out, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Vendor, err)
+		}
+		if orig.MedianNS <= 0 || opt.MedianNS <= 0 {
+			t.Fatalf("%s: bad measurements", pl.Vendor)
+		}
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	vs, err := Variants(facadeSrc, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Unique() < 1 {
+		t.Error("no variants")
+	}
+}
+
+func TestFacadeCorpusAndPlatforms(t *testing.T) {
+	shaders, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shaders) < 80 {
+		t.Errorf("corpus = %d", len(shaders))
+	}
+	if len(Platforms()) != 5 {
+		t.Error("platforms")
+	}
+	if PlatformByVendor("NVIDIA") == nil {
+		t.Error("lookup")
+	}
+}
+
+func TestFacadeConvertAndVertex(t *testing.T) {
+	es, err := ConvertToES(facadeSrc, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(es, "#version 300 es") {
+		t.Error("not ES")
+	}
+	vs, err := GenerateVertexShader(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vs, "out vec2 uv;") {
+		t.Error("vertex shader interface")
+	}
+}
+
+func TestFacadeSpeedupAndFlags(t *testing.T) {
+	if Speedup(200, 100) != 100 {
+		t.Error("speedup")
+	}
+	f, err := ParseFlags("unroll+hoist")
+	if err != nil || !f.Has(Unroll) || !f.Has(Hoist) {
+		t.Error("parse flags")
+	}
+}
+
+// TestRenderEquivalence renders a small image before/after full
+// optimization and checks visual equivalence within float tolerance —
+// the property the offline optimizer must preserve for shipping games.
+func TestRenderEquivalence(t *testing.T) {
+	src := `#version 330
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 3; i++) {
+        acc += texture(tex, uv * (1.0 + float(i) * 0.1)) / 3.0;
+    }
+    color = acc * 2.0 * vec4(0.5, 0.6, 0.7, 1.0);
+}
+`
+	before, err := Render(src, "r", 16, 16, NoFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Render(src, "r", 16, 16, AllFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range before {
+		for x := range before[y] {
+			for c := 0; c < 4; c++ {
+				if d := math.Abs(before[y][x][c] - after[y][x][c]); d > 1e-6 {
+					t.Fatalf("pixel (%d,%d)[%d] differs by %v", x, y, c, d)
+				}
+			}
+		}
+	}
+}
+
+func TestFacadeSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	shaders, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := Sweep(shaders[:3], Platforms(), FastProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 3 {
+		t.Error("sweep results")
+	}
+}
