@@ -1,9 +1,11 @@
-// Command gfxcorpus inspects the synthetic GFXBench-4.0-like corpus: list
-// shaders with their sizes, dump a shader's source, or emit the whole
-// corpus to a directory.
+// Command gfxcorpus inspects the shader corpus (the synthetic
+// GFXBench-4.0-like GLSL suite plus the native WGSL family): list shaders
+// with their language and size, dump a shader's source, or emit the whole
+// corpus to a directory (.frag for GLSL, .wgsl for WGSL).
 //
 //	gfxcorpus -list
 //	gfxcorpus -dump blur/v9
+//	gfxcorpus -dump wgsl/ripple
 //	gfxcorpus -emit ./shaders
 package main
 
@@ -38,7 +40,11 @@ func main() {
 		fmt.Print(s.Source)
 	case *emit != "":
 		for _, s := range shaders {
-			path := filepath.Join(*emit, strings.ReplaceAll(s.Name, "/", "_")+".frag")
+			ext := ".frag"
+			if s.Lang == shaderopt.LangWGSL {
+				ext = ".wgsl"
+			}
+			path := filepath.Join(*emit, strings.ReplaceAll(s.Name, "/", "_")+ext)
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 				fail(err)
 			}
@@ -51,7 +57,7 @@ func main() {
 		*list = true
 		fallthrough
 	case *list:
-		fmt.Printf("%-26s %8s  %s\n", "Shader", "lines", "defines")
+		fmt.Printf("%-26s %-5s %8s  %s\n", "Shader", "lang", "lines", "defines")
 		for _, s := range shaders {
 			var defs []string
 			for k, v := range s.Defines {
@@ -61,7 +67,7 @@ func main() {
 					defs = append(defs, k+"="+v)
 				}
 			}
-			fmt.Printf("%-26s %8d  %s\n", s.Name, s.Lines, strings.Join(defs, " "))
+			fmt.Printf("%-26s %-5s %8d  %s\n", s.Name, s.Lang, s.Lines, strings.Join(defs, " "))
 		}
 		fmt.Printf("\n%d shaders in %d families\n", len(shaders), len(corpus.FamilyNames()))
 	}

@@ -1,10 +1,14 @@
 // Command shaderanalyze is the ARM-offline-compiler-style static analyser
-// (the tool behind Fig. 4b): it compiles a fragment shader with a chosen
-// platform's driver model and reports the per-pipe cycle decomposition,
-// register pressure, and instruction footprint.
+// (the tool behind Fig. 4b): it compiles a fragment shader — desktop GLSL
+// or WGSL, auto-detected or pinned with -lang — with a chosen platform's
+// driver model and reports the per-pipe cycle decomposition, register
+// pressure, and instruction footprint. WGSL input reaches the drivers
+// through the frontend's GLSL translation, like a WebGPU runtime would
+// hand it over.
 //
 //	shaderanalyze -platform ARM shader.frag
 //	shaderanalyze -all shader.frag
+//	shaderanalyze -lang wgsl -all shader.wgsl
 package main
 
 import (
@@ -20,9 +24,18 @@ import (
 func main() {
 	vendor := flag.String("platform", "ARM", "platform: Intel, AMD, NVIDIA, ARM, Qualcomm")
 	all := flag.Bool("all", false, "analyse on every platform")
+	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl")
 	flag.Parse()
 
 	src, err := readInput(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	lang, err := shaderopt.ParseLang(*langName)
+	if err != nil {
+		fail(err)
+	}
+	src, err = shaderopt.ToGLSL(src, "analyze", lang)
 	if err != nil {
 		fail(err)
 	}

@@ -1,10 +1,12 @@
 // Command shaderopt is the offline optimizer CLI (the LunarGlass
-// equivalent): it reads a GLSL fragment shader and writes the optimized
-// source, with pass selection via -flags.
+// equivalent): it reads a fragment shader — desktop GLSL or WGSL,
+// auto-detected or pinned with -lang — and writes the optimized desktop
+// GLSL, with pass selection via -flags.
 //
 //	shaderopt -flags unroll+fp-reassociate shader.frag
 //	shaderopt -flags all -es shader.frag        # GLES output
 //	shaderopt -variants shader.frag             # enumerate unique variants
+//	shaderopt -lang wgsl -flags all shader.wgsl # WGSL input
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 func main() {
 	flagList := flag.String("flags", "default", "optimization flags: none|default|all or name+name (adce, coalesce, gvn, reassociate, unroll, hoist, fp-reassociate, div-to-mul)")
+	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl")
 	es := flag.Bool("es", false, "emit OpenGL ES output via the SPIR-V conversion path")
 	variants := flag.Bool("variants", false, "enumerate all 256 flag combinations and list unique variants")
 	vertex := flag.Bool("vertex", false, "also print the auto-generated matching vertex shader")
@@ -27,9 +30,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	lang, err := shaderopt.ParseLang(*langName)
+	if err != nil {
+		fail(err)
+	}
 
 	if *variants {
-		vs, err := shaderopt.Variants(src, name)
+		vs, err := shaderopt.VariantsLang(src, name, lang)
 		if err != nil {
 			fail(err)
 		}
@@ -44,7 +51,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	out, err := shaderopt.Optimize(src, name, flags)
+	out, err := shaderopt.OptimizeLang(src, name, lang, flags)
 	if err != nil {
 		fail(err)
 	}
@@ -57,7 +64,13 @@ func main() {
 	fmt.Print(out)
 
 	if *vertex {
-		vs, err := shaderopt.GenerateVertexShader(src)
+		// The vertex generator reads the fragment shader's GLSL interface;
+		// feed it the driver-visible form for WGSL input.
+		gl, err := shaderopt.ToGLSL(src, name, lang)
+		if err != nil {
+			fail(err)
+		}
+		vs, err := shaderopt.GenerateVertexShader(gl)
 		if err != nil {
 			fail(err)
 		}

@@ -1,12 +1,15 @@
 // Command sweep regenerates the paper's tables and figures: it runs the
-// exhaustive 256-flag-combination study over the synthetic GFXBench-like
-// corpus on all five simulated platforms and renders each experiment.
+// exhaustive 256-flag-combination study over the shader corpus — the
+// synthetic GFXBench-like GLSL suite plus the WGSL family — on all five
+// simulated platforms and renders each experiment. -lang restricts the
+// corpus to one source language.
 //
 // Usage:
 //
 //	sweep -exp all
 //	sweep -exp table1,fig5,fig9 -fast
 //	sweep -exp fig7 -platform ARM
+//	sweep -lang wgsl -exp table1 -fast
 package main
 
 import (
@@ -27,16 +30,17 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
 	platform := flag.String("platform", "", "restrict per-platform figures (7, 9) to one vendor")
+	lang := flag.String("lang", "all", "restrict the corpus by source language: all|glsl|wgsl")
 	fast := flag.Bool("fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
 	flag.Parse()
 
-	if err := run(*exp, *platform, *fast); err != nil {
+	if err := run(*exp, *platform, *lang, *fast); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, platformFilter string, fast bool) error {
+func run(expList, platformFilter, langFilter string, fast bool) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -47,6 +51,22 @@ func run(expList, platformFilter string, fast bool) error {
 	shaders, err := corpus.Load()
 	if err != nil {
 		return err
+	}
+	if langFilter != "" && langFilter != "all" {
+		want, err := core.ParseLang(langFilter)
+		if err != nil {
+			return err
+		}
+		var kept []*corpus.Shader
+		for _, s := range shaders {
+			if s.Lang == want {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no %s shaders in the corpus", want)
+		}
+		shaders = kept
 	}
 	platforms := gpu.Platforms()
 	vendors := make([]string, len(platforms))
@@ -132,6 +152,9 @@ func run(expList, platformFilter string, fast bool) error {
 	if has("fig3") {
 		me := corpus.MotivatingExample()
 		r := sweep.ResultFor(me.Name)
+		if r == nil {
+			return fmt.Errorf("fig3 needs the motivating example %s (filtered out by -lang?)", me.Name)
+		}
 		gains := map[string]float64{}
 		for _, v := range vendors {
 			gains[v] = r.BestSpeedup(v)

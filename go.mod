@@ -1,0 +1,3 @@
+module shaderopt
+
+go 1.22

@@ -56,7 +56,11 @@ func ARMStaticCycles(shaders []*corpus.Shader) ([]StaticCycles, error) {
 	arm := gpu.PlatformByVendor("ARM")
 	out := make([]StaticCycles, 0, len(shaders))
 	for _, s := range shaders {
-		es, err := crossc.ToES(s.Source, s.Name)
+		src, err := core.ToGLSL(s.Source, s.Name, s.Lang)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		es, err := crossc.ToES(src, s.Name)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
@@ -92,7 +96,7 @@ type Uniqueness struct {
 func UniqueVariants(shaders []*corpus.Shader) ([]Uniqueness, error) {
 	out := make([]Uniqueness, 0, len(shaders))
 	for _, s := range shaders {
-		vs, err := core.EnumerateVariants(s.Source, s.Name)
+		vs, err := core.EnumerateVariantsLang(s.Source, s.Name, s.Lang)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}

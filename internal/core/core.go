@@ -1,10 +1,13 @@
 // Package core is the offline shader optimization library — the paper's
 // primary contribution surface. It wraps the full source-to-source
-// pipeline (parse → lower → flagged passes → GLSL codegen), enumerates the
-// 256 flag combinations, and deduplicates the generated variants the way
-// the paper's iterative-compilation study does (§III-A, Fig. 4c: "most of
-// the flags do not alter the source code, resulting in large numbers of
-// duplicate shaders").
+// pipeline (frontend parse/lower → flagged passes → GLSL codegen),
+// dispatches between the GLSL and WGSL frontends (both lower into the
+// same IR, so the passes and every downstream stage are
+// frontend-independent), enumerates the 256 flag combinations, and
+// deduplicates the generated variants the way the paper's
+// iterative-compilation study does (§III-A, Fig. 4c: "most of the flags
+// do not alter the source code, resulting in large numbers of duplicate
+// shaders").
 package core
 
 import (
@@ -37,20 +40,20 @@ const (
 	NoFlags           = passes.NoFlags
 )
 
-// Optimize runs the offline optimizer on desktop GLSL source and returns
-// the optimized desktop GLSL.
+// Optimize runs the offline optimizer on fragment shader source (GLSL or
+// WGSL, auto-detected) and returns the optimized desktop GLSL.
 func Optimize(src, name string, flags Flags) (string, error) {
-	prog, err := Lower(src, name)
-	if err != nil {
-		return "", err
-	}
-	passes.Run(prog, flags)
-	return glslgen.Generate(prog, glslgen.Desktop), nil
+	return OptimizeLang(src, name, LangAuto, flags)
 }
 
 // Lower parses and lowers source to IR (exposed for tools that want to
-// inspect or analyze the IR directly).
+// inspect or analyze the IR directly). The language is auto-detected; use
+// LowerLang to pin it.
 func Lower(src, name string) (*ir.Program, error) {
+	return LowerLang(src, name, LangAuto)
+}
+
+func lowerGLSL(src, name string) (*ir.Program, error) {
 	sh, err := glsl.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -118,15 +121,21 @@ func (vs *VariantSet) FlagChangesOutput(f Flags) bool {
 	return false
 }
 
-// EnumerateVariants optimizes src under all 256 flag combinations and
-// deduplicates identical outputs. The lowering happens once; each
-// combination optimizes a fresh clone, so enumeration is deterministic and
-// far cheaper than 256 full compilations.
+// EnumerateVariants optimizes src (GLSL or WGSL, auto-detected) under all
+// 256 flag combinations and deduplicates identical outputs. The lowering
+// happens once; each combination optimizes a fresh clone, so enumeration
+// is deterministic and far cheaper than 256 full compilations.
 func EnumerateVariants(src, name string) (*VariantSet, error) {
 	base, err := Lower(src, name)
 	if err != nil {
 		return nil, err
 	}
+	return enumerateFromIR(base, name), nil
+}
+
+// enumerateFromIR runs the exhaustive flag enumeration from an already
+// lowered base program.
+func enumerateFromIR(base *ir.Program, name string) *VariantSet {
 	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, 256)}
 	byHash := map[string]*Variant{}
 	for _, flags := range passes.AllCombinations() {
@@ -143,7 +152,7 @@ func EnumerateVariants(src, name string) (*VariantSet, error) {
 		v.FlagSets = append(v.FlagSets, flags)
 		vs.ByFlags[flags] = v
 	}
-	return vs, nil
+	return vs
 }
 
 // HashSource returns a stable content hash for generated source.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/passes"
+	"shaderopt/internal/wgsl"
+)
+
+// Lang selects a source language frontend. The optimizer's middle end,
+// platforms, and study machinery are frontend-independent: both languages
+// lower to the same IR program form.
+type Lang int
+
+// Supported source languages.
+const (
+	// LangAuto detects the language from the source text.
+	LangAuto Lang = iota
+	// LangGLSL is desktop GLSL (the paper's original study language).
+	LangGLSL
+	// LangWGSL is the WebGPU Shading Language.
+	LangWGSL
+)
+
+func (l Lang) String() string {
+	switch l {
+	case LangAuto:
+		return "auto"
+	case LangGLSL:
+		return "glsl"
+	case LangWGSL:
+		return "wgsl"
+	}
+	return fmt.Sprintf("Lang(%d)", int(l))
+}
+
+// ParseLang parses a -lang flag value.
+func ParseLang(s string) (Lang, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return LangAuto, nil
+	case "glsl":
+		return LangGLSL, nil
+	case "wgsl":
+		return LangWGSL, nil
+	}
+	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, or wgsl)", s)
+}
+
+// DetectLang guesses the source language from unambiguous syntax markers:
+// WGSL entry points are attributed `@fragment fn` declarations, while every
+// GLSL shader in the subset has `void main` and usually a #version line.
+func DetectLang(src string) Lang {
+	if strings.Contains(src, "@fragment") {
+		return LangWGSL
+	}
+	if strings.Contains(src, "#version") || strings.Contains(src, "void main") {
+		return LangGLSL
+	}
+	if strings.Contains(src, "fn ") && strings.Contains(src, "->") {
+		return LangWGSL
+	}
+	return LangGLSL
+}
+
+// Resolve pins LangAuto to a concrete language for the given source.
+func (l Lang) Resolve(src string) Lang {
+	if l == LangAuto {
+		return DetectLang(src)
+	}
+	return l
+}
+
+// LowerLang parses source in the given language (auto-detected when
+// LangAuto) and lowers it to the shared IR.
+func LowerLang(src, name string, lang Lang) (*ir.Program, error) {
+	switch lang.Resolve(src) {
+	case LangWGSL:
+		prog, err := wgsl.Compile(src, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return prog, nil
+	default:
+		return lowerGLSL(src, name)
+	}
+}
+
+// OptimizeLang runs the offline optimizer on source in the given language
+// and returns optimized desktop GLSL — the interchange form every
+// simulated driver consumes, regardless of the input language.
+func OptimizeLang(src, name string, lang Lang, flags Flags) (string, error) {
+	prog, err := LowerLang(src, name, lang)
+	if err != nil {
+		return "", err
+	}
+	passes.Run(prog, flags)
+	return glslgen.Generate(prog, glslgen.Desktop), nil
+}
+
+// ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
+// through untouched (the driver sees the author's original text), while
+// WGSL input is lowered and regenerated with no optimization flags — the
+// faithful all-artefacts baseline, mirroring how a WGSL runtime hands the
+// driver translated source rather than the original.
+func ToGLSL(src, name string, lang Lang) (string, error) {
+	if lang.Resolve(src) == LangGLSL {
+		return src, nil
+	}
+	return OptimizeLang(src, name, LangWGSL, NoFlags)
+}
+
+// EnumerateVariantsLang optimizes src under all 256 flag combinations and
+// deduplicates identical outputs, like EnumerateVariants, for any
+// supported language.
+func EnumerateVariantsLang(src, name string, lang Lang) (*VariantSet, error) {
+	base, err := LowerLang(src, name, lang)
+	if err != nil {
+		return nil, err
+	}
+	return enumerateFromIR(base, name), nil
+}

@@ -11,23 +11,30 @@ import (
 	"fmt"
 	"sort"
 
+	"shaderopt/internal/core"
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/pp"
+	"shaderopt/internal/wgsl"
 )
 
-// Shader is one corpus entry: a preprocessed, compile-ready desktop GLSL
-// fragment shader.
+// Shader is one corpus entry: a compile-ready fragment shader in one of
+// the supported source languages.
 type Shader struct {
 	// Name is family/instance, e.g. "pbr/l2_spec_fog".
 	Name string
 	// Family groups übershader instances.
 	Family string
-	// Defines are the specialization knobs applied to the family template.
+	// Lang is the source language (GLSL for the übershader families, WGSL
+	// for the wgsl family).
+	Lang core.Lang
+	// Defines are the specialization knobs applied to the family template
+	// (GLSL families only; WGSL has no preprocessor).
 	Defines map[string]string
-	// Source is the preprocessed desktop GLSL.
+	// Source is the compile-ready source text (preprocessed, for GLSL).
 	Source string
 	// Lines is the paper's Fig. 4a metric (executable lines after
-	// preprocessing).
+	// preprocessing; for WGSL, of the canonical lowered form, so the
+	// metric is comparable across languages).
 	Lines int
 }
 
@@ -242,6 +249,7 @@ func Load() ([]*Shader, error) {
 			out = append(out, &Shader{
 				Name:    fam.name + "/" + inst.name,
 				Family:  fam.name,
+				Lang:    core.LangGLSL,
 				Defines: inst.defines,
 				Source:  src,
 				Lines:   glsl.CountLines(sh),
@@ -253,8 +261,26 @@ func Load() ([]*Shader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: parse: %w", g.Name, err)
 		}
+		g.Lang = core.LangGLSL
 		g.Lines = glsl.CountLines(sh)
 		out = append(out, g)
+	}
+	for _, e := range wgslEntries() {
+		m, err := wgsl.Parse(e.source)
+		if err != nil {
+			return nil, fmt.Errorf("wgsl/%s: parse: %w", e.name, err)
+		}
+		sh, err := wgsl.Translate(m)
+		if err != nil {
+			return nil, fmt.Errorf("wgsl/%s: translate: %w", e.name, err)
+		}
+		out = append(out, &Shader{
+			Name:   "wgsl/" + e.name,
+			Family: "wgsl",
+			Lang:   core.LangWGSL,
+			Source: e.source,
+			Lines:  glsl.CountLines(sh),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -282,6 +308,7 @@ func FamilyNames() []string {
 			names = append(names, g.Family)
 		}
 	}
+	names = append(names, "wgsl")
 	sort.Strings(names)
 	return names
 }

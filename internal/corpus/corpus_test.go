@@ -70,10 +70,16 @@ func TestEveryShaderCompilesEverywhere(t *testing.T) {
 		if _, err := exec.Run(prog, env); err != nil {
 			t.Fatalf("%s: interpreter: %v", s.Name, err)
 		}
+		// Drivers consume desktop GLSL: WGSL shaders reach them through
+		// the frontend's translation, GLSL shaders as written.
+		driverSrc, err := core.ToGLSL(s.Source, s.Name, s.Lang)
+		if err != nil {
+			t.Fatalf("%s: to GLSL: %v", s.Name, err)
+		}
 		for _, pl := range platforms {
-			src := s.Source
+			src := driverSrc
 			if pl.Mobile {
-				src, err = crossc.ToES(s.Source, s.Name)
+				src, err = crossc.ToES(driverSrc, s.Name)
 				if err != nil {
 					t.Fatalf("%s on %s: conversion: %v", s.Name, pl.Vendor, err)
 				}

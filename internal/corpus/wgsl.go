@@ -1,0 +1,127 @@
+package corpus
+
+// The WGSL slice of the corpus: fragment shaders written natively in the
+// WebGPU Shading Language, run through the same exhaustive flag study as
+// the GLSL suite via the wgsl frontend. The family deliberately covers
+// the whole optimization surface again from the second language: constant
+// loops over const arrays (Unroll), weighted sums and constant divisions
+// (FP-Reassociate, Div-to-Mul), helper functions (inlining), select and
+// discard (control flow), and a trivial passthrough mirroring simple/luma
+// so cross-language pixel equivalence is directly checkable.
+
+type wgslEntry struct {
+	name   string
+	source string
+}
+
+func wgslEntries() []wgslEntry {
+	return []wgslEntry{
+		{"luma", wgslLuma},
+		{"glow", wgslGlow},
+		{"ripple", wgslRipple},
+		{"fade", wgslFade},
+		{"tonemap", wgslTonemap},
+	}
+}
+
+// wgslLuma mirrors simple/luma exactly (same math, same interface names),
+// the designated GLSL/WGSL render-equivalence pair.
+const wgslLuma = `
+@group(0) @binding(0) var tex: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    let g = dot(textureSample(tex, samp, uv).rgb, vec3<f32>(0.2126, 0.7152, 0.0722));
+    return vec4<f32>(vec3<f32>(g), 1.0);
+}
+`
+
+// wgslGlow: luminance-keyed glow with a vignette — transcendentals and
+// wide mixed arithmetic.
+const wgslGlow = `
+@group(0) @binding(0) var tex: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+var<uniform> glowColor: vec4<f32>;
+var<uniform> intensity: f32;
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    let base = textureSample(tex, samp, uv);
+    let l = dot(base.rgb, vec3<f32>(0.299, 0.587, 0.114));
+    let glow = glowColor.rgb * pow(l, 2.0) * intensity;
+    let d = distance(uv, vec2<f32>(0.5, 0.5));
+    let vig = 1.0 - smoothstep(0.3, 0.8, d);
+    return vec4<f32>(mix(base.rgb, glow, 0.35) * vig, base.a);
+}
+`
+
+// wgslRipple: a counted loop over module-scope const arrays with constant
+// divisions — the Unroll / FP-Reassociate / Div-to-Mul surface.
+const wgslRipple = `
+@group(0) @binding(0) var tex: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+var<uniform> time: f32;
+var<uniform> strength: f32;
+
+const freqs = array<f32, 4>(8.0, 16.0, 24.0, 40.0);
+const amps = array<f32, 4>(0.5, 0.25, 0.125, 0.0625);
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    var offset = vec2<f32>(0.0, 0.0);
+    for (var i = 0; i < 4; i++) {
+        let d = distance(uv, vec2<f32>(0.5, 0.5));
+        let w = sin(d * freqs[i] + time * 2.0) * amps[i];
+        offset += vec2<f32>(w / 24.0, w / 32.0);
+    }
+    let c = textureSample(tex, samp, uv + offset * strength);
+    return vec4<f32>(c.rgb, 1.0);
+}
+`
+
+// wgslFade: select(), discard, and constant-divisor edge softening.
+const wgslFade = `
+@group(0) @binding(0) var tex: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+var<uniform> threshold: f32;
+var<uniform> fadeColor: vec4<f32>;
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    let c = textureSample(tex, samp, uv);
+    let l = dot(c.rgb, vec3<f32>(0.2126, 0.7152, 0.0722));
+    if (l < threshold / 8.0) {
+        discard;
+    }
+    let edge = min(min(uv.x, 1.0 - uv.x), min(uv.y, 1.0 - uv.y));
+    let soft = clamp(edge / 0.125, 0.0, 1.0);
+    let mixed = select(c, fadeColor, l > 0.75);
+    return vec4<f32>(mixed.rgb * soft, c.a);
+}
+`
+
+// wgslTonemap: helper functions exercising the shared inlining path from
+// the second frontend.
+const wgslTonemap = `
+@group(0) @binding(0) var hdr: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+var<uniform> exposure: f32;
+var<uniform> gammaInv: f32;
+
+fn reinhard(x: vec3<f32>) -> vec3<f32> {
+    return x / (x + vec3<f32>(1.0, 1.0, 1.0));
+}
+
+fn gammaCorrect(x: vec3<f32>, g: f32) -> vec3<f32> {
+    return pow(x, vec3<f32>(g, g, g));
+}
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    let c = textureSample(hdr, samp, uv);
+    let exposed = c.rgb * exp(exposure * 0.69314718);
+    let toned = reinhard(exposed);
+    return vec4<f32>(gammaCorrect(toned, gammaInv), 1.0);
+}
+`

@@ -104,9 +104,17 @@ func Run(shaders []*corpus.Shader, platforms []*gpu.Platform, opts Options) (*Sw
 }
 
 func measureShader(sh *corpus.Shader, platforms []*gpu.Platform, cfg harness.Config) (*ShaderResult, error) {
-	vs, err := core.EnumerateVariants(sh.Source, sh.Name)
+	vs, err := core.EnumerateVariantsLang(sh.Source, sh.Name, sh.Lang)
 	if err != nil {
 		return nil, err
+	}
+	// The unmodified-original baseline is the source the driver would see
+	// without the offline optimizer: the author's GLSL text, or for WGSL
+	// the frontend's unoptimized translation — which the enumeration just
+	// produced as the all-flags-off variant.
+	origSrc := sh.Source
+	if sh.Lang.Resolve(sh.Source) == core.LangWGSL {
+		origSrc = vs.VariantFor(core.NoFlags).Source
 	}
 	r := &ShaderResult{
 		Shader:    sh,
@@ -115,7 +123,7 @@ func measureShader(sh *corpus.Shader, platforms []*gpu.Platform, cfg harness.Con
 		VariantNS: map[string]map[string]float64{},
 	}
 	for _, pl := range platforms {
-		m, err := harness.MeasureSource(pl, sh.Source, cfg)
+		m, err := harness.MeasureSource(pl, origSrc, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("original on %s: %w", pl.Vendor, err)
 		}

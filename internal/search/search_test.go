@@ -1,6 +1,8 @@
 package search
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"shaderopt/internal/core"
@@ -10,17 +12,66 @@ import (
 	"shaderopt/internal/passes"
 )
 
-// miniSweep runs the study on a small, behaviour-diverse subset.
-func miniSweep(t *testing.T) *Sweep {
-	t.Helper()
-	all := corpus.MustLoad()
+// sweepNames is the behaviour-diverse study subset; -short trims it to
+// the three shaders the property tests need (a loop shader for Unroll, a
+// matrix shader for the scalarization artefact, and a WGSL shader for
+// cross-frontend coverage).
+func sweepNames() []string {
+	if testing.Short() {
+		return []string{"blur/v9", "projtex/compose", "wgsl/ripple"}
+	}
+	return []string{"blur/v9", "ui/flat", "simple/luma", "alu/d3", "projtex/compose", "relief/basic", "wgsl/ripple"}
+}
+
+func sweepSubset() ([]*corpus.Shader, error) {
+	all, err := corpus.Load()
+	if err != nil {
+		return nil, err
+	}
 	var shaders []*corpus.Shader
-	for _, name := range []string{"blur/v9", "ui/flat", "simple/luma", "alu/d3", "projtex/compose", "relief/basic"} {
+	for _, name := range sweepNames() {
 		s := corpus.ByName(all, name)
 		if s == nil {
-			t.Fatalf("missing corpus shader %s", name)
+			return nil, fmt.Errorf("missing corpus shader %s", name)
 		}
 		shaders = append(shaders, s)
+	}
+	return shaders, nil
+}
+
+// The sweep is deterministic (and read-only for every assertion below),
+// so the exhaustive study runs once and is shared across tests;
+// TestSweepDeterministic still runs its own fresh sweeps.
+var (
+	sweepOnce   sync.Once
+	cachedSweep *Sweep
+	cachedErr   error
+)
+
+func miniSweep(t *testing.T) *Sweep {
+	t.Helper()
+	// No t.Fatal inside the Once: a Goexit would mark it done with both
+	// cache slots nil and every later caller would panic instead of
+	// reporting the original failure.
+	sweepOnce.Do(func() {
+		shaders, err := sweepSubset()
+		if err != nil {
+			cachedErr = err
+			return
+		}
+		cachedSweep, cachedErr = Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	})
+	if cachedErr != nil {
+		t.Fatal(cachedErr)
+	}
+	return cachedSweep
+}
+
+func freshSweep(t *testing.T) *Sweep {
+	t.Helper()
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
 	}
 	sweep, err := Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig()})
 	if err != nil {
@@ -31,8 +82,8 @@ func miniSweep(t *testing.T) *Sweep {
 
 func TestSweepRunsAndIsComplete(t *testing.T) {
 	sweep := miniSweep(t)
-	if len(sweep.Results) != 6 {
-		t.Fatalf("results = %d", len(sweep.Results))
+	if len(sweep.Results) != len(sweepNames()) {
+		t.Fatalf("results = %d, want %d", len(sweep.Results), len(sweepNames()))
 	}
 	for _, r := range sweep.Results {
 		for _, pl := range sweep.Platforms {
@@ -49,8 +100,11 @@ func TestSweepRunsAndIsComplete(t *testing.T) {
 }
 
 func TestSweepDeterministic(t *testing.T) {
-	a := miniSweep(t)
-	b := miniSweep(t)
+	if testing.Short() {
+		t.Skip("two fresh exhaustive sweeps are slow")
+	}
+	a := freshSweep(t)
+	b := freshSweep(t)
 	for i := range a.Results {
 		for vendor, ns := range a.Results[i].OrigNS {
 			if b.Results[i].OrigNS[vendor] != ns {

@@ -290,7 +290,7 @@ func arithResult(op string, x, y Type) (Type, error) {
 		return Void, fmt.Errorf("arithmetic %q on non-numeric %s and %s", op, x, y)
 	}
 	if x.Kind != y.Kind {
-		return Void, fmt.Errorf("mixed-kind arithmetic %s %s %s (GLSL has no implicit int/float conversion)", x, op, y)
+		return Void, fmt.Errorf("mixed-kind arithmetic %s %s %s (the shader subset has no implicit int/float conversion)", x, op, y)
 	}
 	switch {
 	case x.IsMatrix() && y.IsMatrix():

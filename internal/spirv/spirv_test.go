@@ -1,0 +1,204 @@
+package spirv
+
+import (
+	"testing"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/exec"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/sem"
+)
+
+// testEnv builds an interpreter environment with fixed defaults (0.5
+// floats, ones for ints, the procedural default sampler). The harness has
+// a richer version, but importing it here would cycle through crossc.
+func testEnv(p *ir.Program) *exec.Env {
+	env := &exec.Env{
+		Uniforms: map[string]*ir.ConstVal{},
+		Inputs:   map[string]*ir.ConstVal{},
+		Samplers: map[string]exec.Sampler{},
+	}
+	fill := func(t sem.Type) *ir.ConstVal {
+		n := t.Components()
+		if t.Kind == sem.KindInt {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = 1
+			}
+			return ir.IntConst(vals...)
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 0.5
+		}
+		return ir.FloatConst(vals...)
+	}
+	for _, u := range p.Uniforms {
+		if u.Type.IsSampler() {
+			env.Samplers[u.Name] = exec.DefaultSampler{}
+			continue
+		}
+		env.Uniforms[u.Name] = fill(u.Type)
+	}
+	for _, in := range p.Inputs {
+		env.Inputs[in.Name] = fill(in.Type)
+	}
+	return env
+}
+
+func lowerCorpusShader(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	shaders := corpus.MustLoad()
+	s := corpus.ByName(shaders, name)
+	if s == nil {
+		t.Fatalf("missing corpus shader %s", name)
+	}
+	prog, err := core.LowerLang(s.Source, s.Name, s.Lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestEncodeHeaderLayout(t *testing.T) {
+	prog := lowerCorpusShader(t, "blur/v9")
+	words := Encode(prog)
+	if len(words) < 5 {
+		t.Fatalf("module has %d words, want at least the 5-word header", len(words))
+	}
+	if words[0] != Magic {
+		t.Errorf("magic = %#x, want %#x", words[0], Magic)
+	}
+	if words[1] != Version {
+		t.Errorf("version = %#x, want %#x", words[1], Version)
+	}
+	if words[2] != Generator {
+		t.Errorf("generator = %#x, want %#x", words[2], Generator)
+	}
+	if words[3] == 0 {
+		t.Error("ID bound not patched")
+	}
+	if words[4] != 0 {
+		t.Errorf("reserved word = %#x, want 0", words[4])
+	}
+}
+
+// TestEncodeInstructionStream walks the word stream by each instruction's
+// (wordcount<<16 | opcode) header and checks it is well-formed and has a
+// sane instruction count for a known shader.
+func TestEncodeInstructionStream(t *testing.T) {
+	prog := lowerCorpusShader(t, "blur/v9")
+	words := Encode(prog)
+	count := 0
+	for pos := 5; pos < len(words); {
+		wc := int(words[pos] >> 16)
+		if wc < 1 {
+			t.Fatalf("instruction at word %d has wordcount 0", pos)
+		}
+		if pos+wc > len(words) {
+			t.Fatalf("instruction at word %d overruns the module (%d + %d > %d)", pos, pos, wc, len(words))
+		}
+		pos += wc
+		count++
+	}
+	// blur/v9 has interface declarations, a loop, and a body of dozens of
+	// instructions; anything tiny or enormous means the encoder broke.
+	if count < 20 || count > 5000 {
+		t.Errorf("instruction count = %d, want a few dozen to a few thousand", count)
+	}
+	if n := prog.Body.CountInstrs(); count < n {
+		t.Errorf("encoded %d instructions for a body of %d", count, n)
+	}
+}
+
+func TestEncodeDeclaresInterface(t *testing.T) {
+	prog := lowerCorpusShader(t, "blur/v9")
+	words := Encode(prog)
+	counts := map[uint32]int{}
+	for pos := 5; pos < len(words); pos += int(words[pos] >> 16) {
+		counts[words[pos]&0xffff]++
+	}
+	if counts[opUniform] != len(prog.Uniforms) {
+		t.Errorf("uniform decls = %d, want %d", counts[opUniform], len(prog.Uniforms))
+	}
+	if counts[opInput] != len(prog.Inputs) {
+		t.Errorf("input decls = %d, want %d", counts[opInput], len(prog.Inputs))
+	}
+	outputs := 0
+	for _, v := range prog.Vars {
+		if v.IsOutput {
+			outputs++
+		}
+	}
+	if counts[opOutput] != outputs {
+		t.Errorf("output decls = %d, want %d", counts[opOutput], outputs)
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks the conversion-path property the
+// paper's artefact (d) depends on: the decoded program is semantically
+// identical (same interpreter results) even though names are synthesized.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, name := range []string{"blur/v9", "simple/luma", "wgsl/ripple"} {
+		prog := lowerCorpusShader(t, name)
+		decoded, err := Decode(Encode(prog), name)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		env := testEnv(prog)
+		for _, in := range prog.Inputs {
+			env.Inputs[in.Name] = ir.FloatConst(0.4, 0.6)
+		}
+		res, err := exec.Run(prog, env)
+		if err != nil {
+			t.Fatalf("%s: run original: %v", name, err)
+		}
+		denv := testEnv(decoded)
+		for _, in := range decoded.Inputs {
+			denv.Inputs[in.Name] = ir.FloatConst(0.4, 0.6)
+		}
+		dres, err := exec.Run(decoded, denv)
+		if err != nil {
+			t.Fatalf("%s: run decoded: %v", name, err)
+		}
+		if len(res.Outputs) != len(dres.Outputs) {
+			t.Fatalf("%s: output count changed", name)
+		}
+		for _, out := range prog.Outputs {
+			got := dres.Outputs[decodedOutputName(decoded, prog, out.Name)]
+			want := res.Outputs[out.Name]
+			if got == nil {
+				t.Fatalf("%s: decoded program lost output %s", name, out.Name)
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.Float(i) != want.Float(i) {
+					t.Errorf("%s: output %s[%d] = %v, want %v", name, out.Name, i, got.Float(i), want.Float(i))
+				}
+			}
+		}
+	}
+}
+
+// decodedOutputName maps an original output to its synthesized name by
+// position (the encoding strips names like debug-info-free SPIR-V).
+func decodedOutputName(decoded, orig *ir.Program, name string) string {
+	for i, out := range orig.Outputs {
+		if out.Name == name && i < len(decoded.Outputs) {
+			return decoded.Outputs[i].Name
+		}
+	}
+	return ""
+}
+
+func TestDecodeRejectsCorruptModules(t *testing.T) {
+	if _, err := Decode(nil, "x"); err == nil {
+		t.Error("empty module accepted")
+	}
+	if _, err := Decode([]uint32{0xdeadbeef, Version, Generator, 9, 0}, "x"); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode([]uint32{Magic, 0x00090000, Generator, 9, 0}, "x"); err == nil {
+		t.Error("bad version accepted")
+	}
+}

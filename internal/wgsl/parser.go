@@ -1,0 +1,684 @@
+package wgsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the WGSL subset.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a complete WGSL module.
+func Parse(src string) (*Module, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	m := &Module{}
+	for p.cur().Kind != EOF {
+		d := p.parseDecl()
+		if d != nil {
+			m.Decls = append(m.Decls, d)
+		}
+		if len(p.errs) > 8 {
+			break
+		}
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return m, nil
+}
+
+// MustParse parses src and panics on error. For tests and fixed sources.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *Parser) cur() Token {
+	if p.pos >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekTok(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// accept consumes the next token if it is punctuation or keyword text.
+func (p *Parser) accept(text string) bool {
+	t := p.cur()
+	if (t.Kind == Punct || t.Kind == Keyword) && t.Text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) Token {
+	t := p.cur()
+	if (t.Kind == Punct || t.Kind == Keyword) && t.Text == text {
+		return p.next()
+	}
+	p.errorf(t.Pos, "expected %q, found %s", text, t)
+	return t
+}
+
+// sync skips tokens until after the next semicolon or closing brace.
+func (p *Parser) sync() {
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			return
+		}
+		p.next()
+		if t.Kind == Punct && (t.Text == ";" || t.Text == "}") {
+			return
+		}
+	}
+}
+
+// --- Declarations ---
+
+func (p *Parser) parseDecl() Decl {
+	t := p.cur()
+	if t.Kind == Punct && t.Text == ";" {
+		p.next()
+		return nil
+	}
+	attrs := p.parseAttrs()
+	t = p.cur()
+	if t.Kind != Keyword {
+		p.errorf(t.Pos, "expected declaration, found %s", t)
+		p.sync()
+		return nil
+	}
+	switch t.Text {
+	case "enable", "requires", "diagnostic":
+		// Directives are accepted and dropped; they do not affect the subset.
+		p.sync()
+		return nil
+	case "fn":
+		return p.parseFn(attrs)
+	case "var":
+		return p.parseGlobalVar(attrs)
+	case "const", "let", "override":
+		return p.parseConstDecl()
+	case "struct", "alias", "const_assert":
+		p.errorf(t.Pos, "%s declarations are outside the supported subset", t.Text)
+		p.sync()
+		return nil
+	}
+	p.errorf(t.Pos, "unexpected keyword %q at module scope", t.Text)
+	p.sync()
+	return nil
+}
+
+// parseAttrs parses a run of @name or @name(args) attributes.
+func (p *Parser) parseAttrs() []Attr {
+	var out []Attr
+	for p.cur().Kind == Punct && p.cur().Text == "@" {
+		at := p.next()
+		nm := p.cur()
+		if nm.Kind != Ident && nm.Kind != Keyword {
+			p.errorf(nm.Pos, "expected attribute name after '@', found %s", nm)
+			return out
+		}
+		p.next()
+		a := Attr{Pos: at.Pos, Name: nm.Text}
+		if p.accept("(") {
+			for !p.accept(")") {
+				if p.cur().Kind == EOF {
+					p.errorf(p.cur().Pos, "unterminated attribute %q", a.Name)
+					return out
+				}
+				tok := p.next()
+				if tok.Kind == Punct && tok.Text == "," {
+					continue
+				}
+				a.Args = append(a.Args, tok.Text)
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// parseGlobalVar parses `var<space> name: type = init;` at module scope.
+func (p *Parser) parseGlobalVar(attrs []Attr) Decl {
+	t := p.expect("var")
+	space := ""
+	if p.accept("<") {
+		sp := p.cur()
+		if sp.Kind != Ident && sp.Kind != Keyword {
+			p.errorf(sp.Pos, "expected address space, found %s", sp)
+		} else {
+			space = sp.Text
+			p.next()
+		}
+		// Optional access mode (var<storage, read> style).
+		if p.accept(",") {
+			p.next()
+		}
+		p.expect(">")
+	}
+	name := p.cur()
+	if name.Kind != Ident {
+		p.errorf(name.Pos, "expected variable name, found %s", name)
+		p.sync()
+		return nil
+	}
+	p.next()
+	var ty *TypeExpr
+	if p.accept(":") {
+		ty = p.parseType()
+	}
+	var init Expr
+	if p.accept("=") {
+		init = p.parseExpr()
+	}
+	p.expect(";")
+	return &GlobalVar{Pos: t.Pos, Attrs: attrs, AddressSpace: space, Name: name.Text, Type: ty, Init: init}
+}
+
+// parseConstDecl parses module-scope `const name [: type] = init;`.
+func (p *Parser) parseConstDecl() Decl {
+	t := p.next() // const / let / override
+	name := p.cur()
+	if name.Kind != Ident {
+		p.errorf(name.Pos, "expected constant name, found %s", name)
+		p.sync()
+		return nil
+	}
+	p.next()
+	var ty *TypeExpr
+	if p.accept(":") {
+		ty = p.parseType()
+	}
+	p.expect("=")
+	init := p.parseExpr()
+	p.expect(";")
+	return &ConstDecl{Pos: t.Pos, Name: name.Text, Type: ty, Init: init}
+}
+
+func (p *Parser) parseFn(attrs []Attr) Decl {
+	t := p.expect("fn")
+	name := p.cur()
+	if name.Kind != Ident {
+		p.errorf(name.Pos, "expected function name, found %s", name)
+		p.sync()
+		return nil
+	}
+	p.next()
+	fn := &FnDecl{Pos: t.Pos, Attrs: attrs, Name: name.Text}
+	p.expect("(")
+	if !p.accept(")") {
+		for {
+			prm, ok := p.parseParam()
+			if !ok {
+				p.sync()
+				return nil
+			}
+			fn.Params = append(fn.Params, prm)
+			if p.accept(")") {
+				break
+			}
+			p.expect(",")
+		}
+	}
+	if p.accept("->") {
+		fn.RetAttrs = p.parseAttrs()
+		fn.Ret = p.parseType()
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseParam() (Param, bool) {
+	var prm Param
+	prm.Attrs = p.parseAttrs()
+	nm := p.cur()
+	if nm.Kind != Ident {
+		p.errorf(nm.Pos, "expected parameter name, found %s", nm)
+		return prm, false
+	}
+	p.next()
+	prm.Name = nm.Text
+	p.expect(":")
+	prm.Type = p.parseType()
+	return prm, prm.Type != nil
+}
+
+// parseType parses a (possibly templated) type reference.
+func (p *Parser) parseType() *TypeExpr {
+	t := p.cur()
+	if t.Kind != Ident {
+		p.errorf(t.Pos, "expected type, found %s", t)
+		return nil
+	}
+	p.next()
+	te := &TypeExpr{Pos: t.Pos, Name: t.Text}
+	if p.accept("<") {
+		te.Elem = p.parseType()
+		if p.accept(",") {
+			n := p.cur()
+			if n.Kind != IntLit {
+				p.errorf(n.Pos, "expected array length, found %s", n)
+			} else {
+				v, err := strconv.Atoi(strings.TrimRight(n.Text, "iu"))
+				if err != nil {
+					p.errorf(n.Pos, "bad array length %q", n.Text)
+				}
+				te.Len = v
+				p.next()
+			}
+		}
+		p.expect(">")
+	}
+	return te
+}
+
+// --- Statements ---
+
+func (p *Parser) parseBlock() *BlockStmt {
+	open := p.expect("{")
+	blk := &BlockStmt{Pos: open.Pos}
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			p.errorf(t.Pos, "unterminated block")
+			return blk
+		}
+		if t.Kind == Punct && t.Text == "}" {
+			p.next()
+			return blk
+		}
+		s := p.parseStmt()
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		if len(p.errs) > 8 {
+			return blk
+		}
+	}
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	switch {
+	case t.Kind == Punct && t.Text == "{":
+		return p.parseBlock()
+	case t.Kind == Punct && t.Text == ";":
+		p.next()
+		return nil
+	case t.Kind == Keyword:
+		switch t.Text {
+		case "let", "const":
+			return p.parseLet()
+		case "var":
+			return p.parseVar()
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "return":
+			p.next()
+			var res Expr
+			if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+				res = p.parseExpr()
+			}
+			p.expect(";")
+			return &ReturnStmt{Pos: t.Pos, Result: res}
+		case "discard":
+			p.next()
+			p.expect(";")
+			return &DiscardStmt{Pos: t.Pos}
+		case "break":
+			p.next()
+			p.expect(";")
+			return &BreakStmt{Pos: t.Pos}
+		case "continue":
+			p.next()
+			p.expect(";")
+			return &ContinueStmt{Pos: t.Pos}
+		default:
+			p.errorf(t.Pos, "unexpected keyword %q in statement", t.Text)
+			p.sync()
+			return nil
+		}
+	default:
+		return p.parseSimpleStmtSemi()
+	}
+}
+
+func (p *Parser) parseLet() Stmt {
+	t := p.next() // let / const
+	nm := p.cur()
+	if nm.Kind != Ident {
+		p.errorf(nm.Pos, "expected name after %q, found %s", t.Text, nm)
+		p.sync()
+		return nil
+	}
+	p.next()
+	var ty *TypeExpr
+	if p.accept(":") {
+		ty = p.parseType()
+	}
+	p.expect("=")
+	init := p.parseExpr()
+	p.expect(";")
+	return &LetStmt{Pos: t.Pos, Name: nm.Text, Type: ty, Init: init}
+}
+
+func (p *Parser) parseVar() Stmt {
+	t := p.expect("var")
+	nm := p.cur()
+	if nm.Kind != Ident {
+		p.errorf(nm.Pos, "expected name after var, found %s", nm)
+		p.sync()
+		return nil
+	}
+	p.next()
+	var ty *TypeExpr
+	if p.accept(":") {
+		ty = p.parseType()
+	}
+	var init Expr
+	if p.accept("=") {
+		init = p.parseExpr()
+	}
+	if ty == nil && init == nil {
+		p.errorf(t.Pos, "var %q needs a type or an initializer", nm.Text)
+	}
+	p.expect(";")
+	return &VarStmt{Pos: t.Pos, Name: nm.Text, Type: ty, Init: init}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement,
+// without consuming a trailing semicolon (for `for` headers).
+func (p *Parser) parseSimpleStmt() Stmt {
+	t := p.cur()
+	if t.Kind == Keyword && (t.Text == "let" || t.Text == "const") {
+		return p.parseLet() // consumes ';' — only used by for-init handling
+	}
+	if t.Kind == Keyword && t.Text == "var" {
+		return p.parseVar() // consumes ';'
+	}
+	lhs := p.parseExpr()
+	cur := p.cur()
+	if cur.Kind == Punct {
+		switch cur.Text {
+		case "=", "+=", "-=", "*=", "/=":
+			p.next()
+			rhs := p.parseExpr()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: cur.Text, RHS: rhs}
+		case "++":
+			p.next()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: "+=", RHS: &IntLitExpr{Pos: cur.Pos, Value: 1}}
+		case "--":
+			p.next()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: "-=", RHS: &IntLitExpr{Pos: cur.Pos, Value: 1}}
+		}
+	}
+	return &ExprStmt{Pos: t.Pos, X: lhs}
+}
+
+func (p *Parser) parseSimpleStmtSemi() Stmt {
+	s := p.parseSimpleStmt()
+	p.expect(";")
+	return s
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.expect("if")
+	// WGSL allows both `if cond { }` and `if (cond) { }`.
+	paren := p.accept("(")
+	cond := p.parseExpr()
+	if paren {
+		p.expect(")")
+	}
+	then := p.parseBlock()
+	var els Stmt
+	if p.accept("else") {
+		if p.cur().Kind == Keyword && p.cur().Text == "if" {
+			els = p.parseIf()
+		} else {
+			els = p.parseBlock()
+		}
+	}
+	return &IfStmt{Pos: t.Pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseFor() Stmt {
+	t := p.expect("for")
+	p.expect("(")
+	var init Stmt
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		switch {
+		case p.cur().Kind == Keyword && p.cur().Text == "var":
+			init = p.parseVar() // consumes ';'
+		case p.cur().Kind == Keyword && (p.cur().Text == "let" || p.cur().Text == "const"):
+			init = p.parseLet() // consumes ';'
+		default:
+			init = p.parseSimpleStmtSemi()
+		}
+	} else {
+		p.next()
+	}
+	var cond Expr
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		cond = p.parseExpr()
+	}
+	p.expect(";")
+	var post Stmt
+	if !(p.cur().Kind == Punct && p.cur().Text == ")") {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(")")
+	body := p.parseBlock()
+	return &ForStmt{Pos: t.Pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+func (p *Parser) parseWhile() Stmt {
+	t := p.expect("while")
+	paren := p.accept("(")
+	cond := p.parseExpr()
+	if paren {
+		p.expect(")")
+	}
+	body := p.parseBlock()
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}
+}
+
+// --- Expressions ---
+
+// Binary operator precedence, higher binds tighter. WGSL has no ternary;
+// selection is the select(f, t, cond) builtin.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return lhs
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &BinaryExpr{Pos: t.Pos, Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	if t.Kind == Punct {
+		switch t.Text {
+		case "-", "!":
+			p.next()
+			return &UnaryExpr{Pos: t.Pos, Op: t.Text, X: p.parseUnary()}
+		case "+":
+			p.next()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return x
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			x = &IndexExpr{Pos: t.Pos, X: x, Index: idx}
+		case ".":
+			p.next()
+			nm := p.cur()
+			if nm.Kind != Ident {
+				p.errorf(nm.Pos, "expected member name after '.', found %s", nm)
+				return x
+			}
+			p.next()
+			x = &MemberExpr{Pos: t.Pos, X: x, Name: nm.Text}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case IntLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "iu")
+		var v int64
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			u, err := strconv.ParseUint(text[2:], 16, 64)
+			if err != nil {
+				p.errorf(t.Pos, "bad hex literal %q", t.Text)
+			}
+			v = int64(u)
+		} else {
+			var err error
+			v, err = strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				p.errorf(t.Pos, "bad int literal %q", t.Text)
+			}
+		}
+		return &IntLitExpr{Pos: t.Pos, Value: v}
+	case FloatLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "fh")
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLitExpr{Pos: t.Pos, Value: v}
+	case BoolLit:
+		p.next()
+		return &BoolLitExpr{Pos: t.Pos, Value: t.Text == "true"}
+	case Ident:
+		p.next()
+		// Templated constructor: vec4<f32>(...), array<f32, 9>(...).
+		if p.cur().Kind == Punct && p.cur().Text == "<" && isTemplatedName(t.Text) {
+			p.pos-- // re-parse the full type reference
+			ty := p.parseType()
+			call := p.parseCallArgs(t.Pos, t.Text)
+			call.TypeArg = ty
+			return call
+		}
+		if p.cur().Kind == Punct && p.cur().Text == "(" {
+			return p.parseCallArgs(t.Pos, t.Text)
+		}
+		return &IdentExpr{Pos: t.Pos, Name: t.Text}
+	case Punct:
+		if t.Text == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errorf(t.Pos, "unexpected token %s in expression", t)
+	p.next()
+	return &IntLitExpr{Pos: t.Pos, Value: 0}
+}
+
+// isTemplatedName reports whether an identifier followed by '<' starts a
+// templated constructor rather than a less-than comparison. Only names
+// that actually resolve as templated types qualify — a variable that
+// merely starts with "mat" (matte, material) stays a comparison operand.
+func isTemplatedName(name string) bool {
+	switch name {
+	case "array", "vec2", "vec3", "vec4":
+		return true
+	}
+	_, ok := matName(name)
+	return ok
+}
+
+func (p *Parser) parseCallArgs(pos Pos, callee string) *CallExpr {
+	p.expect("(")
+	call := &CallExpr{Pos: pos, Callee: callee}
+	if p.accept(")") {
+		return call
+	}
+	for {
+		call.Args = append(call.Args, p.parseExpr())
+		if p.accept(")") {
+			return call
+		}
+		p.expect(",")
+		if p.cur().Kind == EOF {
+			p.errorf(p.cur().Pos, "unterminated call to %q", callee)
+			return call
+		}
+	}
+}

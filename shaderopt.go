@@ -1,11 +1,24 @@
 // Package shaderopt is a pure-Go reproduction of the experimental stack
 // from "A Cross-platform Evaluation of Graphics Shader Compiler
-// Optimization" (Crawford & O'Boyle, ISPASS 2018): an offline
-// source-to-source GLSL optimizer with LunarGlass's eight flag-controlled
-// passes (including the paper's custom unsafe floating-point additions),
-// five simulated GPU platforms with vendor-specific driver compilers and
-// cost models, a timer-query measurement harness, and the exhaustive
+// Optimization" (Crawford & O'Boyle, ISPASS 2018), grown into a
+// multi-frontend compiler study platform: two source language frontends
+// (desktop GLSL and WGSL) lower into one shared optimizer IR, LunarGlass's
+// eight flag-controlled passes (including the paper's custom unsafe
+// floating-point additions) transform it, and the result feeds five
+// simulated GPU platforms with vendor-specific driver compilers and cost
+// models, a timer-query measurement harness, and the exhaustive
 // 256-combination iterative-compilation study.
+//
+// The pipeline is frontend-independent past the IR:
+//
+//	GLSL ──parse/check──┐
+//	                    ├──> IR ──passes──> GLSL codegen ──> {desktop driver | ES conversion → mobile driver}
+//	WGSL ──parse/bind───┘
+//
+// so every study artefact — variant enumeration, per-flag attribution,
+// platform measurements, rendered images — is available for both
+// languages. Source language is auto-detected by default and can be
+// pinned with the *Lang functions.
 //
 // The root package is a stable facade over the internal packages:
 //
@@ -21,11 +34,9 @@ import (
 	"shaderopt/internal/corpus"
 	"shaderopt/internal/crossc"
 	"shaderopt/internal/exec"
-	"shaderopt/internal/glsl"
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/harness"
 	"shaderopt/internal/ir"
-	"shaderopt/internal/lower"
 	"shaderopt/internal/passes"
 	"shaderopt/internal/search"
 	"shaderopt/internal/sem"
@@ -58,16 +69,49 @@ const (
 // "default", and "all" are accepted.
 func ParseFlags(s string) (Flags, error) { return passes.ParseFlags(s) }
 
-// Optimize runs the offline optimizer on desktop GLSL fragment shader
-// source and returns optimized desktop GLSL.
+// Lang selects a source language frontend.
+type Lang = core.Lang
+
+// Source languages. LangAuto detects from the source text.
+const (
+	LangAuto = core.LangAuto
+	LangGLSL = core.LangGLSL
+	LangWGSL = core.LangWGSL
+)
+
+// ParseLang parses a -lang flag value ("auto", "glsl", "wgsl").
+func ParseLang(s string) (Lang, error) { return core.ParseLang(s) }
+
+// DetectLang guesses the source language of a fragment shader.
+func DetectLang(src string) Lang { return core.DetectLang(src) }
+
+// Optimize runs the offline optimizer on fragment shader source (GLSL or
+// WGSL, auto-detected) and returns optimized desktop GLSL — the
+// interchange form every simulated driver consumes.
 func Optimize(src, name string, flags Flags) (string, error) {
 	return core.Optimize(src, name, flags)
 }
 
-// Variants enumerates all 256 flag combinations for a shader and
-// deduplicates the distinct outputs (Fig. 4c).
+// OptimizeLang is Optimize with the source language pinned.
+func OptimizeLang(src, name string, lang Lang, flags Flags) (string, error) {
+	return core.OptimizeLang(src, name, lang, flags)
+}
+
+// OptimizeWGSL runs the offline optimizer on a WGSL fragment shader and
+// returns optimized desktop GLSL.
+func OptimizeWGSL(src, name string, flags Flags) (string, error) {
+	return core.OptimizeLang(src, name, core.LangWGSL, flags)
+}
+
+// Variants enumerates all 256 flag combinations for a shader (GLSL or
+// WGSL, auto-detected) and deduplicates the distinct outputs (Fig. 4c).
 func Variants(src, name string) (*core.VariantSet, error) {
 	return core.EnumerateVariants(src, name)
+}
+
+// VariantsLang is Variants with the source language pinned.
+func VariantsLang(src, name string, lang Lang) (*core.VariantSet, error) {
+	return core.EnumerateVariantsLang(src, name, lang)
 }
 
 // Variant re-exports the deduplicated variant type.
@@ -99,10 +143,16 @@ func FastProtocol() Protocol { return harness.FastConfig() }
 // Measurement holds frame time samples and their aggregates.
 type Measurement = harness.Measurement
 
-// Measure times desktop GLSL source on a platform under the protocol
-// (mobile platforms receive it through the GLES conversion pipeline).
+// Measure times fragment shader source on a platform under the protocol.
+// GLSL is measured as written (mobile platforms receive it through the
+// GLES conversion pipeline); WGSL input is auto-detected and measured via
+// its unoptimized GLSL translation, the form a driver would see.
 func Measure(pl *Platform, src string, cfg Protocol) (*Measurement, error) {
-	return harness.MeasureSource(pl, src, cfg)
+	glslSrc, err := core.ToGLSL(src, "measure", LangAuto)
+	if err != nil {
+		return nil, err
+	}
+	return harness.MeasureSource(pl, glslSrc, cfg)
 }
 
 // Speedup converts a baseline/variant time pair into the paper's
@@ -113,6 +163,13 @@ func Speedup(baselineNS, variantNS float64) float64 {
 
 // ConvertToES runs the glslang/SPIRV-Cross-style mobile conversion.
 func ConvertToES(src, name string) (string, error) { return crossc.ToES(src, name) }
+
+// ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
+// through untouched; WGSL input is lowered and regenerated unoptimized,
+// the source a driver would actually receive.
+func ToGLSL(src, name string, lang Lang) (string, error) {
+	return core.ToGLSL(src, name, lang)
+}
 
 // GenerateVertexShader builds the §IV-B matching vertex shader for a
 // fragment shader.
@@ -135,10 +192,11 @@ func Sweep(shaders []*corpus.Shader, platforms []*Platform, cfg Protocol) (*sear
 // SweepResult re-exports the study result type.
 type SweepResult = search.Sweep
 
-// Render interprets a fragment shader functionally for every pixel of a
-// w×h image with default-initialized uniforms (0.5 floats, the patterned
-// texture) and uv varying over [0,1]². It returns RGBA rows — handy for
-// visually confirming optimization equivalence.
+// Render interprets a fragment shader (GLSL or WGSL, auto-detected)
+// functionally for every pixel of a w×h image with default-initialized
+// uniforms (0.5 floats, the patterned texture) and uv varying over
+// [0,1]². It returns RGBA rows — handy for visually confirming
+// optimization equivalence, including across frontends.
 func Render(src, name string, w, h int, flags Flags) ([][][4]float64, error) {
 	prog, err := compileForRender(src, name, flags)
 	if err != nil {
@@ -180,11 +238,7 @@ func Render(src, name string, w, h int, flags Flags) ([][][4]float64, error) {
 }
 
 func compileForRender(src, name string, flags Flags) (*ir.Program, error) {
-	sh, err := glsl.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := lower.Lower(sh, name)
+	prog, err := core.LowerLang(src, name, LangAuto)
 	if err != nil {
 		return nil, err
 	}

@@ -144,3 +144,137 @@ func TestFacadeSweepSmall(t *testing.T) {
 		t.Error("sweep results")
 	}
 }
+
+// --- WGSL frontend acceptance ---
+
+// wgslFacadeSrc is the WGSL twin of the GLSL luma shader below; the two
+// must render pixel-identically through their respective frontends.
+const wgslFacadeSrc = `
+@group(0) @binding(0) var tex: texture_2d<f32>;
+@group(0) @binding(1) var samp: sampler;
+
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    let g = dot(textureSample(tex, samp, uv).rgb, vec3<f32>(0.2126, 0.7152, 0.0722));
+    return vec4<f32>(vec3<f32>(g), 1.0);
+}
+`
+
+const glslLumaSrc = `#version 330
+out vec4 color;
+in vec2 uv;
+uniform sampler2D tex;
+void main() {
+    float g = dot(texture(tex, uv).rgb, vec3(0.2126, 0.7152, 0.0722));
+    color = vec4(vec3(g), 1.0);
+}
+`
+
+func TestFacadeDetectLang(t *testing.T) {
+	if l := DetectLang(facadeSrc); l != LangGLSL {
+		t.Errorf("GLSL detected as %v", l)
+	}
+	if l := DetectLang(wgslFacadeSrc); l != LangWGSL {
+		t.Errorf("WGSL detected as %v", l)
+	}
+}
+
+// TestWGSLFullStudyRoundTrip is the end-to-end acceptance path: parse →
+// lower to IR → 256 flag combinations enumerated and deduplicated →
+// measured on all five platforms.
+func TestWGSLFullStudyRoundTrip(t *testing.T) {
+	vs, err := VariantsLang(wgslFacadeSrc, "wgsl-facade", LangWGSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs.ByFlags) != 256 {
+		t.Fatalf("flag mappings = %d, want 256", len(vs.ByFlags))
+	}
+	if vs.Unique() < 1 || vs.Unique() > 48 {
+		t.Fatalf("unique variants = %d", vs.Unique())
+	}
+	cfg := FastProtocol()
+	for _, pl := range Platforms() {
+		orig, err := Measure(pl, wgslFacadeSrc, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Vendor, err)
+		}
+		best, err := Measure(pl, vs.VariantFor(AllFlags).Source, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Vendor, err)
+		}
+		if orig.MedianNS <= 0 || best.MedianNS <= 0 {
+			t.Fatalf("%s: bad measurements", pl.Vendor)
+		}
+	}
+}
+
+// TestRenderPixelExactAcrossFrontends renders the same shader authored in
+// GLSL and in WGSL and requires bit-identical images at NoFlags.
+func TestRenderPixelExactAcrossFrontends(t *testing.T) {
+	const w, h = 16, 16
+	gimg, err := Render(glslLumaSrc, "pair-glsl", w, h, NoFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wimg, err := Render(wgslFacadeSrc, "pair-wgsl", w, h, NoFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if gimg[y][x] != wimg[y][x] {
+				t.Fatalf("pixel (%d,%d): glsl %v != wgsl %v", x, y, gimg[y][x], wimg[y][x])
+			}
+		}
+	}
+	// The corpus twins must agree too.
+	shaders, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ws := (*CorpusShader)(nil), (*CorpusShader)(nil)
+	for _, s := range shaders {
+		switch s.Name {
+		case "simple/luma":
+			gs = s
+		case "wgsl/luma":
+			ws = s
+		}
+	}
+	if gs == nil || ws == nil {
+		t.Fatal("missing luma corpus twins")
+	}
+	gimg, err = Render(gs.Source, gs.Name, 8, 8, NoFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wimg, err = Render(ws.Source, ws.Name, 8, 8, NoFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range gimg {
+		for x := range gimg[y] {
+			if gimg[y][x] != wimg[y][x] {
+				t.Fatalf("corpus twins differ at (%d,%d): %v != %v", x, y, gimg[y][x], wimg[y][x])
+			}
+		}
+	}
+}
+
+func TestFacadeOptimizeWGSL(t *testing.T) {
+	out, err := OptimizeWGSL(wgslFacadeSrc, "wgsl-facade", AllFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "void main") {
+		t.Errorf("output is not GLSL:\n%s", out)
+	}
+	es, err := ConvertToES(out, "wgsl-facade")
+	if err != nil {
+		t.Fatalf("ES conversion of WGSL-sourced GLSL: %v", err)
+	}
+	if !strings.HasPrefix(es, "#version 300 es") {
+		t.Error("not ES output")
+	}
+}
