@@ -248,6 +248,91 @@ func BenchmarkFig9FlagIsolation(b *testing.B) {
 	b.ReportMetric(qcFPRMax, "Qualcomm_fpreassoc_peak_pct")
 }
 
+// --- compile-once vs string-facade sweep ---
+
+// sweepBenchNames is a deliberately small cross-frontend subset so the
+// head-to-head sweep benchmarks stay CI-friendly at -benchtime=1x.
+var sweepBenchNames = []string{"blur/v9", "projtex/compose", "wgsl/ripple"}
+
+func sweepBenchShaders(b *testing.B) []*corpus.Shader {
+	b.Helper()
+	all := corpus.MustLoad()
+	var out []*corpus.Shader
+	for _, n := range sweepBenchNames {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			b.Fatalf("missing corpus shader %s", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// The head-to-head pair isolates the measurement pipeline — the part the
+// handle redesign changes. Variant enumeration is identical in both paths
+// (the same enumerateFromIR runs either way) and dominates a cold sweep,
+// so both benchmarks hoist it into setup and time the full
+// original+variants × 5-platform measurement study. Single-threaded so
+// the comparison isolates API cost, not scheduling.
+
+// BenchmarkSweepStringFacade is the pre-handle API consumer's study:
+// every measurement goes through the one-shot string functions, which
+// re-parse the source (and re-convert it on mobile) on every call.
+func BenchmarkSweepStringFacade(b *testing.B) {
+	shaders := sweepBenchShaders(b)
+	cfg := harness.FastConfig()
+	sets := make([]*VariantSet, len(shaders))
+	for i, s := range shaders {
+		vs, err := VariantsLang(s.Source, s.Name, s.Lang)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = vs
+	}
+	parses0 := core.FrontendParses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, s := range shaders {
+			for _, pl := range gpu.Platforms() {
+				if _, err := Measure(pl, s.Source, cfg); err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range sets[j].Variants {
+					if _, err := Measure(pl, v.Source, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(core.FrontendParses()-parses0)/float64(b.N), "frontend_parses/op")
+}
+
+// BenchmarkSweepCompiledHandles is the same study through the handle API:
+// handles compiled once, a fresh Session per iteration owning the
+// measurement cache, the ES-conversion table, and the shared driver
+// front-end lowering. The parse-once speedup over
+// BenchmarkSweepStringFacade is the headline of the API redesign.
+func BenchmarkSweepCompiledHandles(b *testing.B) {
+	shaders := sweepBenchShaders(b)
+	handles, err := CompileCorpus(shaders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range handles {
+		h.Variants()
+	}
+	parses0 := core.FrontendParses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := NewSession(WithProtocol(FastProtocol()), WithWorkers(1))
+		if _, err := sess.Sweep(handles, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.FrontendParses()-parses0)/float64(b.N), "frontend_parses/op")
+}
+
 // --- component micro-benchmarks ---
 
 func BenchmarkParseBlur(b *testing.B) {

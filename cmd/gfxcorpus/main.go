@@ -5,7 +5,7 @@
 //
 //	gfxcorpus -list
 //	gfxcorpus -dump blur/v9
-//	gfxcorpus -dump wgsl/ripple
+//	gfxcorpus -dump wgsl/ripple -glsl   # driver-visible GLSL translation
 //	gfxcorpus -emit ./shaders
 package main
 
@@ -23,6 +23,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list all corpus shaders")
 	dump := flag.String("dump", "", "print the source of one shader (family/instance)")
+	glsl := flag.Bool("glsl", false, "with -dump: print the driver-visible desktop GLSL instead of the source")
 	emit := flag.String("emit", "", "write every shader to the given directory as .frag files")
 	flag.Parse()
 
@@ -36,6 +37,14 @@ func main() {
 		s := corpus.ByName(shaders, *dump)
 		if s == nil {
 			fail(fmt.Errorf("unknown shader %q", *dump))
+		}
+		if *glsl {
+			sh, err := shaderopt.Compile(s.Source, s.Name, shaderopt.WithLang(s.Lang))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(sh.ToGLSL())
+			return
 		}
 		fmt.Print(s.Source)
 	case *emit != "":

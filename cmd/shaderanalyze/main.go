@@ -35,10 +35,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	src, err = shaderopt.ToGLSL(src, "analyze", lang)
+	// Compile once; the handle's cached translation feeds every platform.
+	sh, err := shaderopt.Compile(src, "analyze", shaderopt.WithLang(lang))
 	if err != nil {
 		fail(err)
 	}
+	src = sh.ToGLSL()
 
 	platforms := []*gpu.Platform{}
 	if *all {

@@ -35,11 +35,14 @@ func main() {
 		fail(err)
 	}
 
+	// One parse serves every mode below: the handle caches the lowered IR.
+	sh, err := shaderopt.Compile(src, name, shaderopt.WithLang(lang))
+	if err != nil {
+		fail(err)
+	}
+
 	if *variants {
-		vs, err := shaderopt.VariantsLang(src, name, lang)
-		if err != nil {
-			fail(err)
-		}
+		vs := sh.Variants()
 		fmt.Printf("%d unique variants from 256 flag combinations:\n", vs.Unique())
 		for i, v := range vs.Variants {
 			fmt.Printf("%3d. %s  (%d flag sets, canonical: %v)\n", i+1, v.Hash, len(v.FlagSets), v.Canonical())
@@ -51,10 +54,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	out, err := shaderopt.OptimizeLang(src, name, lang, flags)
-	if err != nil {
-		fail(err)
-	}
+	out := sh.Optimize(flags)
 	if *es {
 		out, err = shaderopt.ConvertToES(out, name)
 		if err != nil {
@@ -66,11 +66,7 @@ func main() {
 	if *vertex {
 		// The vertex generator reads the fragment shader's GLSL interface;
 		// feed it the driver-visible form for WGSL input.
-		gl, err := shaderopt.ToGLSL(src, name, lang)
-		if err != nil {
-			fail(err)
-		}
-		vs, err := shaderopt.GenerateVertexShader(gl)
+		vs, err := shaderopt.GenerateVertexShader(sh.ToGLSL())
 		if err != nil {
 			fail(err)
 		}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"shaderopt"
 	"shaderopt/internal/analysis"
 	"shaderopt/internal/core"
 	"shaderopt/internal/corpus"
@@ -105,10 +106,24 @@ func run(expList, platformFilter, langFilter string, fast bool) error {
 		cfg = harness.FastConfig()
 	}
 	fmt.Println("Running exhaustive sweep (256 flag combinations per shader)...")
-	sweep, err := search.Run(shaders, platforms, search.Options{Cfg: cfg})
+	// Compile once per shader, then sweep the handles through a session:
+	// the measurement cache guarantees each distinct variant is measured
+	// exactly once, and the event stream gives live per-shader progress.
+	handles, err := shaderopt.CompileCorpus(shaders)
 	if err != nil {
 		return err
 	}
+	sess := shaderopt.NewSession(shaderopt.WithProtocol(cfg), shaderopt.WithPlatforms(platforms...))
+	sweep, err := sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
+		fmt.Fprintf(os.Stderr, "  [%*d/%d] %-26s %3d variants, %4d measured, %3d cached\n",
+			len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader,
+			ev.UniqueVariants, ev.Measured, ev.CacheHits)
+	})
+	if err != nil {
+		return err
+	}
+	hits, misses := sess.CacheStats()
+	fmt.Fprintf(os.Stderr, "  %d measurements (%d served from cache)\n", misses, hits)
 	fmt.Println()
 
 	if has("table1") || has("fig5") {

@@ -1,6 +1,6 @@
-// Quickstart: optimize one fragment shader offline and measure it on all
-// five simulated GPUs, comparing the default LunarGlass flag set against
-// the full flag set.
+// Quickstart: compile one fragment shader to a handle (parsed exactly
+// once), optimize it offline under two flag sets, and measure everything
+// on all five simulated GPUs.
 package main
 
 import (
@@ -27,20 +27,19 @@ void main() {
 func main() {
 	protocol := shaderopt.FastProtocol()
 
-	defaultOut, err := shaderopt.Optimize(src, "quickstart", shaderopt.DefaultFlags)
+	// One Compile, many products: every call below reuses the cached IR.
+	sh, err := shaderopt.Compile(src, "quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
-	allOut, err := shaderopt.Optimize(src, "quickstart", shaderopt.AllFlags)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("original %d bytes; default-flags %d bytes; all-flags %d bytes\n\n",
-		len(src), len(defaultOut), len(allOut))
+	defaultOut := sh.Optimize(shaderopt.DefaultFlags)
+	allOut := sh.Optimize(shaderopt.AllFlags)
+	fmt.Printf("original %d bytes; default-flags %d bytes; all-flags %d bytes; %d distinct variants\n\n",
+		len(src), len(defaultOut), len(allOut), sh.Variants().Unique())
 
 	fmt.Printf("%-10s %14s %14s %14s %10s\n", "Platform", "original", "default", "all flags", "best gain")
 	for _, pl := range shaderopt.Platforms() {
-		orig, err := shaderopt.Measure(pl, src, protocol)
+		orig, err := sh.Measure(pl, protocol)
 		if err != nil {
 			log.Fatal(err)
 		}

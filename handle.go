@@ -1,0 +1,213 @@
+package shaderopt
+
+import (
+	"shaderopt/internal/core"
+	"shaderopt/internal/exec"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/passes"
+	"shaderopt/internal/search"
+	"shaderopt/internal/sem"
+)
+
+// Option configures Compile and NewSession. Compile honors WithLang;
+// NewSession honors all options.
+type Option func(*options)
+
+type options struct {
+	lang      Lang
+	cfg       Protocol
+	workers   int
+	platforms []*Platform
+}
+
+func defaultOptions() options {
+	return options{lang: LangAuto, cfg: DefaultProtocol()}
+}
+
+// WithLang pins the source language (the default auto-detects).
+func WithLang(lang Lang) Option { return func(o *options) { o.lang = lang } }
+
+// WithProtocol sets the session's measurement protocol (the default is
+// DefaultProtocol).
+func WithProtocol(cfg Protocol) Option { return func(o *options) { o.cfg = cfg } }
+
+// WithWorkers bounds the session's sweep parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithPlatforms sets the session's platform roster (the default is all
+// five).
+func WithPlatforms(platforms ...*Platform) Option {
+	return func(o *options) { o.platforms = platforms }
+}
+
+// Shader is a compiled handle: source parsed and lowered exactly once,
+// with every later operation — optimization, variant enumeration,
+// measurement, rendering — derived from the cached IR by
+// clone-then-transform. Handles are safe for concurrent use.
+type Shader struct {
+	h *core.Shader
+}
+
+// Compile parses and lowers fragment shader source (GLSL or WGSL,
+// auto-detected unless pinned with WithLang) once and returns the handle.
+func Compile(src, name string, opts ...Option) (*Shader, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	h, err := core.Compile(src, name, o.lang)
+	if err != nil {
+		return nil, err
+	}
+	return &Shader{h: h}, nil
+}
+
+// Name returns the shader's name.
+func (s *Shader) Name() string { return s.h.Name }
+
+// Lang returns the resolved (never LangAuto) source language.
+func (s *Shader) Lang() Lang { return s.h.Lang }
+
+// Source returns the original source text.
+func (s *Shader) Source() string { return s.h.Source }
+
+// SourceHash returns the content hash of the original source.
+func (s *Shader) SourceHash() string { return s.h.Hash }
+
+// Optimize runs the flagged passes on a clone of the cached IR and
+// returns optimized desktop GLSL — the interchange form every simulated
+// driver consumes.
+func (s *Shader) Optimize(flags Flags) string { return s.h.Optimize(flags) }
+
+// Variants enumerates all 256 flag combinations from the cached IR and
+// deduplicates the distinct outputs (Fig. 4c). The enumeration runs once
+// per handle and is cached; callers share the result.
+func (s *Shader) Variants() *VariantSet { return s.h.Variants() }
+
+// ToGLSL returns the driver-visible desktop GLSL: the original text for
+// GLSL input, or the cached unoptimized translation for WGSL input.
+func (s *Shader) ToGLSL() string { return s.h.GLSL() }
+
+// Measure times the shader on a platform under the protocol, reusing the
+// cached IR: GLSL input feeds the driver compiler directly from the
+// lowered program, WGSL input is measured via its cached GLSL translation
+// (the text a driver would see). Scores are identical to the string
+// facade's Measure.
+func (s *Shader) Measure(pl *Platform, cfg Protocol) (*Measurement, error) {
+	if s.h.GLSLIsSource() {
+		return harness.MeasureProgram(pl, s.h.IR(), s.h.Source, cfg)
+	}
+	return harness.MeasureSource(pl, s.h.GLSL(), cfg)
+}
+
+// Render interprets the shader functionally for every pixel of a w×h
+// image with default-initialized uniforms (0.5 floats, the patterned
+// texture) and uv varying over [0,1]², reusing the cached IR. It returns
+// RGBA rows — handy for visually confirming optimization equivalence,
+// including across frontends.
+func (s *Shader) Render(w, h int, flags Flags) ([][][4]float64, error) {
+	prog := s.h.IR()
+	if flags != NoFlags {
+		passes.Run(prog, flags)
+	}
+	return renderProgram(prog, w, h)
+}
+
+func renderProgram(prog *ir.Program, w, h int) ([][][4]float64, error) {
+	env := harness.DefaultEnv(prog)
+	img := make([][][4]float64, h)
+	for y := 0; y < h; y++ {
+		img[y] = make([][4]float64, w)
+		for x := 0; x < w; x++ {
+			u := (float64(x) + 0.5) / float64(w)
+			v := (float64(y) + 0.5) / float64(h)
+			for _, in := range prog.Inputs {
+				if in.Type.Equal(sem.Vec2) {
+					env.Inputs[in.Name] = ir.FloatConst(u, v)
+				}
+			}
+			res, err := exec.Run(prog, env)
+			if err != nil {
+				return nil, err
+			}
+			var px [4]float64
+			if !res.Discarded {
+				for _, out := range prog.Outputs {
+					val := res.Outputs[out.Name]
+					for i := 0; i < val.Len() && i < 4; i++ {
+						px[i] = val.Float(i)
+					}
+					if val.Len() < 4 {
+						px[3] = 1
+					}
+					break
+				}
+			}
+			img[y][x] = px
+		}
+	}
+	return img, nil
+}
+
+// Session owns the shared state of a measurement campaign: the protocol,
+// the platform roster, worker parallelism, a concurrency-safe measurement
+// cache keyed by (vendor, source hash, protocol), and a cached
+// ES-conversion table. Reusing one Session across sweeps and shaders means
+// each distinct variant is measured exactly once per platform per
+// protocol, no matter how many flag sets or shaders generate it.
+type Session struct {
+	inner *search.Session
+	lang  Lang
+}
+
+// NewSession creates a measurement session. Options: WithProtocol,
+// WithWorkers, WithPlatforms, WithLang (the default language for
+// Session.Compile).
+func NewSession(opts ...Option) *Session {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	platforms := o.platforms
+	if len(platforms) == 0 {
+		platforms = Platforms()
+	}
+	return &Session{
+		inner: search.NewSession(platforms, search.Options{Cfg: o.cfg, Workers: o.workers}),
+		lang:  o.lang,
+	}
+}
+
+// Compile parses and lowers source once under the session's default
+// language (override per call with Compile and WithLang).
+func (s *Session) Compile(src, name string) (*Shader, error) {
+	return Compile(src, name, WithLang(s.lang))
+}
+
+// Protocol returns the session's measurement protocol.
+func (s *Session) Protocol() Protocol { return s.inner.Config() }
+
+// Platforms returns the session's platform roster.
+func (s *Session) Platforms() []*Platform { return s.inner.Platforms() }
+
+// CacheStats returns how many measurements the session served from cache
+// and how many it actually ran.
+func (s *Session) CacheStats() (hits, misses int64) { return s.inner.CacheStats() }
+
+// SweepEvent is one per-shader progress report streamed from a running
+// sweep.
+type SweepEvent = search.SweepEvent
+
+// Sweep runs the exhaustive study (256 flag combinations per shader) over
+// compiled handles on the session's platforms, measuring each distinct
+// variant exactly once. onEvent, when non-nil, receives per-shader
+// progress as shaders complete (callbacks are serialized); pass nil to
+// run silently.
+func (s *Session) Sweep(shaders []*Shader, onEvent func(SweepEvent)) (*SweepResult, error) {
+	handles := make([]*core.Shader, len(shaders))
+	for i, sh := range shaders {
+		handles[i] = sh.h
+	}
+	return s.inner.Sweep(handles, onEvent)
+}

@@ -54,6 +54,7 @@ func Lower(src, name string) (*ir.Program, error) {
 }
 
 func lowerGLSL(src, name string) (*ir.Program, error) {
+	frontendParses.Add(1)
 	sh, err := glsl.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -126,21 +127,21 @@ func (vs *VariantSet) FlagChangesOutput(f Flags) bool {
 // happens once; each combination optimizes a fresh clone, so enumeration
 // is deterministic and far cheaper than 256 full compilations.
 func EnumerateVariants(src, name string) (*VariantSet, error) {
-	base, err := Lower(src, name)
-	if err != nil {
-		return nil, err
-	}
-	return enumerateFromIR(base, name), nil
+	return EnumerateVariantsLang(src, name, LangAuto)
 }
 
 // enumerateFromIR runs the exhaustive flag enumeration from an already
-// lowered base program.
+// lowered base program. The flag-independent pass prefix (scalarization +
+// first canonicalization) is shared across all 256 combinations: prepared
+// once, cloned per combination.
 func enumerateFromIR(base *ir.Program, name string) *VariantSet {
+	pre := base.Clone()
+	passes.Prepare(pre)
 	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, 256)}
 	byHash := map[string]*Variant{}
 	for _, flags := range passes.AllCombinations() {
-		prog := base.Clone()
-		passes.Run(prog, flags)
+		prog := pre.Clone()
+		passes.RunFlagged(prog, flags)
 		out := glslgen.Generate(prog, glslgen.Desktop)
 		h := HashSource(out)
 		v, ok := byHash[h]

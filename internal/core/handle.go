@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/passes"
+)
+
+// frontendParses counts source-language frontend parses (GLSL or WGSL)
+// performed by this process. The compiled-handle API exists so a study
+// pays exactly one frontend parse per shader; tests assert that invariant
+// through FrontendParses.
+var frontendParses atomic.Int64
+
+// FrontendParses returns the number of frontend parse+lower runs performed
+// so far. Driver front ends (the per-platform GLSL parse inside the
+// simulated JITs and the crossc conversion) are not frontend parses and
+// are not counted.
+func FrontendParses() int64 { return frontendParses.Load() }
+
+// Shader is a compiled handle: the source parsed and lowered exactly once,
+// with every product of the study pipeline derived from the cached IR by
+// clone-then-transform. Handles are safe for concurrent use; the base
+// program is never mutated after Compile.
+type Shader struct {
+	// Name labels the shader in results and error messages.
+	Name string
+	// Lang is the resolved (never LangAuto) source language.
+	Lang Lang
+	// Source is the original source text.
+	Source string
+	// Hash is the content hash of Source.
+	Hash string
+
+	base *ir.Program
+
+	variantsOnce sync.Once
+	variants     *VariantSet
+
+	glslOnce sync.Once
+	glslSrc  string
+}
+
+// Compile parses and lowers source once, returning the handle every other
+// operation reuses. lang may be LangAuto.
+func Compile(src, name string, lang Lang) (*Shader, error) {
+	resolved := lang.Resolve(src)
+	base, err := LowerLang(src, name, resolved)
+	if err != nil {
+		return nil, err
+	}
+	return &Shader{
+		Name:   name,
+		Lang:   resolved,
+		Source: src,
+		Hash:   HashSource(src),
+		base:   base,
+	}, nil
+}
+
+// IR returns a fresh clone of the lowered program, owned by the caller.
+func (s *Shader) IR() *ir.Program { return s.base.Clone() }
+
+// Optimize runs the flagged passes on a clone of the cached IR and
+// returns the optimized desktop GLSL.
+func (s *Shader) Optimize(flags Flags) string {
+	return glslgen.Generate(s.OptimizeIR(flags), glslgen.Desktop)
+}
+
+// OptimizeIR runs the flagged passes on a clone of the cached IR and
+// returns the transformed program, owned by the caller.
+func (s *Shader) OptimizeIR(flags Flags) *ir.Program {
+	p := s.base.Clone()
+	passes.Run(p, flags)
+	return p
+}
+
+// Variants enumerates all 256 flag combinations from the cached IR and
+// deduplicates the outputs. The enumeration runs once per handle and is
+// cached; callers share the returned set and must not mutate it.
+func (s *Shader) Variants() *VariantSet {
+	s.variantsOnce.Do(func() {
+		s.variants = enumerateFromIR(s.base, s.Name)
+	})
+	return s.variants
+}
+
+// GLSL returns the driver-visible desktop GLSL: the original text for GLSL
+// input (the driver sees the author's source), or the cached unoptimized
+// translation for WGSL input. Computed at most once per handle.
+func (s *Shader) GLSL() string {
+	s.glslOnce.Do(func() {
+		if s.Lang == LangGLSL {
+			s.glslSrc = s.Source
+			return
+		}
+		s.glslSrc = s.Optimize(NoFlags)
+	})
+	return s.glslSrc
+}
+
+// GLSLIsSource reports whether GLSL() is exactly the text whose lowering
+// produced this handle's IR — true for GLSL input, where measuring the
+// cached IR directly is equivalent to re-parsing the text. For generated
+// translations (WGSL input) the textual re-parse picks up interchange
+// artefacts, so measurement must go through the text.
+func (s *Shader) GLSLIsSource() bool { return s.Lang == LangGLSL }

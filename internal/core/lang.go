@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"shaderopt/internal/glslgen"
 	"shaderopt/internal/ir"
-	"shaderopt/internal/passes"
 	"shaderopt/internal/wgsl"
 )
 
@@ -50,20 +48,58 @@ func ParseLang(s string) (Lang, error) {
 	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, or wgsl)", s)
 }
 
-// DetectLang guesses the source language from unambiguous syntax markers:
-// WGSL entry points are attributed `@fragment fn` declarations, while every
+// DetectLang guesses the source language from unambiguous syntax markers
+// in the code itself: WGSL is attributed (`@fragment`, and on entry points
+// that omit it, `@location`/`@builtin`/`@group`/`@binding`), while every
 // GLSL shader in the subset has `void main` and usually a #version line.
+// Comments are stripped first so prose mentioning either language's syntax
+// cannot flip the detection.
 func DetectLang(src string) Lang {
-	if strings.Contains(src, "@fragment") {
-		return LangWGSL
+	code := stripComments(src)
+	for _, marker := range []string{"@fragment", "@location(", "@builtin(", "@group(", "@binding("} {
+		if strings.Contains(code, marker) {
+			return LangWGSL
+		}
 	}
-	if strings.Contains(src, "#version") || strings.Contains(src, "void main") {
+	if strings.Contains(code, "#version") || strings.Contains(code, "void main") {
 		return LangGLSL
 	}
-	if strings.Contains(src, "fn ") && strings.Contains(src, "->") {
+	if strings.Contains(code, "fn ") && strings.Contains(code, "->") {
 		return LangWGSL
 	}
 	return LangGLSL
+}
+
+// stripComments removes //-line and /* */-block comments (both languages
+// share the syntax), replacing them with a space so tokens on either side
+// never merge.
+func stripComments(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	for i := 0; i < len(src); {
+		if src[i] == '/' && i+1 < len(src) && src[i+1] == '/' {
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			sb.WriteByte(' ')
+			continue
+		}
+		if src[i] == '/' && i+1 < len(src) && src[i+1] == '*' {
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+			if i > len(src) {
+				i = len(src)
+			}
+			sb.WriteByte(' ')
+			continue
+		}
+		sb.WriteByte(src[i])
+		i++
+	}
+	return sb.String()
 }
 
 // Resolve pins LangAuto to a concrete language for the given source.
@@ -79,6 +115,7 @@ func (l Lang) Resolve(src string) Lang {
 func LowerLang(src, name string, lang Lang) (*ir.Program, error) {
 	switch lang.Resolve(src) {
 	case LangWGSL:
+		frontendParses.Add(1)
 		prog, err := wgsl.Compile(src, name)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
@@ -91,35 +128,41 @@ func LowerLang(src, name string, lang Lang) (*ir.Program, error) {
 
 // OptimizeLang runs the offline optimizer on source in the given language
 // and returns optimized desktop GLSL — the interchange form every
-// simulated driver consumes, regardless of the input language.
+// simulated driver consumes, regardless of the input language. It is a
+// convenience wrapper over Compile for one-shot use.
 func OptimizeLang(src, name string, lang Lang, flags Flags) (string, error) {
-	prog, err := LowerLang(src, name, lang)
+	h, err := Compile(src, name, lang)
 	if err != nil {
 		return "", err
 	}
-	passes.Run(prog, flags)
-	return glslgen.Generate(prog, glslgen.Desktop), nil
+	return h.Optimize(flags), nil
 }
 
 // ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
 // through untouched (the driver sees the author's original text), while
 // WGSL input is lowered and regenerated with no optimization flags — the
 // faithful all-artefacts baseline, mirroring how a WGSL runtime hands the
-// driver translated source rather than the original.
+// driver translated source rather than the original. It is a convenience
+// wrapper over Compile for one-shot use.
 func ToGLSL(src, name string, lang Lang) (string, error) {
 	if lang.Resolve(src) == LangGLSL {
 		return src, nil
 	}
-	return OptimizeLang(src, name, LangWGSL, NoFlags)
+	h, err := Compile(src, name, LangWGSL)
+	if err != nil {
+		return "", err
+	}
+	return h.GLSL(), nil
 }
 
 // EnumerateVariantsLang optimizes src under all 256 flag combinations and
 // deduplicates identical outputs, like EnumerateVariants, for any
-// supported language.
+// supported language. It is a convenience wrapper over Compile for
+// one-shot use.
 func EnumerateVariantsLang(src, name string, lang Lang) (*VariantSet, error) {
-	base, err := LowerLang(src, name, lang)
+	h, err := Compile(src, name, lang)
 	if err != nil {
 		return nil, err
 	}
-	return enumerateFromIR(base, name), nil
+	return h.Variants(), nil
 }

@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+// TestDetectLangTable pins the detection heuristics, including the two
+// historical misclassifications: WGSL entry points that omit @fragment
+// but carry @location/@builtin attributes, and GLSL whose comments
+// mention WGSL syntax (`fn`, `->`, even `@fragment`).
+func TestDetectLangTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Lang
+	}{
+		{
+			"glsl versioned",
+			"#version 330\nout vec4 c;\nvoid main() { c = vec4(1.0); }\n",
+			LangGLSL,
+		},
+		{
+			"glsl without version line",
+			"out vec4 c;\nvoid main() { c = vec4(1.0); }\n",
+			LangGLSL,
+		},
+		{
+			"wgsl with @fragment",
+			"@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }\n",
+			LangWGSL,
+		},
+		{
+			// Regression: no @fragment attribute, but the attributed
+			// interface is unambiguous WGSL.
+			"wgsl without @fragment but with @location",
+			"fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {\n    return vec4<f32>(uv, 0.0, 1.0);\n}\n",
+			LangWGSL,
+		},
+		{
+			"wgsl without @fragment but with @builtin",
+			"fn main(@builtin(position) p: vec4<f32>) -> @location(0) vec4<f32> {\n    return p;\n}\n",
+			LangWGSL,
+		},
+		{
+			"wgsl bindings only",
+			"@group(0) @binding(0) var<uniform> tint: vec4<f32>;\nfn main() -> @location(0) vec4<f32> { return tint; }\n",
+			LangWGSL,
+		},
+		{
+			"wgsl minimal fn arrow",
+			"fn main() -> vec4<f32> { return vec4<f32>(1.0); }\n",
+			LangWGSL,
+		},
+		{
+			// Regression: `fn ` and `->` only inside comments must not
+			// flip GLSL to WGSL.
+			"glsl with wgsl-ish comments",
+			"// ported from WGSL: fn main() -> vec4<f32>\nout vec4 c;\nvoid main() { c = vec4(1.0); /* fn -> */ }\n",
+			LangGLSL,
+		},
+		{
+			// Regression: even `@fragment` in a comment is not code.
+			"glsl mentioning @fragment in a comment",
+			"/* WGSL twin uses @fragment and @location(0) */\n#version 330\nout vec4 c;\nvoid main() { c = vec4(1.0); }\n",
+			LangGLSL,
+		},
+		{
+			"wgsl with glsl-ish comments",
+			"// unlike GLSL there is no void main here\n@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }\n",
+			LangWGSL,
+		},
+		{
+			"empty defaults to glsl",
+			"",
+			LangGLSL,
+		},
+		{
+			"unterminated block comment",
+			"void main() { } /* trailing",
+			LangGLSL,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DetectLang(tc.src); got != tc.want {
+				t.Errorf("DetectLang = %v, want %v\nsource:\n%s", got, tc.want, tc.src)
+			}
+		})
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	got := stripComments("a /* x */ b // y\nc")
+	if got != "a   b  \nc" {
+		t.Errorf("stripComments = %q", got)
+	}
+	if stripComments("no comments") != "no comments" {
+		t.Error("plain text altered")
+	}
+}

@@ -177,3 +177,13 @@ func TestByName(t *testing.T) {
 		t.Error("unexpected hit")
 	}
 }
+
+// TestCorpusLangAutoDetects: every corpus shader must auto-detect to its
+// tagged language, so LangAuto pipelines treat the corpus correctly.
+func TestCorpusLangAutoDetects(t *testing.T) {
+	for _, s := range MustLoad() {
+		if got := core.DetectLang(s.Source); got != s.Lang {
+			t.Errorf("%s: detected %v, tagged %v", s.Name, got, s.Lang)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/glslgen"
+	"shaderopt/internal/ir"
 	"shaderopt/internal/lower"
 	"shaderopt/internal/spirv"
 )
@@ -28,12 +29,31 @@ func ToES(src, name string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("crossc front end: %w", err)
 	}
+	return ESFromIR(prog, name)
+}
+
+// ESFromIR converts an already-lowered program into GLES 3.0 source via
+// the SPIR-V round trip, skipping the GLSL front end — the entry point
+// for callers holding a compiled IR handle. prog is not modified.
+func ESFromIR(prog *ir.Program, name string) (string, error) {
+	decoded, err := ESProgram(prog, name)
+	if err != nil {
+		return "", err
+	}
+	return glslgen.Generate(decoded, glslgen.ES), nil
+}
+
+// ESProgram runs the SPIR-V round trip on a lowered program and returns
+// the re-decoded IR — the form a mobile driver front end would rebuild
+// from the converted source. prog is not modified; the result is a fresh
+// program owned by the caller.
+func ESProgram(prog *ir.Program, name string) (*ir.Program, error) {
 	words := spirv.Encode(prog)
 	decoded, err := spirv.Decode(words, name)
 	if err != nil {
-		return "", fmt.Errorf("crossc back end: %w", err)
+		return nil, fmt.Errorf("crossc back end: %w", err)
 	}
-	return glslgen.Generate(decoded, glslgen.ES), nil
+	return decoded, nil
 }
 
 // Words exposes the intermediate SPIR-V module for tooling.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"shaderopt/internal/glsl"
+	"shaderopt/internal/ir"
 	"shaderopt/internal/isa"
 	"shaderopt/internal/lower"
 	"shaderopt/internal/passes"
@@ -79,19 +80,33 @@ type Compiled struct {
 	CyclesPerFragment float64
 }
 
-// CompileSource runs the vendor JIT on GLSL source: parse, lower (the
-// driver has its own front end — here they share ours, as real drivers
-// share Mesa's), internal driver passes, ISA analysis, cost model.
-func (pl *Platform) CompileSource(src string) (*Compiled, error) {
+// FrontEnd parses and lowers GLSL source through the shared driver front
+// end (every simulated driver shares ours, as real drivers share Mesa's).
+// name labels the program in errors.
+func FrontEnd(src, name string) (*ir.Program, error) {
 	sh, err := glsl.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+		return nil, err
 	}
-	prog, err := lower.Lower(sh, pl.Vendor)
+	return lower.Lower(sh, name)
+}
+
+// CompileSource runs the vendor JIT on GLSL source: the shared driver
+// front end, then the vendor-internal passes, ISA analysis, and cost
+// model.
+func (pl *Platform) CompileSource(src string) (*Compiled, error) {
+	prog, err := FrontEnd(src, pl.Vendor)
 	if err != nil {
 		return nil, fmt.Errorf("%s driver: %w", pl.Vendor, err)
 	}
+	return pl.Compile(prog), nil
+}
 
+// Compile runs the vendor JIT on an already-lowered program, skipping the
+// driver front end — the entry point for callers that hold a compiled IR
+// handle. The driver pipeline transforms prog in place; pass a clone if
+// the program is shared.
+func (pl *Platform) Compile(prog *ir.Program) *Compiled {
 	// Driver-internal pipeline. Every driver folds constants and cleans up
 	// (canonicalize); the rest is vendor-specific.
 	passes.Canonicalize(prog)
@@ -132,7 +147,7 @@ func (pl *Platform) CompileSource(src string) (*Compiled, error) {
 	stats := isa.Analyze(prog, pl.ISA)
 	c := &Compiled{Platform: pl, Stats: stats}
 	pl.Cost.fill(c)
-	return c, nil
+	return c
 }
 
 // DrawNS returns the modelled true (noise-free) GPU time for one draw call

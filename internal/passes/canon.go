@@ -1,9 +1,10 @@
 package passes
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
-	"strings"
 
 	"shaderopt/internal/ir"
 	"shaderopt/internal/sem"
@@ -467,7 +468,7 @@ func copyMap(m map[*ir.Var]*ir.Instr) map[*ir.Var]*ir.Instr {
 func localCSE(p *ir.Program) bool {
 	changed := false
 	p.Body.WalkBlocks(func(b *ir.Block) {
-		seen := map[string]*ir.Instr{}
+		seen := map[vnKey]*ir.Instr{}
 		for _, it := range b.Items {
 			in, ok := it.(*ir.Instr)
 			if !ok || !in.IsPure() || !in.HasResult() {
@@ -485,20 +486,65 @@ func localCSE(p *ir.Program) bool {
 	return changed
 }
 
-// instrKey builds a structural hash key for value numbering.
-func instrKey(in *ir.Instr) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%s|%s|%s|%d|%v|", int(in.Op), in.Type, in.BinOp+in.UnOp, in.Callee, in.Index, in.Indices)
-	if in.Const != nil {
-		fmt.Fprintf(&sb, "c%v%v%v|", in.Const.F, in.Const.I, in.Const.B)
+// vnKey is the structural value-numbering key: two pure instructions with
+// equal keys compute the same value. It is a comparable struct rather
+// than a formatted string because key construction sits on the hottest
+// path of the study (256 canonicalizations per shader enumeration).
+type vnKey struct {
+	op     ir.Op
+	typ    sem.Type
+	binUn  string
+	callee string
+	index  int
+	global *ir.Global
+	// extra packs the variable-length fields (swizzle indices, constant
+	// payload, operand IDs) as length-prefixed varints, so distinct field
+	// combinations can never collide.
+	extra string
+}
+
+// instrKey builds the structural key for value numbering.
+func instrKey(in *ir.Instr) vnKey {
+	k := vnKey{
+		op:     in.Op,
+		typ:    in.Type,
+		binUn:  in.BinOp + in.UnOp,
+		callee: in.Callee,
+		index:  in.Index,
+		global: in.Global,
 	}
-	if in.Global != nil {
-		fmt.Fprintf(&sb, "g%p|", in.Global)
+	buf := make([]byte, 0, 32)
+	buf = binary.AppendUvarint(buf, uint64(len(in.Indices)))
+	for _, ix := range in.Indices {
+		buf = binary.AppendVarint(buf, int64(ix))
 	}
+	if c := in.Const; c != nil {
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(c.F)))
+		for _, f := range c.F {
+			buf = binary.AppendUvarint(buf, math.Float64bits(f))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(c.I)))
+		for _, v := range c.I {
+			buf = binary.AppendVarint(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(c.B)))
+		for _, v := range c.B {
+			if v {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(in.Args)))
 	for _, a := range in.Args {
-		fmt.Fprintf(&sb, "%d,", a.ID)
+		buf = binary.AppendVarint(buf, int64(a.ID))
 	}
-	return sb.String()
+	k.extra = string(buf)
+	return k
 }
 
 // --- dead store & dead code elimination ---

@@ -13,10 +13,10 @@ import (
 func GVN(p *ir.Program) bool {
 	changed := false
 	type scope struct {
-		table  map[string]*ir.Instr
+		table  map[vnKey]*ir.Instr
 		parent *scope
 	}
-	lookup := func(s *scope, key string) (*ir.Instr, bool) {
+	lookup := func(s *scope, key vnKey) (*ir.Instr, bool) {
 		for ; s != nil; s = s.parent {
 			if v, ok := s.table[key]; ok {
 				return v, true
@@ -27,7 +27,7 @@ func GVN(p *ir.Program) bool {
 
 	var walk func(b *ir.Block, parent *scope)
 	walk = func(b *ir.Block, parent *scope) {
-		cur := &scope{table: map[string]*ir.Instr{}, parent: parent}
+		cur := &scope{table: map[vnKey]*ir.Instr{}, parent: parent}
 		for _, it := range b.Items {
 			switch it := it.(type) {
 			case *ir.Instr:

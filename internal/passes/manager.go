@@ -9,12 +9,24 @@ import "shaderopt/internal/ir"
 // re-canonicalizing after each structural change. The result is
 // deterministic: the same program and flags always produce the same IR.
 func Run(p *ir.Program, flags Flags) {
+	Prepare(p)
+	RunFlagged(p, flags)
+}
+
+// Prepare runs the flag-independent prefix of the optimizer: matrix
+// scalarization and the first canonicalization fixed point. Every flag
+// combination shares this work, so enumeration prepares a program once
+// and clones the result per combination. Run == Prepare + RunFlagged.
+func Prepare(p *ir.Program) {
 	// The offline middle end has no matrix types: scalarization always
 	// happens, independent of flags — it is the §III-C(a) codegen artefact
 	// all measurements relative to the all-off baseline share.
 	ScalarizeMatrices(p)
 	Canonicalize(p)
+}
 
+// RunFlagged applies the flagged passes to an already-Prepared program.
+func RunFlagged(p *ir.Program, flags Flags) {
 	if flags.Has(FlagUnroll) {
 		if Unroll(p) {
 			Canonicalize(p)

@@ -2,6 +2,14 @@
 // exhaustive evaluation of all 256 flag combinations for every corpus
 // shader on every platform (§III-A), and the analyses behind Table I and
 // Figures 3 and 5-9.
+//
+// The study is compile-once / measure-many, so it is built on compiled
+// handles (core.Shader) and a Session: the handle caches the lowered IR
+// and the deduplicated variant enumeration, and the Session owns a
+// concurrency-safe measurement cache keyed by (vendor, source hash,
+// protocol) plus a cached ES-conversion table, so each distinct variant
+// is measured exactly once no matter how many shaders, flag sets, or
+// sweeps share it.
 package search
 
 import (
@@ -9,16 +17,23 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"shaderopt/internal/core"
 	"shaderopt/internal/corpus"
+	"shaderopt/internal/crossc"
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/harness"
+	"shaderopt/internal/ir"
 	"shaderopt/internal/passes"
 )
 
 // ShaderResult holds one shader's exhaustive measurements.
 type ShaderResult struct {
+	// Handle is the compiled shader the measurements were derived from.
+	Handle *core.Shader
+	// Shader is the corpus entry when the sweep came from Run; nil for
+	// sweeps over raw handles.
 	Shader   *corpus.Shader
 	Variants *core.VariantSet
 	// OrigNS is the measured time of the unmodified original source per
@@ -27,6 +42,9 @@ type ShaderResult struct {
 	// VariantNS maps vendor -> variant hash -> measured time.
 	VariantNS map[string]map[string]float64
 }
+
+// Name returns the shader's study name.
+func (r *ShaderResult) Name() string { return r.Handle.Name }
 
 // NSFor returns the measured time of the variant produced by flags.
 func (r *ShaderResult) NSFor(vendor string, flags core.Flags) float64 {
@@ -63,6 +81,30 @@ type Sweep struct {
 	Platforms []*gpu.Platform
 	Results   []*ShaderResult
 	Cfg       harness.Config
+
+	// bestStatic memoizes BestStaticFlags per vendor: the argmax is a full
+	// 256×shaders scan and every Fig. 5/6/7 analysis needs it.
+	staticMu   sync.Mutex
+	bestStatic map[string]staticBest
+}
+
+type staticBest struct {
+	flags core.Flags
+	mean  float64
+}
+
+// SweepEvent is one progress report from a running sweep, streamed through
+// the Options.OnEvent / Session.Sweep callback as each shader completes.
+type SweepEvent struct {
+	// Shader is the completed shader's name.
+	Shader string
+	// Done and Total count completed shaders and the sweep size.
+	Done, Total int
+	// UniqueVariants is the shader's deduplicated variant count (Fig. 4c).
+	UniqueVariants int
+	// Measured counts the measurements this shader actually ran; CacheHits
+	// counts the ones the session cache already had.
+	Measured, CacheHits int
 }
 
 // Options configures a sweep run.
@@ -70,82 +112,298 @@ type Options struct {
 	Cfg harness.Config
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// OnEvent, when non-nil, receives a SweepEvent as each shader
+	// completes. Callbacks are serialized.
+	OnEvent func(SweepEvent)
 }
 
-// Run executes the exhaustive study over the given shaders and platforms.
-// Results are deterministic: noise streams are seeded per (platform,
-// shader, variant), independent of scheduling.
-func Run(shaders []*corpus.Shader, platforms []*gpu.Platform, opts Options) (*Sweep, error) {
+// Session owns the shared state of a measurement campaign: the protocol,
+// the platform roster, a concurrency-safe measurement cache keyed by
+// (vendor, source hash, protocol), and a cached ES-conversion table. All
+// methods are safe for concurrent use; cached measurements are sound
+// because the harness is deterministic per (vendor, source, protocol).
+type Session struct {
+	cfg       harness.Config
+	workers   int
+	platforms []*gpu.Platform
+
+	meas    sync.Map // measKey -> *measEntry
+	es      sync.Map // desktop source hash -> *esEntry
+	lowered sync.Map // source hash -> *loweredEntry
+
+	hits, misses atomic.Int64
+}
+
+type measKey struct {
+	vendor string
+	hash   string
+	cfg    harness.Config
+}
+
+type measEntry struct {
+	once sync.Once
+	ns   float64
+	err  error
+}
+
+type esEntry struct {
+	once sync.Once
+	src  string
+	err  error
+}
+
+type loweredEntry struct {
+	once sync.Once
+	prog *ir.Program
+	err  error
+}
+
+// NewSession creates a measurement session for the given platforms.
+func NewSession(platforms []*gpu.Platform, opts Options) *Session {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]*ShaderResult, len(shaders))
-	errs := make([]error, len(shaders))
+	return &Session{cfg: opts.Cfg, workers: workers, platforms: platforms}
+}
+
+// Config returns the session's measurement protocol.
+func (s *Session) Config() harness.Config { return s.cfg }
+
+// Platforms returns the session's platform roster.
+func (s *Session) Platforms() []*gpu.Platform { return s.platforms }
+
+// CacheStats returns how many measurements the session served from cache
+// and how many it actually ran.
+func (s *Session) CacheStats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// esFor returns the cached GLES conversion of desktop GLSL source,
+// converting at most once per distinct source across all platforms and
+// shaders. handle, when non-nil, marks src as the exact text the handle's
+// IR was lowered from, letting a miss convert from the cached IR instead
+// of re-parsing the text (identical output: ToES is ESFromIR of the
+// text's lowering).
+func (s *Session) esFor(src, hash string, handle *core.Shader) (string, error) {
+	e, _ := s.es.LoadOrStore(hash, &esEntry{})
+	entry := e.(*esEntry)
+	entry.once.Do(func() {
+		if handle != nil {
+			entry.src, entry.err = crossc.ESFromIR(handle.IR(), "mobile")
+			return
+		}
+		entry.src, entry.err = crossc.ToES(src, "mobile")
+	})
+	return entry.src, entry.err
+}
+
+// measure returns the cached score for (platform, source, protocol),
+// measuring on a miss. handle, when non-nil, marks src as the exact text
+// the handle's IR was lowered from, letting the driver consume the cached
+// IR instead of re-parsing; generated text always goes through the driver
+// front end so it keeps the paper's textual-interchange artefacts.
+// The bool reports whether the value came from cache.
+func (s *Session) measure(pl *gpu.Platform, src, hash string, handle *core.Shader) (float64, bool, error) {
+	key := measKey{vendor: pl.Vendor, hash: hash, cfg: s.cfg}
+	e, _ := s.meas.LoadOrStore(key, &measEntry{})
+	entry := e.(*measEntry)
+	hit := true
+	entry.once.Do(func() {
+		hit = false
+		entry.ns, entry.err = s.measureMiss(pl, src, hash, handle)
+	})
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return entry.ns, hit, entry.err
+}
+
+// loweredFor returns the cached, canonicalized driver-front-end lowering
+// of one distinct source: parsed and lowered at most once across all
+// platforms (the simulated drivers share one front end, as real drivers
+// share Mesa's), then taken through the vendor-independent first
+// canonicalization fixed point every driver pipeline starts with.
+// Canonicalization is idempotent, so handing each driver a clone of the
+// fixed point leaves its output bit-identical while the expensive
+// multi-iteration run happens once instead of once per platform. produce
+// supplies the lowering on a miss; callers must clone the returned
+// program before handing it to a driver pipeline.
+func (s *Session) loweredFor(hash string, produce func() (*ir.Program, error)) (*ir.Program, error) {
+	e, _ := s.lowered.LoadOrStore(hash, &loweredEntry{})
+	entry := e.(*loweredEntry)
+	entry.once.Do(func() {
+		entry.prog, entry.err = produce()
+		if entry.err == nil {
+			passes.Canonicalize(entry.prog)
+		}
+	})
+	return entry.prog, entry.err
+}
+
+func parseForDriver(src string) (*ir.Program, error) {
+	prog, err := gpu.FrontEnd(src, "driver")
+	if err != nil {
+		return nil, fmt.Errorf("driver front end: %w", err)
+	}
+	return prog, nil
+}
+
+func (s *Session) measureMiss(pl *gpu.Platform, src, hash string, handle *core.Shader) (float64, error) {
+	effective, effHash := src, hash
+	if pl.Mobile {
+		es, err := s.esFor(src, hash, handle)
+		if err != nil {
+			return 0, fmt.Errorf("mobile conversion: %w", err)
+		}
+		effective, effHash = es, core.HashSource(es)
+	}
+	produce := func() (*ir.Program, error) { return parseForDriver(effective) }
+	if handle != nil && !pl.Mobile {
+		// src is the exact text the handle's IR was lowered from: on a
+		// miss, clone the cached IR instead of re-parsing.
+		produce = func() (*ir.Program, error) { return handle.IR(), nil }
+	}
+	base, err := s.loweredFor(effHash, produce)
+	if err != nil {
+		return 0, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+	}
+	compiled := pl.Compile(base.Clone())
+	return harness.MeasureCompiled(pl, compiled, src, s.cfg).Score(), nil
+}
+
+// Sweep runs the exhaustive study over compiled handles: every distinct
+// variant of every shader measured on every session platform, each
+// distinct (vendor, source, protocol) measurement performed exactly once.
+// onEvent, when non-nil, receives per-shader progress (serialized).
+// Results are deterministic: noise streams are seeded per (platform,
+// source), independent of scheduling and caching.
+func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
+	results := make([]*ShaderResult, len(handles))
+	errs := make([]error, len(handles))
 
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, sh := range shaders {
+	var done atomic.Int64
+	var eventMu sync.Mutex
+	sem := make(chan struct{}, s.workers)
+	for i, h := range handles {
 		wg.Add(1)
-		go func(i int, sh *corpus.Shader) {
+		go func(i int, h *core.Shader) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = measureShader(sh, platforms, opts.Cfg)
-		}(i, sh)
+			var measured, cached int
+			results[i], measured, cached, errs[i] = s.sweepShader(h)
+			if onEvent != nil && errs[i] == nil {
+				eventMu.Lock()
+				onEvent(SweepEvent{
+					Shader:         h.Name,
+					Done:           int(done.Add(1)),
+					Total:          len(handles),
+					UniqueVariants: results[i].Variants.Unique(),
+					Measured:       measured,
+					CacheHits:      cached,
+				})
+				eventMu.Unlock()
+			}
+		}(i, h)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", shaders[i].Name, err)
+			return nil, fmt.Errorf("%s: %w", handles[i].Name, err)
 		}
 	}
-	return &Sweep{Platforms: platforms, Results: results, Cfg: opts.Cfg}, nil
+	return &Sweep{Platforms: s.platforms, Results: results, Cfg: s.cfg}, nil
 }
 
-func measureShader(sh *corpus.Shader, platforms []*gpu.Platform, cfg harness.Config) (*ShaderResult, error) {
-	vs, err := core.EnumerateVariantsLang(sh.Source, sh.Name, sh.Lang)
-	if err != nil {
-		return nil, err
-	}
+// sweepShader measures one handle's original baseline and every distinct
+// variant on every session platform, reporting how many measurements ran
+// vs came from cache.
+func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, measured, cached int, err error) {
+	vs := h.Variants()
 	// The unmodified-original baseline is the source the driver would see
 	// without the offline optimizer: the author's GLSL text, or for WGSL
 	// the frontend's unoptimized translation — which the enumeration just
-	// produced as the all-flags-off variant.
-	origSrc := sh.Source
-	if sh.Lang.Resolve(sh.Source) == core.LangWGSL {
-		origSrc = vs.VariantFor(core.NoFlags).Source
+	// produced as the all-flags-off variant. In the WGSL case the variant
+	// loop below shares the measurement through the session cache.
+	origSrc, origHash, origHandle := h.Source, h.Hash, h
+	if h.Lang == core.LangWGSL {
+		v := vs.VariantFor(core.NoFlags)
+		origSrc, origHash, origHandle = v.Source, v.Hash, nil
 	}
-	r := &ShaderResult{
-		Shader:    sh,
+	r = &ShaderResult{
+		Handle:    h,
 		Variants:  vs,
 		OrigNS:    map[string]float64{},
 		VariantNS: map[string]map[string]float64{},
 	}
-	for _, pl := range platforms {
-		m, err := harness.MeasureSource(pl, origSrc, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("original on %s: %w", pl.Vendor, err)
+	count := func(hit bool) {
+		if hit {
+			cached++
+		} else {
+			measured++
 		}
-		r.OrigNS[pl.Vendor] = m.Score()
+	}
+	for _, pl := range s.platforms {
+		ns, hit, err := s.measure(pl, origSrc, origHash, origHandle)
+		if err != nil {
+			return nil, measured, cached, fmt.Errorf("original on %s: %w", pl.Vendor, err)
+		}
+		count(hit)
+		r.OrigNS[pl.Vendor] = ns
 		perVariant := map[string]float64{}
 		for _, v := range vs.Variants {
-			vm, err := harness.MeasureSource(pl, v.Source, cfg)
+			ns, hit, err := s.measure(pl, v.Source, v.Hash, nil)
 			if err != nil {
-				return nil, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
+				return nil, measured, cached, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
 			}
-			perVariant[v.Hash] = vm.Score()
+			count(hit)
+			perVariant[v.Hash] = ns
 		}
 		r.VariantNS[pl.Vendor] = perVariant
 	}
-	return r, nil
+	return r, measured, cached, nil
+}
+
+// Run executes the exhaustive study over the given corpus shaders and
+// platforms: it compiles each shader to a handle (one frontend parse per
+// shader) and sweeps them through a fresh Session. Results are
+// deterministic: noise streams are seeded per (platform, shader, variant),
+// independent of scheduling.
+func Run(shaders []*corpus.Shader, platforms []*gpu.Platform, opts Options) (*Sweep, error) {
+	handles := make([]*core.Shader, len(shaders))
+	for i, sh := range shaders {
+		h, err := core.Compile(sh.Source, sh.Name, sh.Lang)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.Name, err)
+		}
+		handles[i] = h
+	}
+	sweep, err := NewSession(platforms, opts).Sweep(handles, opts.OnEvent)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range sweep.Results {
+		r.Shader = shaders[i]
+	}
+	return sweep, nil
 }
 
 // --- Analyses ---
 
 // BestStaticFlags returns the single flag combination maximizing the mean
-// speedup across all shaders for the vendor (Table I).
+// speedup across all shaders for the vendor (Table I). The argmax is a
+// full 256×shaders scan, so it is computed once per vendor and memoized;
+// the memo is safe for concurrent use.
 func (s *Sweep) BestStaticFlags(vendor string) (core.Flags, float64) {
+	s.staticMu.Lock()
+	defer s.staticMu.Unlock()
+	if best, ok := s.bestStatic[vendor]; ok {
+		return best.flags, best.mean
+	}
 	bestFlags := core.NoFlags
 	bestMean := -1e18
 	for _, flags := range passes.AllCombinations() {
@@ -158,6 +416,10 @@ func (s *Sweep) BestStaticFlags(vendor string) (core.Flags, float64) {
 			bestMean, bestFlags = mean, flags
 		}
 	}
+	if s.bestStatic == nil {
+		s.bestStatic = map[string]staticBest{}
+	}
+	s.bestStatic[vendor] = staticBest{flags: bestFlags, mean: bestMean}
 	return bestFlags, bestMean
 }
 
@@ -199,7 +461,7 @@ func (s *Sweep) PerShaderSpeedups(vendor string) []PerShader {
 	out := make([]PerShader, 0, len(s.Results))
 	for _, r := range s.Results {
 		out = append(out, PerShader{
-			Name:       r.Shader.Name,
+			Name:       r.Name(),
 			Best:       r.BestSpeedup(vendor),
 			Default:    r.SpeedupFor(vendor, core.DefaultFlags),
 			BestStatic: r.SpeedupFor(vendor, staticSet),
@@ -323,7 +585,7 @@ func (s *Sweep) SpeedupDistribution(vendor string, flags core.Flags) []float64 {
 // ResultFor returns the result for a named shader, or nil.
 func (s *Sweep) ResultFor(name string) *ShaderResult {
 	for _, r := range s.Results {
-		if r.Shader.Name == name {
+		if r.Name() == name {
 			return r
 		}
 	}

@@ -255,3 +255,209 @@ func TestResultFor(t *testing.T) {
 		t.Error("unexpected result")
 	}
 }
+
+// --- Session / handle API ---
+
+func compileSubset(t *testing.T) []*core.Shader {
+	t.Helper()
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*core.Shader, len(shaders))
+	for i, sh := range shaders {
+		h, err := core.Compile(sh.Source, sh.Name, sh.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	return handles
+}
+
+// TestSessionSweepMatchesLegacyMeasurement: the handle-based session sweep
+// must produce byte-identical scores to the pre-handle semantics — every
+// source measured through harness.MeasureSource, one call per (variant,
+// platform) with no caching. The session's measurement cache, shared
+// driver-front-end lowering, and IR-based measurement of originals must
+// not change a single number.
+func TestSessionSweepMatchesLegacyMeasurement(t *testing.T) {
+	cfg := harness.FastConfig()
+	sess := NewSession(gpu.Platforms(), Options{Cfg: cfg})
+	got, err := sess.Sweep(compileSubset(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shaders {
+		r := got.Results[i]
+		if r.Name() != sh.Name {
+			t.Fatalf("order differs: %s vs %s", r.Name(), sh.Name)
+		}
+		vs, err := core.EnumerateVariantsLang(sh.Source, sh.Name, sh.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origSrc := sh.Source
+		if sh.Lang.Resolve(sh.Source) == core.LangWGSL {
+			origSrc = vs.VariantFor(core.NoFlags).Source
+		}
+		for _, pl := range gpu.Platforms() {
+			m, err := harness.MeasureSource(pl, origSrc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.OrigNS[pl.Vendor] != m.Score() {
+				t.Errorf("%s orig on %s: %v != legacy %v", sh.Name, pl.Vendor, r.OrigNS[pl.Vendor], m.Score())
+			}
+			for _, v := range vs.Variants {
+				vm, err := harness.MeasureSource(pl, v.Source, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.VariantNS[pl.Vendor][v.Hash] != vm.Score() {
+					t.Errorf("%s variant %s on %s: %v != legacy %v",
+						sh.Name, v.Hash, pl.Vendor, r.VariantNS[pl.Vendor][v.Hash], vm.Score())
+				}
+			}
+		}
+	}
+}
+
+// TestSessionCacheAcrossSweeps: re-sweeping the same handles in one
+// session must be served entirely from the measurement cache.
+func TestSessionCacheAcrossSweeps(t *testing.T) {
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	handles := compileSubset(t)
+	if _, err := sess.Sweep(handles, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := sess.CacheStats()
+	if missesBefore == 0 {
+		t.Fatal("first sweep measured nothing")
+	}
+	if _, err := sess.Sweep(handles, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := sess.CacheStats()
+	if missesAfter != missesBefore {
+		t.Errorf("second sweep measured %d new variants, want 0", missesAfter-missesBefore)
+	}
+}
+
+// TestSessionWGSLOriginalShared: a WGSL shader's original baseline is its
+// all-flags-off translation, so the sweep must measure it once per
+// platform, not twice.
+func TestSessionWGSLOriginalShared(t *testing.T) {
+	all, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := corpus.ByName(all, "wgsl/luma")
+	if ws == nil {
+		t.Fatal("missing wgsl/luma")
+	}
+	h, err := core.Compile(ws.Source, ws.Name, ws.Lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	sweep, err := sess.Sweep([]*core.Shader{h}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := sess.CacheStats()
+	unique := sweep.Results[0].Variants.Unique()
+	wantMisses := int64(unique * len(gpu.Platforms()))
+	if misses != wantMisses {
+		t.Errorf("misses = %d, want %d (one per variant per platform)", misses, wantMisses)
+	}
+	if hits != int64(len(gpu.Platforms())) {
+		t.Errorf("hits = %d, want %d (original shared with all-off variant)", hits, len(gpu.Platforms()))
+	}
+}
+
+// TestSweepEvents: one serialized event per shader with consistent
+// bookkeeping.
+func TestSweepEvents(t *testing.T) {
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	handles := compileSubset(t)
+	var events []SweepEvent
+	if _, err := sess.Sweep(handles, func(ev SweepEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(handles) {
+		t.Fatalf("events = %d, want %d", len(events), len(handles))
+	}
+	seen := map[string]bool{}
+	for i, ev := range events {
+		if ev.Total != len(handles) {
+			t.Errorf("event %d: total = %d", i, ev.Total)
+		}
+		if ev.Done != i+1 {
+			t.Errorf("event %d: done = %d, want %d", i, ev.Done, i+1)
+		}
+		if ev.UniqueVariants < 1 {
+			t.Errorf("event %d: no variants", i)
+		}
+		if ev.Measured+ev.CacheHits < ev.UniqueVariants {
+			t.Errorf("event %d: %d measured + %d cached < %d variants", i, ev.Measured, ev.CacheHits, ev.UniqueVariants)
+		}
+		seen[ev.Shader] = true
+	}
+	for _, h := range handles {
+		if !seen[h.Name] {
+			t.Errorf("no event for %s", h.Name)
+		}
+	}
+}
+
+// TestSweepSingleFrontendParsePerShader is the headline acceptance
+// criterion: compiling N shaders costs N frontend parses, and the full
+// exhaustive sweep over them costs zero more.
+func TestSweepSingleFrontendParsePerShader(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := core.FrontendParses()
+	handles := make([]*core.Shader, len(shaders))
+	for i, sh := range shaders {
+		if handles[i], err = core.Compile(sh.Source, sh.Name, sh.Lang); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := core.FrontendParses() - before; got != int64(len(shaders)) {
+		t.Fatalf("compiling %d shaders performed %d parses", len(shaders), got)
+	}
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	if _, err := sess.Sweep(handles, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.FrontendParses() - before; got != int64(len(shaders)) {
+		t.Errorf("sweep re-parsed: %d total parses for %d shaders", got, len(shaders))
+	}
+}
+
+// TestBestStaticFlagsMemoized: repeated analysis calls must agree (the
+// memo) and remain consistent with a fresh scan on another vendor order.
+func TestBestStaticFlagsMemoized(t *testing.T) {
+	sweep := miniSweep(t)
+	f1, m1 := sweep.BestStaticFlags("ARM")
+	f2, m2 := sweep.BestStaticFlags("ARM")
+	if f1 != f2 || m1 != m2 {
+		t.Errorf("memoized result differs: %v/%v vs %v/%v", f1, m1, f2, m2)
+	}
+	// The memo must be per vendor.
+	fi, _ := sweep.BestStaticFlags("Intel")
+	f3, _ := sweep.BestStaticFlags("ARM")
+	if f3 != f1 {
+		t.Errorf("ARM result changed after Intel query: %v vs %v", f3, f1)
+	}
+	_ = fi
+}

@@ -18,28 +18,37 @@
 // so every study artefact — variant enumeration, per-flag attribution,
 // platform measurements, rendered images — is available for both
 // languages. Source language is auto-detected by default and can be
-// pinned with the *Lang functions.
+// pinned with WithLang or the *Lang functions.
 //
-// The root package is a stable facade over the internal packages:
+// The study is compile-once / measure-many (256 flag combinations per
+// shader across 5 platforms), so the API is built around compiled
+// handles: Compile parses and lowers a shader exactly once, and every
+// method on the handle reuses the cached IR. A Session owns the
+// measurement campaign — protocol, platforms, and a measurement cache
+// that guarantees each distinct variant is measured exactly once:
 //
-//	out, _ := shaderopt.Optimize(src, "myshader", shaderopt.AllFlags)
-//	for _, pl := range shaderopt.Platforms() {
-//	    m, _ := shaderopt.Measure(pl, out, shaderopt.DefaultProtocol())
-//	    fmt.Println(pl.Vendor, m.MedianNS)
+//	sh, _ := shaderopt.Compile(src, "myshader")
+//	out := sh.Optimize(shaderopt.AllFlags)
+//	sess := shaderopt.NewSession(shaderopt.WithProtocol(shaderopt.FastProtocol()))
+//	sweep, _ := sess.Sweep([]*shaderopt.Shader{sh}, func(ev shaderopt.SweepEvent) {
+//	    fmt.Printf("[%d/%d] %s: %d variants\n", ev.Done, ev.Total, ev.Shader, ev.UniqueVariants)
+//	})
+//	for _, pl := range sess.Platforms() {
+//	    fmt.Println(pl.Vendor, sweep.Results[0].BestSpeedup(pl.Vendor))
 //	}
+//
+// The string functions (Optimize, Variants, Measure, Render, Sweep, …)
+// remain as one-shot convenience wrappers over Compile.
 package shaderopt
 
 import (
 	"shaderopt/internal/core"
 	"shaderopt/internal/corpus"
 	"shaderopt/internal/crossc"
-	"shaderopt/internal/exec"
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/harness"
-	"shaderopt/internal/ir"
 	"shaderopt/internal/passes"
 	"shaderopt/internal/search"
-	"shaderopt/internal/sem"
 )
 
 // Flags selects optimization passes; combine with bitwise or.
@@ -87,31 +96,42 @@ func DetectLang(src string) Lang { return core.DetectLang(src) }
 
 // Optimize runs the offline optimizer on fragment shader source (GLSL or
 // WGSL, auto-detected) and returns optimized desktop GLSL — the
-// interchange form every simulated driver consumes.
+// interchange form every simulated driver consumes. Convenience wrapper
+// over Compile for one-shot use; compile a handle to reuse the parsed
+// form.
 func Optimize(src, name string, flags Flags) (string, error) {
-	return core.Optimize(src, name, flags)
+	return OptimizeLang(src, name, LangAuto, flags)
 }
 
 // OptimizeLang is Optimize with the source language pinned.
 func OptimizeLang(src, name string, lang Lang, flags Flags) (string, error) {
-	return core.OptimizeLang(src, name, lang, flags)
+	sh, err := Compile(src, name, WithLang(lang))
+	if err != nil {
+		return "", err
+	}
+	return sh.Optimize(flags), nil
 }
 
 // OptimizeWGSL runs the offline optimizer on a WGSL fragment shader and
-// returns optimized desktop GLSL.
+// returns optimized desktop GLSL. Convenience wrapper over Compile.
 func OptimizeWGSL(src, name string, flags Flags) (string, error) {
-	return core.OptimizeLang(src, name, core.LangWGSL, flags)
+	return OptimizeLang(src, name, LangWGSL, flags)
 }
 
 // Variants enumerates all 256 flag combinations for a shader (GLSL or
 // WGSL, auto-detected) and deduplicates the distinct outputs (Fig. 4c).
+// Convenience wrapper over Compile for one-shot use.
 func Variants(src, name string) (*core.VariantSet, error) {
-	return core.EnumerateVariants(src, name)
+	return VariantsLang(src, name, LangAuto)
 }
 
 // VariantsLang is Variants with the source language pinned.
 func VariantsLang(src, name string, lang Lang) (*core.VariantSet, error) {
-	return core.EnumerateVariantsLang(src, name, lang)
+	sh, err := Compile(src, name, WithLang(lang))
+	if err != nil {
+		return nil, err
+	}
+	return sh.Variants(), nil
 }
 
 // Variant re-exports the deduplicated variant type.
@@ -147,12 +167,14 @@ type Measurement = harness.Measurement
 // GLSL is measured as written (mobile platforms receive it through the
 // GLES conversion pipeline); WGSL input is auto-detected and measured via
 // its unoptimized GLSL translation, the form a driver would see.
+// Convenience wrapper over Compile for one-shot use; compile a handle (or
+// use a Session) to measure many variants without re-parsing.
 func Measure(pl *Platform, src string, cfg Protocol) (*Measurement, error) {
-	glslSrc, err := core.ToGLSL(src, "measure", LangAuto)
+	sh, err := Compile(src, "measure")
 	if err != nil {
 		return nil, err
 	}
-	return harness.MeasureSource(pl, glslSrc, cfg)
+	return sh.Measure(pl, cfg)
 }
 
 // Speedup converts a baseline/variant time pair into the paper's
@@ -166,7 +188,8 @@ func ConvertToES(src, name string) (string, error) { return crossc.ToES(src, nam
 
 // ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
 // through untouched; WGSL input is lowered and regenerated unoptimized,
-// the source a driver would actually receive.
+// the source a driver would actually receive. Convenience wrapper over
+// Compile for one-shot use.
 func ToGLSL(src, name string, lang Lang) (string, error) {
 	return core.ToGLSL(src, name, lang)
 }
@@ -183,8 +206,23 @@ func Corpus() ([]*corpus.Shader, error) { return corpus.Load() }
 // CorpusShader re-exports the corpus entry type.
 type CorpusShader = corpus.Shader
 
+// CompileCorpus compiles every corpus entry into a handle, ready for a
+// Session sweep: one frontend parse per shader.
+func CompileCorpus(shaders []*corpus.Shader) ([]*Shader, error) {
+	out := make([]*Shader, len(shaders))
+	for i, cs := range shaders {
+		sh, err := Compile(cs.Source, cs.Name, WithLang(cs.Lang))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sh
+	}
+	return out, nil
+}
+
 // Sweep runs the full exhaustive study (all shaders × 256 combinations ×
-// all platforms).
+// all platforms). Convenience wrapper over the handle API: it compiles
+// each corpus shader once and sweeps the handles through a fresh Session.
 func Sweep(shaders []*corpus.Shader, platforms []*Platform, cfg Protocol) (*search.Sweep, error) {
 	return search.Run(shaders, platforms, search.Options{Cfg: cfg})
 }
@@ -196,54 +234,12 @@ type SweepResult = search.Sweep
 // functionally for every pixel of a w×h image with default-initialized
 // uniforms (0.5 floats, the patterned texture) and uv varying over
 // [0,1]². It returns RGBA rows — handy for visually confirming
-// optimization equivalence, including across frontends.
+// optimization equivalence, including across frontends. Convenience
+// wrapper over Compile for one-shot use.
 func Render(src, name string, w, h int, flags Flags) ([][][4]float64, error) {
-	prog, err := compileForRender(src, name, flags)
+	sh, err := Compile(src, name)
 	if err != nil {
 		return nil, err
 	}
-	env := harness.DefaultEnv(prog)
-	img := make([][][4]float64, h)
-	for y := 0; y < h; y++ {
-		img[y] = make([][4]float64, w)
-		for x := 0; x < w; x++ {
-			u := (float64(x) + 0.5) / float64(w)
-			v := (float64(y) + 0.5) / float64(h)
-			for _, in := range prog.Inputs {
-				if in.Type.Equal(sem.Vec2) {
-					env.Inputs[in.Name] = ir.FloatConst(u, v)
-				}
-			}
-			res, err := exec.Run(prog, env)
-			if err != nil {
-				return nil, err
-			}
-			var px [4]float64
-			if !res.Discarded {
-				for _, out := range prog.Outputs {
-					val := res.Outputs[out.Name]
-					for i := 0; i < val.Len() && i < 4; i++ {
-						px[i] = val.Float(i)
-					}
-					if val.Len() < 4 {
-						px[3] = 1
-					}
-					break
-				}
-			}
-			img[y][x] = px
-		}
-	}
-	return img, nil
-}
-
-func compileForRender(src, name string, flags Flags) (*ir.Program, error) {
-	prog, err := core.LowerLang(src, name, LangAuto)
-	if err != nil {
-		return nil, err
-	}
-	if flags != NoFlags {
-		passes.Run(prog, flags)
-	}
-	return prog, nil
+	return sh.Render(w, h, flags)
 }

@@ -3,6 +3,7 @@ package shaderopt
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -276,5 +277,142 @@ func TestFacadeOptimizeWGSL(t *testing.T) {
 	}
 	if !strings.HasPrefix(es, "#version 300 es") {
 		t.Error("not ES output")
+	}
+}
+
+// --- Compiled-handle API acceptance ---
+
+// TestHandleEquivalentToStringFacade: Compile → Optimize/Variants/ToGLSL/
+// Measure/Render must reproduce the legacy string facade exactly —
+// byte-identical GLSL and identical measurement scores for a fixed seed —
+// for both frontends.
+func TestHandleEquivalentToStringFacade(t *testing.T) {
+	cfg := FastProtocol()
+	for _, tc := range []struct {
+		name, src string
+	}{{"glsl", facadeSrc}, {"wgsl", wgslFacadeSrc}} {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, err := Compile(tc.src, "eq")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, flags := range []Flags{NoFlags, DefaultFlags, AllFlags} {
+				want, err := Optimize(tc.src, "eq", flags)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sh.Optimize(flags); got != want {
+					t.Errorf("flags %v: handle GLSL differs from string facade", flags)
+				}
+			}
+			wantVS, err := Variants(tc.src, "eq")
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := sh.Variants()
+			if vs.Unique() != wantVS.Unique() {
+				t.Errorf("unique = %d, want %d", vs.Unique(), wantVS.Unique())
+			}
+			wantGLSL, err := ToGLSL(tc.src, "eq", LangAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.ToGLSL() != wantGLSL {
+				t.Error("ToGLSL differs")
+			}
+			for _, pl := range Platforms() {
+				want, err := Measure(pl, tc.src, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Measure(pl, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.MedianNS != want.MedianNS || got.MeanNS != want.MeanNS || got.TrueNS != want.TrueNS {
+					t.Errorf("%s: handle measurement differs: %v vs %v", pl.Vendor, got.MedianNS, want.MedianNS)
+				}
+			}
+			wantImg, err := Render(tc.src, "eq", 8, 8, AllFlags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotImg, err := sh.Render(8, 8, AllFlags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for y := range wantImg {
+				for x := range wantImg[y] {
+					if gotImg[y][x] != wantImg[y][x] {
+						t.Fatalf("pixel (%d,%d) differs", x, y)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHandleCompileLangOption: WithLang pins the frontend on Compile and
+// sets the session default for Session.Compile.
+func TestHandleCompileLangOption(t *testing.T) {
+	if _, err := Compile(wgslFacadeSrc, "w", WithLang(LangGLSL)); err == nil {
+		t.Error("WGSL source pinned as GLSL should fail to parse")
+	}
+	sh, err := Compile(wgslFacadeSrc, "w", WithLang(LangWGSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Lang() != LangWGSL {
+		t.Error("lang not pinned")
+	}
+	sess := NewSession(WithLang(LangWGSL), WithProtocol(FastProtocol()))
+	if _, err := sess.Compile(wgslFacadeSrc, "w"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionConcurrentUse hammers one Session and shared handles from
+// many goroutines; run under -race (the CI race job does) to catch
+// unsynchronized cache state.
+func TestSessionConcurrentUse(t *testing.T) {
+	sess := NewSession(WithProtocol(FastProtocol()), WithWorkers(4))
+	shA, err := Compile(facadeSrc, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shB, err := Compile(wgslFacadeSrc, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sweep, err := sess.Sweep([]*Shader{shA, shB}, func(SweepEvent) {})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(sweep.Results) != 2 {
+				t.Error("bad sweep")
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shA.Variants()
+			shB.Variants()
+			if _, err := shA.Measure(Platforms()[0], FastProtocol()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := sess.CacheStats()
+	if misses == 0 || hits == 0 {
+		t.Errorf("cache stats hits=%d misses=%d: expected both non-zero under contention", hits, misses)
 	}
 }
