@@ -1,0 +1,96 @@
+package shaderopt
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+)
+
+// enumBaseline mirrors testdata/enum_baseline.json: the committed
+// expectations of the enumeration benchmark-regression gate.
+type enumBaseline struct {
+	MinSpeedup float64  `json:"min_speedup"`
+	Shaders    []string `json:"shaders"`
+	Repeats    int      `json:"repeats"`
+}
+
+// TestEnumerationSpeedupRegression is the CI benchmark-regression gate:
+// it times the legacy clone-per-combination enumeration against the
+// trie-memoized path on the committed shader list and fails if the
+// memoized path does not beat the legacy path by the committed
+// min_speedup factor. The threshold (2×) sits far below the speedup
+// observed when the baseline was committed (~17×), so the gate trips on
+// real regressions — a memoization break that silently falls back to
+// per-combination work — not on machine noise. Timing both paths in one
+// process on the same inputs keeps the comparison machine-independent.
+func TestEnumerationSpeedupRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; runs in the dedicated CI step without -short")
+	}
+	raw, err := os.ReadFile("testdata/enum_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base enumBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.MinSpeedup <= 1 || len(base.Shaders) == 0 || base.Repeats < 1 {
+		t.Fatalf("implausible baseline: %+v", base)
+	}
+
+	all := corpus.MustLoad()
+	var shaders []*corpus.Shader
+	for _, n := range base.Shaders {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("baseline names missing corpus shader %s", n)
+		}
+		shaders = append(shaders, s)
+	}
+
+	compile := func(s *corpus.Shader) *core.Shader {
+		h, err := core.Compile(s.Source, s.Name, s.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	legacyPass := func() {
+		for _, s := range shaders {
+			compile(s).LegacyVariants()
+		}
+	}
+	memoPass := func() {
+		for _, s := range shaders {
+			compile(s).VariantsN(1)
+		}
+	}
+
+	// Warm both paths once (corpus templates, allocator), then take the
+	// fastest of the committed repeat count per path.
+	legacyPass()
+	memoPass()
+	best := func(pass func()) time.Duration {
+		min := time.Duration(0)
+		for i := 0; i < base.Repeats; i++ {
+			start := time.Now()
+			pass()
+			if d := time.Since(start); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	legacy, memo := best(legacyPass), best(memoPass)
+	speedup := float64(legacy) / float64(memo)
+	t.Logf("legacy %v, memoized %v: %.1fx (gate %.1fx)", legacy, memo, speedup, base.MinSpeedup)
+	if speedup < base.MinSpeedup {
+		t.Fatalf("memoized enumeration only %.2fx faster than legacy, below the committed %.1fx gate",
+			speedup, base.MinSpeedup)
+	}
+}

@@ -333,6 +333,51 @@ func BenchmarkSweepCompiledHandles(b *testing.B) {
 	b.ReportMetric(float64(core.FrontendParses()-parses0)/float64(b.N), "frontend_parses/op")
 }
 
+// --- memoized vs legacy variant enumeration ---
+
+// The enumeration pair is the tentpole head-to-head: the same corpus
+// subset enumerated at all 256 combinations by the clone-per-combination
+// reference path and by the trie-memoized path (which computes each
+// distinct intermediate IR once and runs codegen once per distinct
+// result). Outputs are byte-identical (pinned by
+// TestMemoizedEnumerationMatchesLegacy); the ns/op gap is the cold-sweep
+// win, gated in CI by TestEnumerationSpeedupRegression.
+
+func benchEnumerate(b *testing.B, enumerate func(h *core.Shader) *core.VariantSet) {
+	b.Helper()
+	shaders := benchShaders(b)
+	unique := 0
+	for i := 0; i < b.N; i++ {
+		unique = 0
+		for _, s := range shaders {
+			h, err := core.Compile(s.Source, s.Name, s.Lang)
+			if err != nil {
+				b.Fatal(err)
+			}
+			unique += enumerate(h).Unique()
+		}
+	}
+	b.ReportMetric(float64(unique), "unique_variants")
+}
+
+// BenchmarkEnumerateCorpusLegacy is the PR 2 baseline: 256 ×
+// (clone + flagged passes + codegen) per shader, with only the
+// flag-independent prefix shared.
+func BenchmarkEnumerateCorpusLegacy(b *testing.B) {
+	benchEnumerate(b, func(h *core.Shader) *core.VariantSet { return h.LegacyVariants() })
+}
+
+// BenchmarkEnumerateCorpusMemoized is the trie walk, inline (1 worker).
+func BenchmarkEnumerateCorpusMemoized(b *testing.B) {
+	benchEnumerate(b, func(h *core.Shader) *core.VariantSet { return h.VariantsN(1) })
+}
+
+// BenchmarkEnumerateCorpusMemoizedSharded shards the walk across 8
+// workers, the way a Session-driven sweep runs it.
+func BenchmarkEnumerateCorpusMemoizedSharded(b *testing.B) {
+	benchEnumerate(b, func(h *core.Shader) *core.VariantSet { return h.VariantsN(8) })
+}
+
 // --- component micro-benchmarks ---
 
 func BenchmarkParseBlur(b *testing.B) {

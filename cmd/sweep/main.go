@@ -33,15 +33,16 @@ func main() {
 	platform := flag.String("platform", "", "restrict per-platform figures (7, 9) to one vendor")
 	lang := flag.String("lang", "all", "restrict the corpus by source language: all|glsl|wgsl")
 	fast := flag.Bool("fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
+	workers := flag.Int("workers", 0, "worker pool size for the sweep and the sharded variant enumeration (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*exp, *platform, *lang, *fast); err != nil {
+	if err := run(*exp, *platform, *lang, *fast, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, platformFilter, langFilter string, fast bool) error {
+func run(expList, platformFilter, langFilter string, fast bool, workers int) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -105,25 +106,36 @@ func run(expList, platformFilter, langFilter string, fast bool) error {
 	if fast {
 		cfg = harness.FastConfig()
 	}
-	fmt.Println("Running exhaustive sweep (256 flag combinations per shader)...")
 	// Compile once per shader, then sweep the handles through a session:
 	// the measurement cache guarantees each distinct variant is measured
-	// exactly once, and the event stream gives live per-shader progress.
+	// exactly once, and the event stream gives live per-shader progress —
+	// including how long the sharded variant enumeration took per shader,
+	// so the -workers effect is visible as the sweep streams.
 	handles, err := shaderopt.CompileCorpus(shaders)
 	if err != nil {
 		return err
 	}
-	sess := shaderopt.NewSession(shaderopt.WithProtocol(cfg), shaderopt.WithPlatforms(platforms...))
+	sess := shaderopt.NewSession(
+		shaderopt.WithProtocol(cfg),
+		shaderopt.WithPlatforms(platforms...),
+		shaderopt.WithWorkers(workers))
+	fmt.Printf("Running exhaustive sweep (256 flag combinations per shader, %d workers)...\n", sess.Workers())
 	sweep, err := sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
-		fmt.Fprintf(os.Stderr, "  [%*d/%d] %-26s %3d variants, %4d measured, %3d cached\n",
+		enum := fmt.Sprintf("enum %6.1fms", ev.EnumMS)
+		if ev.EnumCached {
+			enum = "enum   cached" // same width as the timed form
+		}
+		fmt.Fprintf(os.Stderr, "  [%*d/%d] %-26s %3d variants, %s, %4d measured, %3d cached\n",
 			len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader,
-			ev.UniqueVariants, ev.Measured, ev.CacheHits)
+			ev.UniqueVariants, enum, ev.Measured, ev.CacheHits)
 	})
 	if err != nil {
 		return err
 	}
 	hits, misses := sess.CacheStats()
-	fmt.Fprintf(os.Stderr, "  %d measurements (%d served from cache)\n", misses, hits)
+	entries, variants, bound := sess.EnumCacheStats()
+	fmt.Fprintf(os.Stderr, "  %d measurements (%d served from cache); enumeration cache %d shaders / %d variants (bound %d)\n",
+		misses, hits, entries, variants, bound)
 	fmt.Println()
 
 	if has("table1") || has("fig5") {

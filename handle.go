@@ -15,10 +15,11 @@ import (
 type Option func(*options)
 
 type options struct {
-	lang      Lang
-	cfg       Protocol
-	workers   int
-	platforms []*Platform
+	lang       Lang
+	cfg        Protocol
+	workers    int
+	cacheBound int
+	platforms  []*Platform
 }
 
 func defaultOptions() options {
@@ -32,8 +33,24 @@ func WithLang(lang Lang) Option { return func(o *options) { o.lang = lang } }
 // DefaultProtocol).
 func WithProtocol(cfg Protocol) Option { return func(o *options) { o.cfg = cfg } }
 
-// WithWorkers bounds the session's sweep parallelism (0 = GOMAXPROCS).
+// WithWorkers bounds the session's parallelism (0 = GOMAXPROCS): the
+// shader fan-out of Sweep and the shard width of the memoized variant
+// enumeration.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// DefaultCacheBound is the session cache budget WithCacheBound(0)
+// selects: up to this many variants in the enumeration cache and the
+// same number of programs in the driver-lowering cache.
+const DefaultCacheBound = search.DefaultCacheBound
+
+// WithCacheBound bounds the session's LRU caches: the variant-enumeration
+// cache holds at most n variants (summed over cached shaders) and the
+// driver-lowering cache at most n programs. 0 uses DefaultCacheBound; a
+// negative value disables eviction. A single shader whose unique-variant
+// count exceeds n is never admitted (admitting it would evict the entire
+// cache), so its enumeration is memoized only on its own handle — keep n
+// at least the 256 worst case per shader.
+func WithCacheBound(n int) Option { return func(o *options) { o.cacheBound = n } }
 
 // WithPlatforms sets the session's platform roster (the default is all
 // five).
@@ -81,8 +98,10 @@ func (s *Shader) SourceHash() string { return s.h.Hash }
 func (s *Shader) Optimize(flags Flags) string { return s.h.Optimize(flags) }
 
 // Variants enumerates all 256 flag combinations from the cached IR and
-// deduplicates the distinct outputs (Fig. 4c). The enumeration runs once
-// per handle and is cached; callers share the result.
+// deduplicates the distinct outputs (Fig. 4c). The walk is memoized over
+// the pass trie, so each distinct intermediate IR is transformed once and
+// codegen runs once per distinct result. The enumeration runs once per
+// handle and is cached; callers share the result.
 func (s *Shader) Variants() *VariantSet { return s.h.Variants() }
 
 // ToGLSL returns the driver-visible desktop GLSL: the original text for
@@ -174,8 +193,12 @@ func NewSession(opts ...Option) *Session {
 		platforms = Platforms()
 	}
 	return &Session{
-		inner: search.NewSession(platforms, search.Options{Cfg: o.cfg, Workers: o.workers}),
-		lang:  o.lang,
+		inner: search.NewSession(platforms, search.Options{
+			Cfg:        o.cfg,
+			Workers:    o.workers,
+			CacheBound: o.cacheBound,
+		}),
+		lang: o.lang,
 	}
 }
 
@@ -191,9 +214,27 @@ func (s *Session) Protocol() Protocol { return s.inner.Config() }
 // Platforms returns the session's platform roster.
 func (s *Session) Platforms() []*Platform { return s.inner.Platforms() }
 
+// Workers returns the session's worker-pool size.
+func (s *Session) Workers() int { return s.inner.Workers() }
+
 // CacheStats returns how many measurements the session served from cache
 // and how many it actually ran.
 func (s *Session) CacheStats() (hits, misses int64) { return s.inner.CacheStats() }
+
+// EnumCacheStats reports the enumeration cache's occupancy: cached
+// enumerations, their summed variant count (the LRU eviction metric), and
+// the configured bound (0 = unbounded).
+func (s *Session) EnumCacheStats() (entries, variants, bound int) {
+	return s.inner.EnumCacheStats()
+}
+
+// Variants returns a shader's variant enumeration through the session's
+// LRU cache, sharding the memoized trie walk across the session's worker
+// pool on a miss. Results are independent of the worker count.
+func (s *Session) Variants(sh *Shader) *VariantSet {
+	vs, _ := s.inner.Variants(sh.h)
+	return vs
+}
 
 // SweepEvent is one per-shader progress report streamed from a running
 // sweep.

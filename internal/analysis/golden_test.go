@@ -1,0 +1,77 @@
+package analysis_test
+
+// Golden-file test for the raw static-characterization data (the numbers
+// behind Fig. 4): a stable text dump of LinesOfCode, ARMStaticCycles, and
+// UniqueVariants over a fixed corpus subset, compared byte-for-byte
+// against testdata/characterization.golden. Regenerate after an
+// intentional change with:
+//
+//	go test ./internal/analysis -run TestGolden -update
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shaderopt/internal/analysis"
+	"shaderopt/internal/corpus"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func TestGoldenCharacterization(t *testing.T) {
+	all, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shaders []*corpus.Shader
+	for _, n := range []string{"blur/v9", "projtex/compose", "ui/flat", "simple/luma", "wgsl/ripple"} {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("missing corpus shader %s", n)
+		}
+		shaders = append(shaders, s)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# lines of code (fig 4a), descending\n")
+	for _, l := range analysis.LinesOfCode(shaders) {
+		fmt.Fprintf(&sb, "%-20s %d\n", l.Name, l.Lines)
+	}
+	cyc, err := analysis.ARMStaticCycles(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n# ARM static cycles (fig 4b): arith / load-store / texture, descending by total\n")
+	for _, c := range cyc {
+		fmt.Fprintf(&sb, "%-20s %.2f / %.2f / %.2f = %.2f\n", c.Name, c.Arith, c.LoadStore, c.Texture, c.Total())
+	}
+	uni, err := analysis.UniqueVariants(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n# unique variants of 256 combinations (fig 4c), descending\n")
+	for _, u := range uni {
+		fmt.Fprintf(&sb, "%-20s %d/%d\n", u.Name, u.Unique, u.MaxSets)
+	}
+
+	path := filepath.Join("testdata", "characterization.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("characterization differs from golden; rerun with -update after reviewing.\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}

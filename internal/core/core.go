@@ -16,7 +16,6 @@ import (
 	"fmt"
 
 	"shaderopt/internal/glsl"
-	"shaderopt/internal/glslgen"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/lower"
 	"shaderopt/internal/passes"
@@ -128,32 +127,6 @@ func (vs *VariantSet) FlagChangesOutput(f Flags) bool {
 // is deterministic and far cheaper than 256 full compilations.
 func EnumerateVariants(src, name string) (*VariantSet, error) {
 	return EnumerateVariantsLang(src, name, LangAuto)
-}
-
-// enumerateFromIR runs the exhaustive flag enumeration from an already
-// lowered base program. The flag-independent pass prefix (scalarization +
-// first canonicalization) is shared across all 256 combinations: prepared
-// once, cloned per combination.
-func enumerateFromIR(base *ir.Program, name string) *VariantSet {
-	pre := base.Clone()
-	passes.Prepare(pre)
-	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, 256)}
-	byHash := map[string]*Variant{}
-	for _, flags := range passes.AllCombinations() {
-		prog := pre.Clone()
-		passes.RunFlagged(prog, flags)
-		out := glslgen.Generate(prog, glslgen.Desktop)
-		h := HashSource(out)
-		v, ok := byHash[h]
-		if !ok {
-			v = &Variant{Source: out, Hash: h}
-			byHash[h] = v
-			vs.Variants = append(vs.Variants, v)
-		}
-		v.FlagSets = append(v.FlagSets, flags)
-		vs.ByFlags[flags] = v
-	}
-	return vs
 }
 
 // HashSource returns a stable content hash for generated source.

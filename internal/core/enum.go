@@ -1,0 +1,230 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/passes"
+)
+
+// The exhaustive flag enumeration is the hot path of a cold sweep: naively
+// it is 256 × (clone + flagged passes + codegen) per shader, even though
+// the 2^8 combinations share long pass prefixes and "most of the flags do
+// not alter the source code" (Fig. 4c). enumerateFromIR instead organizes
+// the combinations as a binary trie over the fixed pass order
+// (passes.FlaggedSteps): depth d decides whether step d runs, so every
+// combination is a root-to-leaf path and combinations that agree on the
+// first d steps share one node — one intermediate IR, computed once.
+//
+// Two properties collapse the trie into a small DAG:
+//
+//   - the "off" edge is free: skipping a pass leaves the IR untouched, so
+//     the off-child IS the parent node;
+//   - nodes are keyed by an IR fingerprint (hash of the printed program),
+//     so when a pass does not change the program — or two different
+//     prefixes converge to the same IR — the paths merge and all
+//     downstream work is shared.
+//
+// Each distinct intermediate IR therefore has each step applied to it
+// exactly once, and codegen runs once per distinct leaf instead of once
+// per combination. The walk is level-synchronous, which makes it
+// shardable: within a level every pending step application is independent,
+// so they fan out across the worker pool; merging is sequential and
+// ordered, keeping the result deterministic and byte-identical to the
+// legacy path (pinned by TestMemoizedEnumerationMatchesLegacy).
+
+// enumNode is one distinct intermediate IR state in the enumeration DAG.
+// Nodes are immutable after creation: step application and leaf codegen
+// always work on clones.
+type enumNode struct {
+	prog *ir.Program
+	fp   string
+}
+
+// irFingerprint keys DAG nodes by program identity. The printed form
+// includes instruction IDs, which Clone and every structural pass keep
+// dense and deterministic, so equal fingerprints mean structurally
+// identical programs — reusing a memoized step result for them is sound.
+func irFingerprint(p *ir.Program) string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// enumerateFromIR runs the exhaustive flag enumeration from an already
+// lowered base program, sharding the trie walk across `workers`
+// goroutines (<= 1 runs inline). The result is independent of the worker
+// count and byte-identical to legacyEnumerateFromIR.
+func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
+	pre := base.Clone()
+	passes.Prepare(pre)
+	root := &enumNode{prog: pre, fp: irFingerprint(pre)}
+
+	combos := passes.AllCombinations()
+	// assign tracks, per combination, the DAG node holding its IR after
+	// the steps processed so far. Everyone starts at the shared root.
+	assign := make([]*enumNode, len(combos))
+	for i := range assign {
+		assign[i] = root
+	}
+
+	for _, st := range passes.FlaggedSteps() {
+		// Distinct live parents, in first-use (ascending combination)
+		// order so the merge below is deterministic.
+		parents := distinctNodes(assign)
+
+		// Fan the step applications out across the pool: each distinct
+		// parent IR has this step applied to it exactly once.
+		children := make([]*enumNode, len(parents))
+		parallelFor(workers, len(parents), func(i int) {
+			children[i] = applyStep(parents[i], st)
+		})
+
+		// Merge by fingerprint: a child that lands on an existing node's
+		// state (typically its own parent, when the pass was a no-op)
+		// joins that node and shares all downstream work.
+		byFP := make(map[string]*enumNode, 2*len(parents))
+		for _, par := range parents {
+			byFP[par.fp] = par
+		}
+		onChild := make(map[*enumNode]*enumNode, len(parents))
+		for i, par := range parents {
+			ch := children[i]
+			if existing, ok := byFP[ch.fp]; ok {
+				ch = existing
+			} else {
+				byFP[ch.fp] = ch
+			}
+			onChild[par] = ch
+		}
+		for ci, flags := range combos {
+			if flags.Has(st.Flag) {
+				assign[ci] = onChild[assign[ci]]
+			}
+		}
+	}
+
+	// Codegen once per distinct leaf. Clone renumbers IDs in program
+	// order (the same normalization RunFlagged ends with), so the printed
+	// source is byte-identical to the monolithic path.
+	leaves := distinctNodes(assign)
+	outs := make([]string, len(leaves))
+	parallelFor(workers, len(leaves), func(i int) {
+		final := leaves[i].prog.Clone()
+		passes.Finish(final)
+		outs[i] = glslgen.Generate(final, glslgen.Desktop)
+	})
+	outOf := make(map[*enumNode]string, len(leaves))
+	for i, leaf := range leaves {
+		outOf[leaf] = outs[i]
+	}
+
+	// Assemble exactly like the legacy path: walk combinations in
+	// ascending order, deduplicating by generated-source hash (distinct
+	// leaf IRs can still print identical source).
+	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, len(combos))}
+	byHash := map[string]*Variant{}
+	for ci, flags := range combos {
+		out := outOf[assign[ci]]
+		h := HashSource(out)
+		v, ok := byHash[h]
+		if !ok {
+			v = &Variant{Source: out, Hash: h}
+			byHash[h] = v
+			vs.Variants = append(vs.Variants, v)
+		}
+		v.FlagSets = append(v.FlagSets, flags)
+		vs.ByFlags[flags] = v
+	}
+	return vs
+}
+
+// applyStep computes a node's on-child: the step applied to a clone of
+// the node's IR. When the step turns out to be a no-op the parent is
+// returned directly, merging the subtrees.
+func applyStep(parent *enumNode, st passes.Step) *enumNode {
+	p := parent.prog.Clone()
+	st.Run(p)
+	fp := irFingerprint(p)
+	if fp == parent.fp {
+		return parent
+	}
+	return &enumNode{prog: p, fp: fp}
+}
+
+// distinctNodes returns the unique nodes of an assignment in first-seen
+// order (ascending combination order, so results are deterministic).
+func distinctNodes(assign []*enumNode) []*enumNode {
+	seen := make(map[*enumNode]bool, len(assign))
+	var out []*enumNode
+	for _, n := range assign {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// parallelFor runs fn(0..n-1) across at most `workers` goroutines,
+// inline when the pool is trivial or the work is a single item.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// legacyEnumerateFromIR is the pre-trie reference implementation: every
+// combination clones the prepared program and runs its flagged passes
+// from scratch. It is kept (and exported through Shader.LegacyVariants)
+// as the oracle the memoized path is differentially tested and
+// benchmarked against.
+func legacyEnumerateFromIR(base *ir.Program, name string) *VariantSet {
+	pre := base.Clone()
+	passes.Prepare(pre)
+	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, 256)}
+	byHash := map[string]*Variant{}
+	for _, flags := range passes.AllCombinations() {
+		prog := pre.Clone()
+		passes.RunFlagged(prog, flags)
+		out := glslgen.Generate(prog, glslgen.Desktop)
+		h := HashSource(out)
+		v, ok := byHash[h]
+		if !ok {
+			v = &Variant{Source: out, Hash: h}
+			byHash[h] = v
+			vs.Variants = append(vs.Variants, v)
+		}
+		v.FlagSets = append(v.FlagSets, flags)
+		vs.ByFlags[flags] = v
+	}
+	return vs
+}

@@ -81,11 +81,25 @@ func (s *Shader) OptimizeIR(flags Flags) *ir.Program {
 // Variants enumerates all 256 flag combinations from the cached IR and
 // deduplicates the outputs. The enumeration runs once per handle and is
 // cached; callers share the returned set and must not mutate it.
-func (s *Shader) Variants() *VariantSet {
+func (s *Shader) Variants() *VariantSet { return s.VariantsN(1) }
+
+// VariantsN is Variants with the memoized trie walk sharded across
+// `workers` goroutines (<= 1 runs inline). The result is independent of
+// the worker count; the first enumeration wins and is cached for the
+// handle's lifetime.
+func (s *Shader) VariantsN(workers int) *VariantSet {
 	s.variantsOnce.Do(func() {
-		s.variants = enumerateFromIR(s.base, s.Name)
+		s.variants = enumerateFromIR(s.base, s.Name, workers)
 	})
 	return s.variants
+}
+
+// LegacyVariants runs the pre-memoization reference enumeration — every
+// combination cloned and optimized from scratch — bypassing the handle
+// cache. It exists as the differential-testing and benchmarking oracle
+// for the trie path; study code should use Variants.
+func (s *Shader) LegacyVariants() *VariantSet {
+	return legacyEnumerateFromIR(s.base, s.Name)
 }
 
 // GLSL returns the driver-visible desktop GLSL: the original text for GLSL

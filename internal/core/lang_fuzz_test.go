@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+// FuzzDetectLang fuzzes the language auto-detection with three
+// invariants: it never panics, it always returns a concrete language
+// (never LangAuto), and — because detection strips comments first —
+// wrapping arbitrary input in comment syntax never flips the result.
+func FuzzDetectLang(f *testing.F) {
+	for _, s := range []string{
+		"#version 330 core\nvoid main() { }",
+		"@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }",
+		"fn helper(x: f32) -> f32 { return x; }",
+		"// @fragment mentioned in prose\nvoid main() { }",
+		"/* fn arrow -> inside block comment */\nvoid main() { }",
+		"@group(0) @binding(1) var samp: sampler;",
+		"",
+		"/* unterminated",
+		"//",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lang := DetectLang(src)
+		if lang != LangGLSL && lang != LangWGSL {
+			t.Fatalf("DetectLang returned non-concrete language %v", lang)
+		}
+		// Comments are stripped before detection, so commenting more
+		// prose around the code must not change the verdict. (Appending
+		// is only safe when the input doesn't end mid-comment, which
+		// would swallow the suffix; prepending a fresh line comment
+		// always is.)
+		if got := DetectLang("// swizzle @fragment fn -> void main\n" + src); got != lang {
+			t.Fatalf("prepended comment flipped detection: %v -> %v\nsource:\n%s", lang, got, src)
+		}
+		if lang.Resolve(src) != lang {
+			t.Fatalf("Resolve disagrees with DetectLang")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+// Package lru provides a small, concurrency-safe, cost-bounded LRU cache.
+// Session-scale sweeps use it to bound the lowering and variant-enumeration
+// caches by variant count, so a long-lived measurement service holds the
+// hot working set without growing memory with corpus size (the ROADMAP's
+// eviction open item).
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a cost-bounded LRU map. Each entry carries an explicit cost
+// (e.g. a variant set costs its unique-variant count); when the summed
+// cost exceeds the bound, least-recently-used entries are evicted. A
+// non-positive bound disables eviction. All methods are safe for
+// concurrent use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	cost    int
+	order   *list.List // front = most recently used; values are *entry[K, V]
+	items   map[K]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int
+}
+
+// New creates a cache bounded by maxCost total cost. maxCost <= 0 means
+// unbounded.
+func New[K comparable, V any](maxCost int) *Cache[K, V] {
+	return &Cache[K, V]{
+		max:   maxCost,
+		order: list.New(),
+		items: make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes an entry with the given cost, evicting the
+// least-recently-used entries until the bound holds again. An entry whose
+// own cost exceeds the bound is not stored at all: admitting it would
+// either break the bound or immediately evict it, so the caller keeps the
+// value unshared instead. Costs below 1 count as 1 so every entry makes
+// eviction progress.
+func (c *Cache[K, V]) Add(key K, val V, cost int) {
+	if cost < 1 {
+		cost = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && cost > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.cost += cost - e.cost
+		e.val, e.cost = val, cost
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+		c.cost += cost
+	}
+	for c.max > 0 && c.cost > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry[K, V])
+		c.order.Remove(back)
+		delete(c.items, e.key)
+		c.cost -= e.cost
+		c.evicted++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Cost returns the summed cost of all cached entries.
+func (c *Cache[K, V]) Cost() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost
+}
+
+// Bound returns the configured maximum cost (<= 0 means unbounded).
+func (c *Cache[K, V]) Bound() int { return c.max }
+
+// Stats returns cumulative hit, miss, and eviction counts.
+func (c *Cache[K, V]) Stats() (hits, misses, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}

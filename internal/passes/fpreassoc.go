@@ -285,6 +285,11 @@ func (r *fpRewriter) rewrite(root *ir.Instr) bool {
 		sort.Slice(g.terms, func(i, j int) bool { return termLess(g.terms[i], g.terms[j]) })
 		for _, tm := range g.terms {
 			prod := b.product(tm.factors, 1)
+			if prod == nil {
+				// Width-mismatched factor (defensive): abort the whole
+				// rewrite rather than rebuild a sum missing a term.
+				return false
+			}
 			gsum = b.add(gsum, prod)
 		}
 		if g.coeff != 1 {
@@ -463,8 +468,16 @@ func (b *fpBuilder) product(factors []*ir.Instr, coeff float64) *ir.Instr {
 		return b.bin("*", b.t, vecProd, b.splat(scalarProd))
 	case scalarProd != nil:
 		return b.splat(scalarProd)
-	default:
+	case vecProd != nil:
 		return vecProd
+	default:
+		// Every factor was extracted as common (coeff 1 reaches here;
+		// other coefficients returned above): the term is the constant 1.
+		// Emitting it keeps sums like a·b + c·a·b ≡ a·b·(1 + c) intact —
+		// returning nil here silently deleted the term (caught by the
+		// differential-equivalence suite on the bloom family).
+		c := newConst(b.p, b.t, ir.SplatFloat(1, b.t.Components()))
+		return b.emit(c)
 	}
 }
 

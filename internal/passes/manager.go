@@ -25,43 +25,79 @@ func Prepare(p *ir.Program) {
 	Canonicalize(p)
 }
 
-// RunFlagged applies the flagged passes to an already-Prepared program.
+// RunFlagged applies the flagged passes to an already-Prepared program:
+// the steps of FlaggedSteps in order, for every flag in the set, then a
+// final ID renumbering. Incremental pipelines (the memoized variant
+// enumeration) replay the same step list one step at a time, so the two
+// paths cannot drift.
 func RunFlagged(p *ir.Program, flags Flags) {
-	if flags.Has(FlagUnroll) {
-		if Unroll(p) {
-			Canonicalize(p)
-		}
-	}
-	if flags.Has(FlagHoist) {
-		if Hoist(p) {
-			Canonicalize(p)
-		}
-	}
-	if flags.Has(FlagReassociate) {
-		if Reassociate(p) {
-			Canonicalize(p)
-		}
-	}
-	if flags.Has(FlagDivToMul) {
-		if DivToMul(p) {
-			Canonicalize(p)
-		}
-	}
-	if flags.Has(FlagFPReassociate) {
-		FPReassoc(p) // canonicalizes internally per round
-	}
-	if flags.Has(FlagGVN) {
-		if GVN(p) {
-			Canonicalize(p)
-		}
-	}
-	if flags.Has(FlagCoalesce) {
-		Coalesce(p) // canonicalizes internally when it fires
-	}
-	if flags.Has(FlagADCE) {
-		if ADCE(p) {
-			Canonicalize(p)
+	for _, st := range flaggedSteps {
+		if flags.Has(st.Flag) {
+			st.Run(p)
 		}
 	}
 	p.RenumberIDs()
 }
+
+// Step is one flagged stage of the optimizer pipeline: the flag that
+// enables it and the transformation it applies (the pass itself plus the
+// re-canonicalization RunFlagged performs after a structural change).
+// Steps are pure functions of the program: the same input program always
+// produces the same output program.
+type Step struct {
+	// Flag is the combination bit that enables this step.
+	Flag Flags
+	// Run applies the step in place.
+	Run func(p *ir.Program)
+}
+
+// flaggedSteps is the fixed LunarGlass-like pass order. RunFlagged and the
+// enumeration trie both execute exactly this list; each entry bundles the
+// pass with its conditional re-canonicalization.
+var flaggedSteps = []Step{
+	{FlagUnroll, func(p *ir.Program) {
+		if Unroll(p) {
+			Canonicalize(p)
+		}
+	}},
+	{FlagHoist, func(p *ir.Program) {
+		if Hoist(p) {
+			Canonicalize(p)
+		}
+	}},
+	{FlagReassociate, func(p *ir.Program) {
+		if Reassociate(p) {
+			Canonicalize(p)
+		}
+	}},
+	{FlagDivToMul, func(p *ir.Program) {
+		if DivToMul(p) {
+			Canonicalize(p)
+		}
+	}},
+	{FlagFPReassociate, func(p *ir.Program) {
+		FPReassoc(p) // canonicalizes internally per round
+	}},
+	{FlagGVN, func(p *ir.Program) {
+		if GVN(p) {
+			Canonicalize(p)
+		}
+	}},
+	{FlagCoalesce, func(p *ir.Program) {
+		Coalesce(p) // canonicalizes internally when it fires
+	}},
+	{FlagADCE, func(p *ir.Program) {
+		if ADCE(p) {
+			Canonicalize(p)
+		}
+	}},
+}
+
+// FlaggedSteps returns the flagged pipeline stages in execution order.
+// Callers must not mutate the returned slice.
+func FlaggedSteps() []Step { return flaggedSteps }
+
+// Finish completes a program assembled step by step: the final ID
+// renumbering RunFlagged ends with. Apply it to a clone just before
+// codegen so printed output is identical to a monolithic Run.
+func Finish(p *ir.Program) { p.RenumberIDs() }

@@ -802,3 +802,101 @@ func TestRunDeterministic(t *testing.T) {
 		t.Error("Run is not deterministic")
 	}
 }
+
+// --- step-list pipeline ---
+
+// TestFlaggedStepsCoverEveryFlagOnce pins the step list the memoized
+// enumeration replays: every flag appears exactly once, in the fixed
+// LunarGlass-like execution order RunFlagged documents.
+func TestFlaggedStepsCoverEveryFlagOnce(t *testing.T) {
+	wantOrder := []Flags{
+		FlagUnroll, FlagHoist, FlagReassociate, FlagDivToMul,
+		FlagFPReassociate, FlagGVN, FlagCoalesce, FlagADCE,
+	}
+	steps := FlaggedSteps()
+	if len(steps) != len(wantOrder) {
+		t.Fatalf("got %d steps, want %d", len(steps), len(wantOrder))
+	}
+	var covered Flags
+	for i, st := range steps {
+		if st.Flag != wantOrder[i] {
+			t.Fatalf("step %d runs %v, want %v", i, st.Flag, wantOrder[i])
+		}
+		if covered.Has(st.Flag) {
+			t.Fatalf("flag %v appears twice", st.Flag)
+		}
+		if st.Run == nil {
+			t.Fatalf("step %d has no Run", i)
+		}
+		covered |= st.Flag
+	}
+	if covered != AllFlags {
+		t.Fatalf("steps cover %v, want all flags", covered)
+	}
+}
+
+// TestStepwiseMatchesRunFlagged checks the incremental contract the
+// enumeration trie relies on: applying the enabled steps one at a time to
+// a clone chain, then Finish, prints byte-identically to a monolithic
+// RunFlagged — for every flag combination.
+func TestStepwiseMatchesRunFlagged(t *testing.T) {
+	src := `#version 330 core
+uniform float u;
+out vec4 color;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 4; i++) {
+        acc += float(i) * u / 2.0 + (u + 1.0) * (u + 1.0);
+    }
+    vec3 v = vec3(acc, acc * 2.0, acc / u);
+    color = vec4(v, 1.0);
+}`
+	for _, flags := range AllCombinations() {
+		mono := mustLower(t, src)
+		Prepare(mono)
+		step := mono.Clone()
+
+		RunFlagged(mono, flags)
+
+		for _, st := range FlaggedSteps() {
+			if flags.Has(st.Flag) {
+				next := step.Clone()
+				st.Run(next)
+				step = next
+			}
+		}
+		final := step.Clone()
+		Finish(final)
+
+		if got, want := final.String(), mono.String(); got != want {
+			t.Fatalf("flags %v: stepwise pipeline diverged from RunFlagged\nstepwise:\n%s\nmonolithic:\n%s", flags, got, want)
+		}
+	}
+}
+
+// TestFPReassocKeepsFullyExtractedTerm is the regression pin for a term
+// deletion the differential-equivalence suite caught on the bloom corpus
+// family: in a·b + c·(a·b·d), common-factor extraction strips a and b
+// from every term, reducing the first term to a bare coefficient of 1 —
+// which the rebuilder used to drop entirely, turning the sum into
+// c·(a·b·d). The rebuilt sum must stay ≡ a·b·(1 + c·d).
+func TestFPReassocKeepsFullyExtractedTerm(t *testing.T) {
+	src := `#version 330 core
+uniform sampler2D tex;
+uniform float strength;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 base = texture(tex, uv);
+    vec4 halo = texture(tex, uv * 0.5);
+    vec4 glow = (halo + (halo * base) * 0.35) * strength;
+    color = base + glow * 0.8 + glow * 0.2;
+}`
+	env := &exec.Env{
+		Uniforms: map[string]*ir.ConstVal{"strength": ir.FloatConst(0.8)},
+		Inputs:   map[string]*ir.ConstVal{"uv": ir.FloatConst(0.37, 0.61)},
+		Samplers: map[string]exec.Sampler{"tex": exec.DefaultSampler{}},
+	}
+	checkEquiv(t, src, FlagFPReassociate, env, 1e-9)
+	checkEquiv(t, src, FlagFPReassociate|FlagDivToMul|FlagGVN|FlagADCE, env, 1e-9)
+}

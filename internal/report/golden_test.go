@@ -1,0 +1,208 @@
+package report_test
+
+// Golden-file tests for the study reports: every table and figure
+// renderer is run over a small deterministic sweep (simulated platforms,
+// seeded noise — identical output on every machine) and compared against
+// testdata/*.golden byte-for-byte, so formatting changes show up as
+// reviewable diffs.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/report -run TestGolden -update
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"shaderopt/internal/analysis"
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/report"
+	"shaderopt/internal/search"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenNames is the fixed study subset behind every golden: small enough
+// to sweep in test time, diverse enough (loop, übershader, trivial, WGSL)
+// that each report exercises its interesting rows.
+var goldenNames = []string{"blur/v9", "projtex/compose", "ui/flat", "simple/luma", "wgsl/ripple"}
+
+func goldenShaders(t *testing.T) []*corpus.Shader {
+	t.Helper()
+	all, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*corpus.Shader
+	for _, n := range goldenNames {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("missing corpus shader %s", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+var (
+	goldenOnce  sync.Once
+	goldenSweep *search.Sweep
+	goldenErr   error
+)
+
+func sweepForGolden(t *testing.T) *search.Sweep {
+	t.Helper()
+	goldenOnce.Do(func() {
+		var shaders []*corpus.Shader
+		all, err := corpus.Load()
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		for _, n := range goldenNames {
+			shaders = append(shaders, corpus.ByName(all, n))
+		}
+		goldenSweep, goldenErr = search.Run(shaders, gpu.Platforms(), search.Options{Cfg: harness.FastConfig()})
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenSweep
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden; rerun with -update after reviewing.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	sweep := sweepForGolden(t)
+	var rows []search.MeanSpeedups
+	for _, pl := range sweep.Platforms {
+		rows = append(rows, sweep.MeanSpeedups(pl.Vendor))
+	}
+	checkGolden(t, "table1", report.Table1(rows))
+}
+
+func TestGoldenFig5(t *testing.T) {
+	sweep := sweepForGolden(t)
+	var rows []search.MeanSpeedups
+	for _, pl := range sweep.Platforms {
+		rows = append(rows, sweep.MeanSpeedups(pl.Vendor))
+	}
+	checkGolden(t, "fig5", report.Fig5(rows))
+}
+
+func TestGoldenFig6(t *testing.T) {
+	sweep := sweepForGolden(t)
+	means := map[string]float64{}
+	var vendors []string
+	for _, pl := range sweep.Platforms {
+		vendors = append(vendors, pl.Vendor)
+		means[pl.Vendor] = sweep.Top30Mean(pl.Vendor)
+	}
+	checkGolden(t, "fig6", report.Fig6(vendors, means))
+}
+
+func TestGoldenFig7(t *testing.T) {
+	sweep := sweepForGolden(t)
+	checkGolden(t, "fig7_arm", report.Fig7("ARM", sweep.PerShaderSpeedups("ARM"), 15))
+}
+
+func TestGoldenFig8(t *testing.T) {
+	sweep := sweepForGolden(t)
+	var vendors []string
+	for _, pl := range sweep.Platforms {
+		vendors = append(vendors, pl.Vendor)
+	}
+	checkGolden(t, "fig8", report.Fig8(sweep.FlagApplicabilities(), vendors))
+}
+
+func TestGoldenFig9(t *testing.T) {
+	sweep := sweepForGolden(t)
+	checkGolden(t, "fig9_arm", report.Fig9("ARM", sweep.FlagIsolation("ARM")))
+}
+
+func TestGoldenFig3(t *testing.T) {
+	sweep := sweepForGolden(t)
+	me := corpus.MotivatingExample()
+	r := sweep.ResultFor(me.Name)
+	if r == nil {
+		t.Fatalf("motivating example %s not in the golden subset", me.Name)
+	}
+	gains := map[string]float64{}
+	var vendors []string
+	for _, pl := range sweep.Platforms {
+		vendors = append(vendors, pl.Vendor)
+		gains[pl.Vendor] = r.BestSpeedup(pl.Vendor)
+	}
+	dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
+	checkGolden(t, "fig3", report.Fig3(gains, vendors, "ARM", dist))
+}
+
+func TestGoldenFig4(t *testing.T) {
+	shaders := goldenShaders(t)
+	checkGolden(t, "fig4a", report.Fig4a(analysis.LinesOfCode(shaders)))
+	cyc, err := analysis.ARMStaticCycles(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4b", report.Fig4b(cyc))
+	uni, err := analysis.UniqueVariants(shaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4c", report.Fig4c(uni))
+}
+
+func TestGoldenHistogram(t *testing.T) {
+	sweep := sweepForGolden(t)
+	dist := sweep.SpeedupDistribution("ARM", core.DefaultFlags)
+	checkGolden(t, "histogram", report.Histogram("Default-flags speed-up distribution (ARM)", dist, -35, 15, 20))
+}
+
+// TestGoldenFilesHaveNoStrays keeps testdata in lockstep with the tests:
+// every .golden file must belong to a renderer above.
+func TestGoldenFilesHaveNoStrays(t *testing.T) {
+	known := map[string]bool{
+		"table1": true, "fig3": true, "fig4a": true, "fig4b": true, "fig4c": true,
+		"fig5": true, "fig6": true, "fig7_arm": true, "fig8": true, "fig9_arm": true,
+		"histogram": true,
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".golden" {
+			continue
+		}
+		if !known[name[:len(name)-len(".golden")]] {
+			t.Errorf("stray golden file %s", name)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shaderopt/internal/core"
 	"shaderopt/internal/corpus"
@@ -25,6 +26,7 @@ import (
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/harness"
 	"shaderopt/internal/ir"
+	"shaderopt/internal/lru"
 	"shaderopt/internal/passes"
 )
 
@@ -105,13 +107,35 @@ type SweepEvent struct {
 	// Measured counts the measurements this shader actually ran; CacheHits
 	// counts the ones the session cache already had.
 	Measured, CacheHits int
+	// Workers is the session's worker-pool size — the shard width the
+	// enumeration trie walk and the shader fan-out ran at.
+	Workers int
+	// EnumCached reports that the variant set came from the session's
+	// enumeration cache instead of being enumerated for this event.
+	EnumCached bool
+	// EnumMS is the wall-clock milliseconds enumeration took for this
+	// shader (~0 when EnumCached).
+	EnumMS float64
 }
+
+// DefaultCacheBound is the session cache budget when Options.CacheBound
+// is zero: the enumeration cache may hold this many variants (LRU by
+// variant count) and the driver-lowering cache the same number of
+// lowered programs. It is sized for a corpus-scale working set (64
+// shaders at the full 256 combinations) while keeping a long-lived
+// sweep service's memory flat.
+const DefaultCacheBound = 64 * 256
 
 // Options configures a sweep run.
 type Options struct {
 	Cfg harness.Config
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism (0 = GOMAXPROCS): the shader fan-out of
+	// Sweep and the shard width of the memoized variant enumeration.
 	Workers int
+	// CacheBound bounds the session's enumeration cache (in variants) and
+	// driver-lowering cache (in programs). 0 means DefaultCacheBound;
+	// negative disables eviction.
+	CacheBound int
 	// OnEvent, when non-nil, receives a SweepEvent as each shader
 	// completes. Callbacks are serialized.
 	OnEvent func(SweepEvent)
@@ -119,19 +143,36 @@ type Options struct {
 
 // Session owns the shared state of a measurement campaign: the protocol,
 // the platform roster, a concurrency-safe measurement cache keyed by
-// (vendor, source hash, protocol), and a cached ES-conversion table. All
-// methods are safe for concurrent use; cached measurements are sound
-// because the harness is deterministic per (vendor, source, protocol).
+// (vendor, source hash, protocol), a cached ES-conversion table, and two
+// LRU-bounded caches — variant enumerations (evicted by variant count)
+// and canonicalized driver-front-end lowerings — so a long-lived sweep
+// service's memory stays flat at corpus scale. All methods are safe for
+// concurrent use; cached measurements are sound because the harness is
+// deterministic per (vendor, source, protocol).
 type Session struct {
 	cfg       harness.Config
 	workers   int
 	platforms []*gpu.Platform
 
-	meas    sync.Map // measKey -> *measEntry
-	es      sync.Map // desktop source hash -> *esEntry
-	lowered sync.Map // source hash -> *loweredEntry
+	meas sync.Map // measKey -> *measEntry
+	es   sync.Map // desktop source hash -> *esEntry
+
+	// lowered caches the canonicalized driver-front-end lowering per
+	// distinct effective source; enums caches variant enumerations per
+	// (lang, source hash). Both are LRU-evicted: on a racing miss two
+	// goroutines may redundantly compute the same deterministic value,
+	// which is benign, unlike unbounded growth.
+	lowered *lru.Cache[string, *ir.Program]
+	enums   *lru.Cache[enumKey, *core.VariantSet]
 
 	hits, misses atomic.Int64
+}
+
+// enumKey identifies one enumeration: the resolved source language and
+// the source content hash (the base IR is a pure function of both).
+type enumKey struct {
+	lang core.Lang
+	hash string
 }
 
 type measKey struct {
@@ -152,19 +193,26 @@ type esEntry struct {
 	err  error
 }
 
-type loweredEntry struct {
-	once sync.Once
-	prog *ir.Program
-	err  error
-}
-
 // NewSession creates a measurement session for the given platforms.
 func NewSession(platforms []*gpu.Platform, opts Options) *Session {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Session{cfg: opts.Cfg, workers: workers, platforms: platforms}
+	bound := opts.CacheBound
+	switch {
+	case bound == 0:
+		bound = DefaultCacheBound
+	case bound < 0:
+		bound = 0 // lru treats 0 as unbounded
+	}
+	return &Session{
+		cfg:       opts.Cfg,
+		workers:   workers,
+		platforms: platforms,
+		lowered:   lru.New[string, *ir.Program](bound),
+		enums:     lru.New[enumKey, *core.VariantSet](bound),
+	}
 }
 
 // Config returns the session's measurement protocol.
@@ -173,10 +221,44 @@ func (s *Session) Config() harness.Config { return s.cfg }
 // Platforms returns the session's platform roster.
 func (s *Session) Platforms() []*gpu.Platform { return s.platforms }
 
+// Workers returns the session's worker-pool size: the shader fan-out of
+// Sweep and the shard width of the memoized variant enumeration.
+func (s *Session) Workers() int { return s.workers }
+
 // CacheStats returns how many measurements the session served from cache
 // and how many it actually ran.
 func (s *Session) CacheStats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// EnumCacheStats reports the enumeration cache's occupancy: cached
+// enumerations, their summed variant count (the eviction cost metric),
+// and the configured bound (0 = unbounded).
+func (s *Session) EnumCacheStats() (entries, variants, bound int) {
+	return s.enums.Len(), s.enums.Cost(), s.enums.Bound()
+}
+
+// LoweredCacheStats reports the driver-lowering cache's occupancy and
+// bound (0 = unbounded).
+func (s *Session) LoweredCacheStats() (entries, bound int) {
+	return s.lowered.Len(), s.lowered.Bound()
+}
+
+// Variants returns the handle's variant enumeration through the session's
+// LRU cache, enumerating on a miss with the trie walk sharded across the
+// session's worker pool. The bool reports a cache hit. Results are
+// identical for any worker count, so sharing across callers is sound.
+// An enumeration whose variant count exceeds the cache bound is computed
+// but not admitted (it would evict everything else); it stays memoized on
+// the handle itself, so only fresh handles for such a shader re-enumerate.
+func (s *Session) Variants(h *core.Shader) (*core.VariantSet, bool) {
+	key := enumKey{lang: h.Lang, hash: h.Hash}
+	if vs, ok := s.enums.Get(key); ok {
+		return vs, true
+	}
+	vs := h.VariantsN(s.workers)
+	s.enums.Add(key, vs, vs.Unique())
+	return vs, false
 }
 
 // esFor returns the cached GLES conversion of desktop GLSL source,
@@ -222,25 +304,28 @@ func (s *Session) measure(pl *gpu.Platform, src, hash string, handle *core.Shade
 }
 
 // loweredFor returns the cached, canonicalized driver-front-end lowering
-// of one distinct source: parsed and lowered at most once across all
-// platforms (the simulated drivers share one front end, as real drivers
-// share Mesa's), then taken through the vendor-independent first
-// canonicalization fixed point every driver pipeline starts with.
+// of one distinct source: parsed and lowered once per cache residency
+// across all platforms (the simulated drivers share one front end, as
+// real drivers share Mesa's), then taken through the vendor-independent
+// first canonicalization fixed point every driver pipeline starts with.
 // Canonicalization is idempotent, so handing each driver a clone of the
 // fixed point leaves its output bit-identical while the expensive
 // multi-iteration run happens once instead of once per platform. produce
 // supplies the lowering on a miss; callers must clone the returned
-// program before handing it to a driver pipeline.
+// program before handing it to a driver pipeline. The cache is
+// LRU-bounded: after eviction (or on a racing miss) the lowering is
+// recomputed, bit-identically, so eviction trades only time for memory.
 func (s *Session) loweredFor(hash string, produce func() (*ir.Program, error)) (*ir.Program, error) {
-	e, _ := s.lowered.LoadOrStore(hash, &loweredEntry{})
-	entry := e.(*loweredEntry)
-	entry.once.Do(func() {
-		entry.prog, entry.err = produce()
-		if entry.err == nil {
-			passes.Canonicalize(entry.prog)
-		}
-	})
-	return entry.prog, entry.err
+	if prog, ok := s.lowered.Get(hash); ok {
+		return prog, nil
+	}
+	prog, err := produce()
+	if err != nil {
+		return nil, err
+	}
+	passes.Canonicalize(prog)
+	s.lowered.Add(hash, prog, 1)
+	return prog, nil
 }
 
 func parseForDriver(src string) (*ir.Program, error) {
@@ -294,18 +379,15 @@ func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Swee
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			var measured, cached int
-			results[i], measured, cached, errs[i] = s.sweepShader(h)
+			var ev SweepEvent
+			results[i], ev, errs[i] = s.sweepShader(h)
 			if onEvent != nil && errs[i] == nil {
 				eventMu.Lock()
-				onEvent(SweepEvent{
-					Shader:         h.Name,
-					Done:           int(done.Add(1)),
-					Total:          len(handles),
-					UniqueVariants: results[i].Variants.Unique(),
-					Measured:       measured,
-					CacheHits:      cached,
-				})
+				ev.Shader = h.Name
+				ev.Done = int(done.Add(1))
+				ev.Total = len(handles)
+				ev.Workers = s.workers
+				onEvent(ev)
 				eventMu.Unlock()
 			}
 		}(i, h)
@@ -320,10 +402,14 @@ func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Swee
 }
 
 // sweepShader measures one handle's original baseline and every distinct
-// variant on every session platform, reporting how many measurements ran
-// vs came from cache.
-func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, measured, cached int, err error) {
-	vs := h.Variants()
+// variant on every session platform, reporting per-shader sweep progress
+// (variant counts, enumeration cost, measurement cache traffic).
+func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
+	enumStart := time.Now()
+	vs, enumCached := s.Variants(h)
+	ev.EnumCached = enumCached
+	ev.EnumMS = float64(time.Since(enumStart).Nanoseconds()) / 1e6
+	ev.UniqueVariants = vs.Unique()
 	// The unmodified-original baseline is the source the driver would see
 	// without the offline optimizer: the author's GLSL text, or for WGSL
 	// the frontend's unoptimized translation — which the enumeration just
@@ -342,15 +428,15 @@ func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, measured, cached
 	}
 	count := func(hit bool) {
 		if hit {
-			cached++
+			ev.CacheHits++
 		} else {
-			measured++
+			ev.Measured++
 		}
 	}
 	for _, pl := range s.platforms {
 		ns, hit, err := s.measure(pl, origSrc, origHash, origHandle)
 		if err != nil {
-			return nil, measured, cached, fmt.Errorf("original on %s: %w", pl.Vendor, err)
+			return nil, ev, fmt.Errorf("original on %s: %w", pl.Vendor, err)
 		}
 		count(hit)
 		r.OrigNS[pl.Vendor] = ns
@@ -358,14 +444,14 @@ func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, measured, cached
 		for _, v := range vs.Variants {
 			ns, hit, err := s.measure(pl, v.Source, v.Hash, nil)
 			if err != nil {
-				return nil, measured, cached, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
+				return nil, ev, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
 			}
 			count(hit)
 			perVariant[v.Hash] = ns
 		}
 		r.VariantNS[pl.Vendor] = perVariant
 	}
-	return r, measured, cached, nil
+	return r, ev, nil
 }
 
 // Run executes the exhaustive study over the given corpus shaders and

@@ -461,3 +461,192 @@ func TestBestStaticFlagsMemoized(t *testing.T) {
 	}
 	_ = fi
 }
+
+// --- sharded enumeration + LRU eviction ---
+
+// TestSessionSweepWorkerInvariance pins the tentpole's scheduling
+// independence at the session level: concurrent sweeps over one-worker and
+// eight-worker sessions produce identical variant fingerprints and
+// identical measurements for every shader.
+func TestSessionSweepWorkerInvariance(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Sweep {
+		sweep, err := Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep
+	}
+	one, eight := run(1), run(8)
+	for i, r1 := range one.Results {
+		r8 := eight.Results[i]
+		if r1.Variants.Unique() != r8.Variants.Unique() {
+			t.Fatalf("%s: unique %d vs %d across worker counts", r1.Name(), r1.Variants.Unique(), r8.Variants.Unique())
+		}
+		for j, v1 := range r1.Variants.Variants {
+			if v8 := r8.Variants.Variants[j]; v8.Hash != v1.Hash {
+				t.Fatalf("%s: variant %d hash %s vs %s across worker counts", r1.Name(), j, v1.Hash, v8.Hash)
+			}
+		}
+		for _, pl := range one.Platforms {
+			if r1.OrigNS[pl.Vendor] != r8.OrigNS[pl.Vendor] {
+				t.Fatalf("%s: original time differs on %s across worker counts", r1.Name(), pl.Vendor)
+			}
+			for hash, ns := range r1.VariantNS[pl.Vendor] {
+				if r8.VariantNS[pl.Vendor][hash] != ns {
+					t.Fatalf("%s: variant %s time differs on %s across worker counts", r1.Name(), hash, pl.Vendor)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSessionVariants hammers one session's enumeration cache
+// from many goroutines (exercised by the -race CI job) and checks every
+// caller observes the same variant sets.
+func TestConcurrentSessionVariants(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig(), Workers: 4})
+	handles := make([]*core.Shader, len(shaders))
+	for i, s := range shaders {
+		if handles[i], err = core.Compile(s.Source, s.Name, s.Lang); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets := make([][]*core.VariantSet, 6)
+	var wg sync.WaitGroup
+	for g := range sets {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sets[g] = make([]*core.VariantSet, len(handles))
+			for i, h := range handles {
+				vs, _ := sess.Variants(h)
+				sets[g][i] = vs
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(sets); g++ {
+		for i := range handles {
+			if sets[g][i].Unique() != sets[0][i].Unique() {
+				t.Fatalf("goroutine %d saw %d variants for %s, goroutine 0 saw %d",
+					g, sets[g][i].Unique(), handles[i].Name, sets[0][i].Unique())
+			}
+			for j, v := range sets[0][i].Variants {
+				if sets[g][i].Variants[j].Hash != v.Hash {
+					t.Fatalf("goroutine %d saw different variant %d for %s", g, j, handles[i].Name)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumCacheNeverExceedsBound sweeps more variants than the configured
+// cache budget through one session and checks the LRU invariant after
+// every shader: the summed cached variant count stays at or below the
+// bound, with older enumerations evicted rather than the bound stretched.
+func TestEnumCacheNeverExceedsBound(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 12 // small enough that the subset must evict
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig(), CacheBound: bound})
+	for _, s := range shaders {
+		h, err := core.Compile(s.Source, s.Name, s.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.Variants(h)
+		if _, variants, b := sess.EnumCacheStats(); b != bound || variants > bound {
+			t.Fatalf("after %s: cached variants %d exceed bound %d", s.Name, variants, b)
+		}
+	}
+	if entries, _, _ := sess.EnumCacheStats(); entries == 0 {
+		t.Fatal("cache should retain the most recent enumerations")
+	}
+	if entries, b := sess.LoweredCacheStats(); b != DefaultCacheBound && entries > b {
+		t.Fatalf("lowered cache %d entries exceeds bound %d", entries, b)
+	}
+}
+
+// TestEnumCacheServesRepeats checks the session cache actually hits: a
+// second handle for the same source gets the cached set without
+// re-enumerating, and the sweep event stream reports it.
+func TestEnumCacheServesRepeats(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shaders[0]
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig()})
+	h1, err := core.Compile(s.Source, s.Name, s.Lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := core.Compile(s.Source, s.Name, s.Lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs1, hit1 := sess.Variants(h1)
+	vs2, hit2 := sess.Variants(h2)
+	if hit1 {
+		t.Fatal("first enumeration reported as cache hit")
+	}
+	if !hit2 {
+		t.Fatal("second handle for the same source should hit the session cache")
+	}
+	if vs1 != vs2 {
+		t.Fatal("cache returned a different variant set for identical source")
+	}
+
+	// The event stream reports the hit when a sweep reuses the cache.
+	var events []SweepEvent
+	if _, err := sess.Sweep([]*core.Shader{h2}, func(ev SweepEvent) { events = append(events, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].EnumCached {
+		t.Fatalf("sweep event should report EnumCached, got %+v", events)
+	}
+	if events[0].Workers != sess.Workers() {
+		t.Fatalf("event workers = %d, want %d", events[0].Workers, sess.Workers())
+	}
+}
+
+// TestLoweredCacheBoundedUnderSweep runs a sweep with a tiny cache bound
+// and checks measurements still come out byte-identical to an unbounded
+// session: eviction must trade only time, never results.
+func TestLoweredCacheBoundedUnderSweep(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig(), CacheBound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := Run(shaders, gpu.Platforms(), Options{Cfg: harness.FastConfig(), CacheBound: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rb := range bounded.Results {
+		ru := unbounded.Results[i]
+		for _, pl := range bounded.Platforms {
+			if rb.OrigNS[pl.Vendor] != ru.OrigNS[pl.Vendor] {
+				t.Fatalf("%s: original time differs between bounded and unbounded caches", rb.Name())
+			}
+			for hash, ns := range rb.VariantNS[pl.Vendor] {
+				if ru.VariantNS[pl.Vendor][hash] != ns {
+					t.Fatalf("%s: variant %s differs between bounded and unbounded caches", rb.Name(), hash)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package wgsl_test
+
+// Native Go fuzz targets for the WGSL frontend. Three layers, each with
+// its own invariant:
+//
+//   - FuzzLexer: LexAll never panics on arbitrary input.
+//   - FuzzParser: Parse never panics; rejection is an error, not a crash.
+//   - FuzzCompileRoundTrip: any input the full frontend accepts must
+//     survive the study pipeline — the lowered IR verifies, and its
+//     generated desktop GLSL re-parses and re-lowers cleanly (the
+//     interchange form every simulated driver consumes must never be
+//     rejected downstream).
+//
+// Seed corpora live under testdata/fuzz/<FuzzTarget>/ (checked in) and
+// are topped up here with the native WGSL corpus shaders. CI runs a short
+// -fuzztime smoke per target; `go test -fuzz FuzzX ./internal/wgsl` runs
+// an open-ended campaign.
+
+import (
+	"testing"
+
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+	"shaderopt/internal/wgsl"
+)
+
+// seedWGSL adds the native WGSL corpus plus grammar-corner snippets.
+func seedWGSL(f *testing.F) {
+	f.Helper()
+	for _, s := range corpus.MustLoad() {
+		if s.Lang.String() == "wgsl" {
+			f.Add(s.Source)
+		}
+	}
+	for _, s := range []string{
+		"@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }",
+		"var<uniform> k: f32;\n@fragment\nfn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {\n  var acc: f32 = 0.0;\n  for (var i: i32 = 0; i < 4; i = i + 1) { acc = acc + f32(i) * k; }\n  if (acc > 1.0) { discard; }\n  return vec4<f32>(acc);\n}",
+		"fn helper(x: f32) -> f32 { return select(x, 1.0 - x, x > 0.5); }",
+		"const w = array<f32, 3>(0.25, 0.5, 0.25);",
+		"// comment only",
+		"@fragment fn main() -> @location(0) vec4<f32> { let v = vec3<f32>(1.0, 2.0, 3.0).xxy; return vec4<f32>(v, 1.0); }",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzLexer checks the lexer never panics: every input either tokenizes
+// or fails with an error.
+func FuzzLexer(f *testing.F) {
+	seedWGSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		wgsl.LexAll(src)
+	})
+}
+
+// FuzzParser checks the recursive-descent parser never panics, no matter
+// how malformed the token stream.
+func FuzzParser(f *testing.F) {
+	seedWGSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		wgsl.Parse(src)
+	})
+}
+
+// FuzzCompileRoundTrip checks the full-frontend invariant: accepted input
+// lowers to verifiable IR whose generated GLSL re-parses and re-lowers
+// cleanly.
+func FuzzCompileRoundTrip(f *testing.F) {
+	seedWGSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := wgsl.Compile(src, "fuzz")
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if err := prog.Verify(); err != nil {
+			t.Fatalf("accepted WGSL lowered to invalid IR: %v\nsource:\n%s", err, src)
+		}
+		// The driver-visible translation: the unoptimized pipeline baseline.
+		passes.Run(prog, passes.NoFlags)
+		out := glslgen.Generate(prog, glslgen.Desktop)
+		sh, err := glsl.Parse(out)
+		if err != nil {
+			t.Fatalf("generated GLSL does not re-parse: %v\nWGSL:\n%s\nGLSL:\n%s", err, src, out)
+		}
+		if _, err := lower.Lower(sh, "fuzz-reparse"); err != nil {
+			t.Fatalf("generated GLSL does not re-lower: %v\nWGSL:\n%s\nGLSL:\n%s", err, src, out)
+		}
+	})
+}

@@ -23,9 +23,16 @@
 // The study is compile-once / measure-many (256 flag combinations per
 // shader across 5 platforms), so the API is built around compiled
 // handles: Compile parses and lowers a shader exactly once, and every
-// method on the handle reuses the cached IR. A Session owns the
-// measurement campaign — protocol, platforms, and a measurement cache
-// that guarantees each distinct variant is measured exactly once:
+// method on the handle reuses the cached IR. Variant enumeration — the
+// hot path of a cold sweep — is memoized over the fixed pass order: the
+// 256 combinations form a binary trie whose "off" edges are free and
+// whose nodes merge by IR fingerprint, so each distinct intermediate IR
+// is transformed once, codegen runs once per distinct result, and the
+// walk shards across the session's worker pool (WithWorkers). A Session
+// owns the measurement campaign — protocol, platforms, a measurement
+// cache that guarantees each distinct variant is measured exactly once,
+// and LRU-bounded enumeration/lowering caches (WithCacheBound) so a
+// long-lived sweep service's memory stays flat at corpus scale:
 //
 //	sh, _ := shaderopt.Compile(src, "myshader")
 //	out := sh.Optimize(shaderopt.AllFlags)
@@ -39,6 +46,40 @@
 //
 // The string functions (Optimize, Variants, Measure, Render, Sweep, …)
 // remain as one-shot convenience wrappers over Compile.
+//
+// # Testing strategy
+//
+// Aggressive rewrites of the optimizer and its enumeration engine are
+// kept safe by four layers of tests, from broadest to sharpest:
+//
+//   - Differential equivalence (TestDifferentialEquivalence): the
+//     metamorphic oracle. Every enumerated variant of every corpus shader
+//     — both languages — is re-parsed from its generated text (the exact
+//     bytes a driver receives), rendered through the reference
+//     interpreter, and compared pixel-by-pixel against the unoptimized
+//     shader: bit-for-bit for safe flag sets, within a documented epsilon
+//     for the two unsafe FP flags; and every variant must be accepted by
+//     all five platform drivers. -short runs a representative subset, CI
+//     runs the full corpus.
+//   - Reference-implementation pinning: the pre-memoization enumeration
+//     survives as Shader.LegacyVariants, and
+//     TestMemoizedEnumerationMatchesLegacy pins the trie path
+//     byte-identical to it corpus-wide — sources, hashes, ordering, and
+//     flag attribution. Worker-invariance tests do the same across shard
+//     widths, under -race in CI, and cache-bound tests pin that LRU
+//     eviction never changes results, only retention.
+//   - Fuzzing: native go-fuzz targets for the WGSL lexer, parser, and the
+//     parse→lower→generate→re-parse round trip, plus DetectLang, with
+//     seed corpora under testdata/fuzz and short smoke campaigns in CI.
+//   - Golden files: the Table I / Fig. 3-9 report renderers and the
+//     static-characterization data are compared byte-for-byte against
+//     checked-in goldens (regenerate with -update), so output changes are
+//     reviewed as diffs.
+//
+// A benchmark-regression gate (TestEnumerationSpeedupRegression) times
+// the memoized enumeration against the legacy path in-process and fails
+// CI if the speedup falls below the factor committed in
+// testdata/enum_baseline.json.
 package shaderopt
 
 import (
