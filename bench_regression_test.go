@@ -8,6 +8,9 @@ import (
 
 	"shaderopt/internal/core"
 	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/search"
 )
 
 // enumBaseline mirrors testdata/enum_baseline.json: the committed
@@ -91,6 +94,101 @@ func TestEnumerationSpeedupRegression(t *testing.T) {
 	t.Logf("legacy %v, memoized %v: %.1fx (gate %.1fx)", legacy, memo, speedup, base.MinSpeedup)
 	if speedup < base.MinSpeedup {
 		t.Fatalf("memoized enumeration only %.2fx faster than legacy, below the committed %.1fx gate",
+			speedup, base.MinSpeedup)
+	}
+}
+
+// TestHarnessSpeedupRegression is the measurement-pipeline counterpart of
+// the enumeration gate: it times a cold sweep — fresh session, every
+// driver compile and every sample paid — through the batched,
+// compile-memoized pipeline (Session.Sweep) against the legacy
+// per-variant pipeline (Session.SweepLegacy, an independent
+// harness.MeasureSource per variant × platform) on the committed shader
+// list, and fails if the batched path does not win by the committed
+// min_speedup factor. Scores are byte-identical between the two paths
+// (the harness-equivalence suite pins that corpus-wide); this gate pins
+// that the batching, the (vendor, IR fingerprint) compile cache, and the
+// shared front end keep actually paying for themselves. Variant
+// enumeration is hoisted into setup — it is identical in both paths and
+// gated separately by TestEnumerationSpeedupRegression. Timing both
+// paths in one process on the same inputs keeps the comparison
+// machine-independent; single-threaded so it measures pipeline
+// structure, not scheduling.
+func TestHarnessSpeedupRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; runs in the dedicated CI step without -short")
+	}
+	raw, err := os.ReadFile("testdata/harness_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base enumBaseline // same schema as the enumeration baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.MinSpeedup <= 1 || len(base.Shaders) == 0 || base.Repeats < 1 {
+		t.Fatalf("implausible baseline: %+v", base)
+	}
+
+	all := corpus.MustLoad()
+	var shaders []*corpus.Shader
+	for _, n := range base.Shaders {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("baseline names missing corpus shader %s", n)
+		}
+		shaders = append(shaders, s)
+	}
+	compileAll := func() []*core.Shader {
+		handles := make([]*core.Shader, len(shaders))
+		for i, s := range shaders {
+			h, err := core.Compile(s.Source, s.Name, s.Lang)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Variants() // hoist enumeration: both pipelines share it
+			handles[i] = h
+		}
+		return handles
+	}
+
+	run := func(legacy bool) time.Duration {
+		// Fresh handles and a fresh session per pass: the sweep itself is
+		// cold, but handle compilation and enumeration stay outside the
+		// timed window — they are identical in both pipelines.
+		handles := compileAll()
+		sess := search.NewSession(gpu.Platforms(), search.Options{Cfg: harness.FastConfig(), Workers: 1})
+		start := time.Now()
+		var err error
+		if legacy {
+			_, err = sess.SweepLegacy(handles, nil)
+		} else {
+			_, err = sess.Sweep(handles, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths once (corpus templates, allocator), then take the
+	// fastest of the committed repeat count per path.
+	run(true)
+	run(false)
+	best := func(legacy bool) time.Duration {
+		min := time.Duration(0)
+		for i := 0; i < base.Repeats; i++ {
+			if d := run(legacy); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	legacy, batched := best(true), best(false)
+	speedup := float64(legacy) / float64(batched)
+	t.Logf("legacy %v, batched %v: %.2fx (gate %.1fx)", legacy, batched, speedup, base.MinSpeedup)
+	if speedup < base.MinSpeedup {
+		t.Fatalf("batched measurement pipeline only %.2fx faster than per-variant legacy, below the committed %.1fx gate",
 			speedup, base.MinSpeedup)
 	}
 }

@@ -333,6 +333,56 @@ func BenchmarkSweepCompiledHandles(b *testing.B) {
 	b.ReportMetric(float64(core.FrontendParses()-parses0)/float64(b.N), "frontend_parses/op")
 }
 
+// --- batched vs legacy per-variant measurement (cold sweep) ---
+
+// The cold-sweep pair is the PR 4 head-to-head: the same corpus subset
+// swept through a fresh session each iteration — every driver compile and
+// every sample paid inside the timed loop — by the batched pipeline
+// (platform-grouped batches, the (vendor, IR fingerprint) compile cache,
+// one harness pass per batch) and by the legacy per-variant pipeline (an
+// independent harness.MeasureSource per (variant, platform)). Variant
+// enumeration is identical in both paths and gated separately (the
+// EnumerateCorpus pair), so it is hoisted into setup, the way the PR 2
+// sweep pair hoists it. Scores are byte-identical (pinned by the
+// harness-equivalence suite); the ns/op gap is the measurement-pipeline
+// win, gated in CI by TestHarnessSpeedupRegression on a cache-heavy
+// subset. Single-threaded so the comparison isolates pipeline structure,
+// not scheduling.
+
+func benchSweepCold(b *testing.B, run func(s *search.Session, handles []*core.Shader) (*search.Sweep, error)) {
+	shaders := benchShaders(b)
+	handles := make([]*core.Shader, len(shaders))
+	for j, s := range shaders {
+		h, err := core.Compile(s.Source, s.Name, s.Lang)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Variants()
+		handles[j] = h
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := search.NewSession(gpu.Platforms(), search.Options{Cfg: harness.FastConfig(), Workers: 1})
+		if _, err := run(sess, handles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepColdBatched is the batched measurement pipeline.
+func BenchmarkSweepColdBatched(b *testing.B) {
+	benchSweepCold(b, func(s *search.Session, handles []*core.Shader) (*search.Sweep, error) {
+		return s.Sweep(handles, nil)
+	})
+}
+
+// BenchmarkSweepColdLegacy is the per-variant reference pipeline.
+func BenchmarkSweepColdLegacy(b *testing.B) {
+	benchSweepCold(b, func(s *search.Session, handles []*core.Shader) (*search.Sweep, error) {
+		return s.SweepLegacy(handles, nil)
+	})
+}
+
 // --- memoized vs legacy variant enumeration ---
 
 // The enumeration pair is the tentpole head-to-head: the same corpus

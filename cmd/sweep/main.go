@@ -121,21 +121,12 @@ func run(expList, platformFilter, langFilter string, fast bool, workers int) err
 		shaderopt.WithWorkers(workers))
 	fmt.Printf("Running exhaustive sweep (256 flag combinations per shader, %d workers)...\n", sess.Workers())
 	sweep, err := sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
-		enum := fmt.Sprintf("enum %6.1fms", ev.EnumMS)
-		if ev.EnumCached {
-			enum = "enum   cached" // same width as the timed form
-		}
-		fmt.Fprintf(os.Stderr, "  [%*d/%d] %-26s %3d variants, %s, %4d measured, %3d cached\n",
-			len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader,
-			ev.UniqueVariants, enum, ev.Measured, ev.CacheHits)
+		fmt.Fprintln(os.Stderr, renderEvent(ev))
 	})
 	if err != nil {
 		return err
 	}
-	hits, misses := sess.CacheStats()
-	entries, variants, bound := sess.EnumCacheStats()
-	fmt.Fprintf(os.Stderr, "  %d measurements (%d served from cache); enumeration cache %d shaders / %d variants (bound %d)\n",
-		misses, hits, entries, variants, bound)
+	fmt.Fprintln(os.Stderr, renderSummary(sessionStats(sess)))
 	fmt.Println()
 
 	if has("table1") || has("fig5") {

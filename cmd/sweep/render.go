@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+
+	"shaderopt"
+)
+
+// renderEvent formats one per-shader progress line of a running sweep:
+// variant count, where the shader's time went (enumeration vs the
+// measurement pipeline), and how much work the session caches absorbed
+// (measurement scores served from cache, driver compiles reused). The
+// output is pure in the event, so the golden test can pin the format.
+func renderEvent(ev shaderopt.SweepEvent) string {
+	enum := fmt.Sprintf("enum %6.1fms", ev.EnumMS)
+	if ev.EnumCached {
+		enum = "enum   cached" // same width as the timed form
+	}
+	return fmt.Sprintf("  [%*d/%d] %-26s %3d variants, %s, meas %7.1fms, %4d measured, %3d cached, %3d compiles reused",
+		len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader,
+		ev.UniqueVariants, enum, ev.MeasureMS, ev.Measured, ev.CacheHits, ev.CompileHits)
+}
+
+// sweepStats is the cache summary a finished sweep prints, decoupled from
+// the Session accessors so the golden test can feed fixed values.
+type sweepStats struct {
+	measHits, measMisses       int64
+	compileHits, compileMisses int64
+	enumEntries, enumVariants  int
+	enumBound                  int
+	scoreEntries, scoreBound   int
+	scoreEvicted               int64
+}
+
+func sessionStats(sess *shaderopt.Session) sweepStats {
+	var st sweepStats
+	st.measHits, st.measMisses = sess.CacheStats()
+	st.compileHits, st.compileMisses, _, _ = sess.CompileCacheStats()
+	st.enumEntries, st.enumVariants, st.enumBound = sess.EnumCacheStats()
+	st.scoreEntries, st.scoreBound, st.scoreEvicted = sess.MeasCacheStats()
+	return st
+}
+
+// renderSummary formats the end-of-sweep cache accounting.
+func renderSummary(st sweepStats) string {
+	return fmt.Sprintf(
+		"  %d measurements (%d served from cache); %d driver compiles (%d reused via IR fingerprint)\n"+
+			"  enumeration cache %d shaders / %d variants (bound %d); measurement cache %d scores (bound %d, %d evicted)",
+		st.measMisses, st.measHits, st.compileMisses, st.compileHits,
+		st.enumEntries, st.enumVariants, st.enumBound,
+		st.scoreEntries, st.scoreBound, st.scoreEvicted)
+}

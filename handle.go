@@ -44,12 +44,15 @@ func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 const DefaultCacheBound = search.DefaultCacheBound
 
 // WithCacheBound bounds the session's LRU caches: the variant-enumeration
-// cache holds at most n variants (summed over cached shaders) and the
-// driver-lowering cache at most n programs. 0 uses DefaultCacheBound; a
-// negative value disables eviction. A single shader whose unique-variant
-// count exceeds n is never admitted (admitting it would evict the entire
-// cache), so its enumeration is memoized only on its own handle — keep n
-// at least the 256 worst case per shader.
+// cache holds at most n variants (summed over cached shaders), the
+// driver front-end cache at most n lowered programs, the driver-compile
+// cache at most n compiles, and the measurement cache at most n scores.
+// 0 uses DefaultCacheBound; a negative value disables eviction. Evicted
+// entries are recomputed bit-identically on their next use, so the bound
+// trades only time for memory. A single shader whose unique-variant count
+// exceeds n is never admitted to the enumeration cache (admitting it
+// would evict the entire cache), so its enumeration is memoized only on
+// its own handle — keep n at least the 256 worst case per shader.
 func WithCacheBound(n int) Option { return func(o *options) { o.cacheBound = n } }
 
 // WithPlatforms sets the session's platform roster (the default is all
@@ -221,6 +224,23 @@ func (s *Session) Workers() int { return s.inner.Workers() }
 // and how many it actually ran.
 func (s *Session) CacheStats() (hits, misses int64) { return s.inner.CacheStats() }
 
+// MeasCacheStats reports the measurement-score cache: cached scores, the
+// configured bound (0 = unbounded), and how many scores have been evicted
+// since the session was created. Evicted scores are re-measured
+// bit-identically on their next use.
+func (s *Session) MeasCacheStats() (entries, bound int, evicted int64) {
+	return s.inner.MeasCacheStats()
+}
+
+// CompileCacheStats reports the driver-compile cache keyed by (vendor, IR
+// fingerprint): compiles served from cache vs run, occupancy, and bound
+// (0 = unbounded). A hit means a variant's canonicalized lowering
+// converged with an already-compiled variant's, so the vendor pipeline
+// and cost model were skipped for it.
+func (s *Session) CompileCacheStats() (hits, misses int64, entries, bound int) {
+	return s.inner.CompileCacheStats()
+}
+
 // EnumCacheStats reports the enumeration cache's occupancy: cached
 // enumerations, their summed variant count (the LRU eviction metric), and
 // the configured bound (0 = unbounded).
@@ -242,9 +262,12 @@ type SweepEvent = search.SweepEvent
 
 // Sweep runs the exhaustive study (256 flag combinations per shader) over
 // compiled handles on the session's platforms, measuring each distinct
-// variant exactly once. onEvent, when non-nil, receives per-shader
-// progress as shaders complete (callbacks are serialized); pass nil to
-// run silently.
+// variant exactly once. Work is scheduled as (platform → batch of
+// distinct compiled variants): per platform, a shader's uncached variants
+// are driver-compiled through the session compile cache and sampled in
+// one batched harness pass; scores are byte-identical to the per-variant
+// pipeline. onEvent, when non-nil, receives per-shader progress as
+// shaders complete (callbacks are serialized); pass nil to run silently.
 func (s *Session) Sweep(shaders []*Shader, onEvent func(SweepEvent)) (*SweepResult, error) {
 	handles := make([]*core.Shader, len(shaders))
 	for i, sh := range shaders {

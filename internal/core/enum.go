@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
@@ -48,10 +49,22 @@ type enumNode struct {
 // includes instruction IDs, which Clone and every structural pass keep
 // dense and deterministic, so equal fingerprints mean structurally
 // identical programs — reusing a memoized step result for them is sound.
+// The print streams straight into the hash through a small buffer, so
+// fingerprinting never materializes the program text.
 func irFingerprint(p *ir.Program) string {
-	sum := sha256.Sum256([]byte(p.String()))
-	return hex.EncodeToString(sum[:16])
+	h := sha256.New()
+	bw := bufio.NewWriterSize(h, 1<<12)
+	p.Print(bw)
+	bw.Flush()
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
+
+// FingerprintIR is the program-identity fingerprint the enumeration DAG
+// merges nodes by, exported for the session measurement pipeline: equal
+// fingerprints mean structurally identical programs, so a driver compile
+// of one is a sound stand-in for a driver compile of the other (the
+// vendor pipeline and cost model are pure functions of the program).
+func FingerprintIR(p *ir.Program) string { return irFingerprint(p) }
 
 // enumerateFromIR runs the exhaustive flag enumeration from an already
 // lowered base program, sharding the trie walk across `workers`

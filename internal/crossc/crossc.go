@@ -19,7 +19,11 @@ import (
 )
 
 // ToES converts desktop GLSL fragment shader source into GLES 3.0 source
-// via the SPIR-V round trip.
+// via the SPIR-V round trip. ToES(src) is exactly ESFromIR of src's
+// lowering — an equivalence the session measurement pipeline relies on to
+// share one parse between the desktop lowering and the conversion (and
+// pins corpus-wide through the harness-equivalence suite); keep the two
+// paths in lockstep.
 func ToES(src, name string) (string, error) {
 	sh, err := glsl.Parse(src)
 	if err != nil {

@@ -1,0 +1,65 @@
+package glsl_test
+
+// Native Go fuzz targets for the desktop GLSL frontend, the PR 3 WGSL
+// fuzzers' missing sibling:
+//
+//   - FuzzLexer: LexAll never panics on arbitrary input.
+//   - FuzzParse: the recursive-descent parser never panics; rejection is
+//     an error, not a crash.
+//
+// The full-pipeline round trip (parse → lower → generate → re-parse)
+// lives in internal/core's FuzzGLSLCompileRoundTrip, which can reach the
+// lowering and codegen layers without an import cycle.
+//
+// Seed corpora live under testdata/fuzz/<FuzzTarget>/ (checked in) and
+// are topped up here with grammar-corner snippets. CI runs a short
+// -fuzztime smoke per target.
+
+import (
+	"testing"
+
+	"shaderopt/internal/glsl"
+)
+
+func seedGLSL(f *testing.F) {
+	f.Helper()
+	for _, s := range []string{
+		"#version 330\nin vec2 uv;\nout vec4 c;\nvoid main() { c = vec4(uv, 0.0, 1.0); }",
+		"#version 330\nuniform sampler2D t;\nin vec2 uv;\nout vec4 c;\nvoid main() {\n  vec4 a = texture(t, uv);\n  for (int i = 0; i < 4; ++i) { a += a * 0.5; }\n  if (a.x > 1.0) { discard; }\n  c = a;\n}",
+		"#version 330\nuniform mat3 m;\nin vec3 p;\nout vec4 c;\nvoid main() { c = vec4(m * p, 1.0); }",
+		"float helper(float x) { return x * 2.0; }",
+		"void main() { int i = 08; }",
+		"void main() { vec4 v = vec4(1.0).xyzw.wzyx; }",
+		"while (true) { }",
+		"void main() { /* unterminated",
+		"#version 330\n#define NOT_PREPROCESSED 1\nvoid main() { }",
+		"",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzLexer checks the lexer never panics: every input either tokenizes
+// or fails with an error.
+func FuzzLexer(f *testing.F) {
+	seedGLSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		glsl.LexAll(src)
+	})
+}
+
+// FuzzParse checks the parser never panics, no matter how malformed the
+// token stream, and that acceptance is deterministic.
+func FuzzParse(f *testing.F) {
+	seedGLSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		sh1, err1 := glsl.Parse(src)
+		sh2, err2 := glsl.Parse(src)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("parse acceptance is not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 == nil && (sh1 == nil) != (sh2 == nil) {
+			t.Fatal("parse returned nil shader without error")
+		}
+	})
+}

@@ -110,6 +110,24 @@ func (pl *Platform) Compile(prog *ir.Program) *Compiled {
 	// Driver-internal pipeline. Every driver folds constants and cleans up
 	// (canonicalize); the rest is vendor-specific.
 	passes.Canonicalize(prog)
+	return pl.compileCanonical(prog)
+}
+
+// CompileCanonical runs the vendor JIT on a program that is already at the
+// driver front end's canonicalization fixed point, skipping the pipeline's
+// opening canonicalization. Canonicalize is idempotent, so for canonical
+// input the result is identical to Compile on a clone of the same program
+// (pinned by TestCompileCanonicalMatchesCompile) while the fixed-point
+// verification sweep runs once per distinct program instead of once per
+// platform. For input of unknown provenance use Compile. Transforms prog
+// in place; pass a clone if the program is shared.
+func (pl *Platform) CompileCanonical(prog *ir.Program) *Compiled {
+	return pl.compileCanonical(prog)
+}
+
+// compileCanonical is the vendor-specific tail of the driver pipeline:
+// everything after the opening canonicalization.
+func (pl *Platform) compileCanonical(prog *ir.Program) *Compiled {
 	d := pl.Driver
 	if d.UnrollMaxTrips > 0 {
 		maxInstrs := d.UnrollMaxInstrs

@@ -127,6 +127,11 @@ func MeasureProgram(pl *gpu.Platform, prog *ir.Program, srcForSeed string, cfg C
 }
 
 // MeasureCompiled runs the timing protocol on an already-compiled shader.
+// It is the per-variant reference path: every call derives its seed, sets
+// up its noise stream, and allocates its sample and summary storage from
+// scratch. Batch sweeps use MeasureBatch, which hoists that per-variant
+// setup out of the inner loop; the two are field-identical (pinned by
+// TestMeasureBatchMatchesPerVariant).
 func MeasureCompiled(pl *gpu.Platform, compiled *gpu.Compiled, srcForSeed string, cfg Config) *Measurement {
 	draws := cfg.DesktopDraws
 	if pl.Mobile {
@@ -145,12 +150,93 @@ func MeasureCompiled(pl *gpu.Platform, compiled *gpu.Compiled, srcForSeed string
 	return m
 }
 
+// BatchItem is one compiled shader variant scheduled for measurement on a
+// platform.
+type BatchItem struct {
+	// Compiled is the driver-compiled shader. It must have been compiled
+	// by the platform the batch runs on (its cost model sets the modelled
+	// frame time).
+	Compiled *gpu.Compiled
+	// SrcForSeed is the driver-visible desktop source text that namespaces
+	// the variant's noise stream — the same text MeasureSource and
+	// MeasureCompiled would hash, so batch membership never changes a
+	// sample.
+	SrcForSeed string
+}
+
+// MeasureBatch runs the timing protocol on a whole batch of compiled
+// variants for one platform in a single pass. The per-variant setup that
+// MeasureCompiled repeats — draw-count selection, the platform part of the
+// seed derivation, noise-generator construction, and sample/summary
+// allocation — is hoisted out of the Frames×Repeats inner loop: one seed
+// prefix, one reseeded generator, one sample slab, and one sort scratch
+// buffer serve the entire batch.
+//
+// Results are field-identical to calling MeasureCompiled once per item:
+// every variant's noise stream is seeded independently from (protocol
+// seed, vendor, source), so batch order and batch composition cannot
+// affect any sample. The equivalence is pinned corpus-wide by
+// TestMeasureBatchMatchesPerVariant.
+func MeasureBatch(pl *gpu.Platform, items []BatchItem, cfg Config) []*Measurement {
+	if len(items) == 0 {
+		return nil
+	}
+	draws := cfg.DesktopDraws
+	if pl.Mobile {
+		draws = cfg.MobileDraws
+	}
+	overheadNS := pl.OverheadNS * float64(draws)
+	prefix := seedPrefix(pl.Vendor)
+
+	samples := 0
+	if cfg.Frames > 0 && cfg.Repeats > 0 {
+		samples = cfg.Frames * cfg.Repeats
+	}
+	// One backing slab for every variant's samples and one shared sort
+	// scratch; each Measurement gets a full-capacity sub-slice so later
+	// appends by callers cannot alias a neighbour.
+	slab := make([]float64, len(items)*samples)
+	scratch := make([]float64, samples)
+	q := timer.New(pl.NoiseSigma, overheadNS, pl.ResolutionNS, 0)
+
+	out := make([]*Measurement, len(items))
+	for i, it := range items {
+		trueFrame := it.Compiled.DrawNS(cfg.Fragments) * float64(draws)
+		m := &Measurement{Platform: pl.Vendor, TrueNS: trueFrame}
+		if samples > 0 {
+			q.Reseed(seedFrom(cfg.Seed, prefix, it.SrcForSeed))
+			buf := slab[i*samples : (i+1)*samples : (i+1)*samples]
+			for s := range buf {
+				buf[s] = q.Measure(trueFrame)
+			}
+			m.Samples = buf
+			summarizeInto(m, scratch)
+		}
+		out[i] = m
+	}
+	return out
+}
+
 func summarize(m *Measurement) {
 	n := len(m.Samples)
 	if n == 0 {
 		return
 	}
-	sorted := append([]float64(nil), m.Samples...)
+	summarizeInto(m, make([]float64, n))
+}
+
+// summarizeInto aggregates m.Samples using scratch (len >= len(m.Samples))
+// as the sort buffer, so batch runs reuse one buffer across variants. The
+// statistics are computed over the sorted copy in the same order as the
+// original per-variant summarize, keeping every float operation — and so
+// every Measurement field — bit-identical between the two paths.
+func summarizeInto(m *Measurement, scratch []float64) {
+	n := len(m.Samples)
+	if n == 0 {
+		return
+	}
+	sorted := scratch[:n]
+	copy(sorted, m.Samples)
 	sort.Float64s(sorted)
 	m.MinNS = sorted[0]
 	if n%2 == 1 {
@@ -178,6 +264,40 @@ func deriveSeed(base int64, parts ...string) int64 {
 		h.Write([]byte{0})
 	}
 	return base ^ int64(h.Sum64())
+}
+
+// FNV-1a, hand-rolled so the batch path can hoist the (vendor, NUL)
+// prefix of the hash state out of the per-variant loop. seedFrom(base,
+// seedPrefix(vendor), src) == deriveSeed(base, vendor, src) for every
+// input (pinned by TestSeedPrefixMatchesDeriveSeed): FNV folds bytes in
+// strictly left-to-right order, so a partially-folded state is reusable.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// seedPrefix returns the FNV-1a state after folding the platform part of
+// the noise-seed namespace: the vendor name and its NUL separator.
+func seedPrefix(vendor string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(vendor); i++ {
+		h ^= uint64(vendor[i])
+		h *= fnvPrime64
+	}
+	// NUL separator: XOR with zero is the identity, the multiply is not.
+	h *= fnvPrime64
+	return h
+}
+
+// seedFrom completes a seedPrefix state with the variant's source text.
+func seedFrom(base int64, prefix uint64, src string) int64 {
+	h := prefix
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // trailing NUL separator
+	return base ^ int64(h)
 }
 
 // Speedup returns the percentage speed-up of variant time b relative to

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -241,5 +242,48 @@ void main() { color = vec4(0.25); }
 	}
 	if a.MedianNS != b.MedianNS {
 		t.Error("repeat measurement differs")
+	}
+}
+
+// TestSeedPrefixMatchesDeriveSeed pins the hand-rolled FNV prefix the
+// batch path hoists: completing a seedPrefix state with any source text
+// must equal the reference deriveSeed for every (vendor, source, base).
+func TestSeedPrefixMatchesDeriveSeed(t *testing.T) {
+	vendors := []string{"", "Intel", "AMD", "NVIDIA", "ARM", "Qualcomm", "a\x00b"}
+	sources := []string{"", "x", "void main() {}", strings.Repeat("s", 1000), "nul\x00embedded"}
+	bases := []int64{0, 1, -1, 42, 1 << 40}
+	for _, v := range vendors {
+		prefix := seedPrefix(v)
+		for _, src := range sources {
+			for _, base := range bases {
+				if got, want := seedFrom(base, prefix, src), deriveSeed(base, v, src); got != want {
+					t.Fatalf("seedFrom(%d, prefix(%q), %q) = %d, deriveSeed = %d", base, v, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureBatchEdgeCases pins batch behaviour at the boundaries: an
+// empty batch returns nil, and a zero-sample protocol produces the same
+// nil-sample Measurement the per-variant path does.
+func TestMeasureBatchEdgeCases(t *testing.T) {
+	pl := gpu.NewIntel()
+	if got := MeasureBatch(pl, nil, DefaultConfig()); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	compiled, err := pl.CompileSource("#version 330\nout vec4 c;\nvoid main() { c = vec4(1.0); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FastConfig()
+	cfg.Repeats = 0
+	batch := MeasureBatch(pl, []BatchItem{{Compiled: compiled, SrcForSeed: "s"}}, cfg)
+	legacy := MeasureCompiled(pl, compiled, "s", cfg)
+	if batch[0].Samples != nil || legacy.Samples != nil {
+		t.Fatalf("zero-sample protocol should leave Samples nil: batch %v, legacy %v", batch[0].Samples, legacy.Samples)
+	}
+	if !reflect.DeepEqual(batch[0], legacy) {
+		t.Fatalf("zero-sample measurements differ: batch %+v, legacy %+v", *batch[0], *legacy)
 	}
 }

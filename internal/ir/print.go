@@ -2,123 +2,181 @@ package ir
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 )
 
-// String renders the program as readable text IR for tests and debugging.
-func (p *Program) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "program %s\n", p.Name)
+// Print writes the program as readable text IR to w — the same bytes
+// String returns. Fingerprinting streams this straight into a hash
+// instead of materializing the whole program text, so the writer path is
+// the single source of truth and String delegates to it. Write errors
+// are ignored: the printer serves diagnostics and fingerprinting, and w
+// is expected to be an infallible sink (strings.Builder, a hash); wrap
+// fallible writers in a buffer and check its Flush error instead.
+func (p *Program) Print(w io.Writer) {
+	fmt.Fprintf(w, "program %s\n", p.Name)
 	for _, g := range p.Uniforms {
-		fmt.Fprintf(&sb, "  uniform %s %s\n", g.Type, g.Name)
+		fmt.Fprintf(w, "  uniform %s %s\n", g.Type, g.Name)
 	}
 	for _, g := range p.Inputs {
-		fmt.Fprintf(&sb, "  input %s %s\n", g.Type, g.Name)
+		fmt.Fprintf(w, "  input %s %s\n", g.Type, g.Name)
 	}
 	for _, v := range p.Vars {
 		kind := "var"
 		if v.IsOutput {
 			kind = "output"
 		}
-		fmt.Fprintf(&sb, "  %s %s %s\n", kind, v.Type, v.Name)
+		fmt.Fprintf(w, "  %s %s %s\n", kind, v.Type, v.Name)
 	}
-	writeBlock(&sb, p.Body, 1)
+	writeBlock(w, p.Body, 1)
+}
+
+// String renders the program as readable text IR for tests and debugging.
+func (p *Program) String() string {
+	var sb strings.Builder
+	p.Print(&sb)
 	return sb.String()
 }
 
-func writeBlock(sb *strings.Builder, b *Block, depth int) {
+func writeBlock(w io.Writer, b *Block, depth int) {
 	ind := strings.Repeat("  ", depth)
 	for _, it := range b.Items {
 		switch it := it.(type) {
 		case *Instr:
-			fmt.Fprintf(sb, "%s%s\n", ind, it.String())
+			io.WriteString(w, ind)
+			it.print(w)
+			io.WriteString(w, "\n")
 		case *If:
-			fmt.Fprintf(sb, "%sif %%%d {\n", ind, it.Cond.ID)
-			writeBlock(sb, it.Then, depth+1)
+			fmt.Fprintf(w, "%sif %%%d {\n", ind, it.Cond.ID)
+			writeBlock(w, it.Then, depth+1)
 			if it.Else != nil && len(it.Else.Items) > 0 {
-				fmt.Fprintf(sb, "%s} else {\n", ind)
-				writeBlock(sb, it.Else, depth+1)
+				fmt.Fprintf(w, "%s} else {\n", ind)
+				writeBlock(w, it.Else, depth+1)
 			}
-			fmt.Fprintf(sb, "%s}\n", ind)
+			fmt.Fprintf(w, "%s}\n", ind)
 		case *Loop:
-			fmt.Fprintf(sb, "%sloop %s = %%%d; < %%%d; += %%%d {\n", ind,
+			fmt.Fprintf(w, "%sloop %s = %%%d; < %%%d; += %%%d {\n", ind,
 				it.Counter.Name, it.Start.ID, it.End.ID, it.Step.ID)
-			writeBlock(sb, it.Body, depth+1)
-			fmt.Fprintf(sb, "%s}\n", ind)
+			writeBlock(w, it.Body, depth+1)
+			fmt.Fprintf(w, "%s}\n", ind)
 		case *While:
-			fmt.Fprintf(sb, "%swhile {\n", ind)
-			writeBlock(sb, it.Cond, depth+1)
-			fmt.Fprintf(sb, "%s} %%%d {\n", ind, it.CondVal.ID)
-			writeBlock(sb, it.Body, depth+1)
-			fmt.Fprintf(sb, "%s}\n", ind)
+			fmt.Fprintf(w, "%swhile {\n", ind)
+			writeBlock(w, it.Cond, depth+1)
+			fmt.Fprintf(w, "%s} %%%d {\n", ind, it.CondVal.ID)
+			writeBlock(w, it.Body, depth+1)
+			fmt.Fprintf(w, "%s}\n", ind)
 		}
 	}
 }
 
 // String renders one instruction.
 func (in *Instr) String() string {
-	lhs := ""
+	var sb strings.Builder
+	in.print(&sb)
+	return sb.String()
+}
+
+// print writes one instruction (no trailing newline) to w.
+func (in *Instr) print(w io.Writer) {
 	if in.HasResult() {
-		lhs = fmt.Sprintf("%%%d:%s = ", in.ID, in.Type)
+		fmt.Fprintf(w, "%%%d:%s = ", in.ID, in.Type)
 	}
-	args := make([]string, len(in.Args))
-	for i, a := range in.Args {
-		args[i] = "%" + strconv.Itoa(a.ID)
+	writeArgs := func() {
+		for i, a := range in.Args {
+			if i > 0 {
+				io.WriteString(w, ", ")
+			}
+			io.WriteString(w, "%")
+			io.WriteString(w, strconv.Itoa(a.ID))
+		}
 	}
-	argList := strings.Join(args, ", ")
 	switch in.Op {
 	case OpConst:
-		return lhs + "const " + in.Const.String()
+		io.WriteString(w, "const ")
+		in.Const.print(w)
 	case OpUniform:
-		return lhs + "uniform " + in.Global.Name
+		io.WriteString(w, "uniform ")
+		io.WriteString(w, in.Global.Name)
 	case OpInput:
-		return lhs + "input " + in.Global.Name
+		io.WriteString(w, "input ")
+		io.WriteString(w, in.Global.Name)
 	case OpBin:
-		return lhs + fmt.Sprintf("bin %q %s", in.BinOp, argList)
+		fmt.Fprintf(w, "bin %q ", in.BinOp)
+		writeArgs()
 	case OpUn:
-		return lhs + fmt.Sprintf("un %q %s", in.UnOp, argList)
+		fmt.Fprintf(w, "un %q ", in.UnOp)
+		writeArgs()
 	case OpCall:
-		return lhs + fmt.Sprintf("call %s(%s)", in.Callee, argList)
+		fmt.Fprintf(w, "call %s(", in.Callee)
+		writeArgs()
+		io.WriteString(w, ")")
 	case OpConstruct:
-		return lhs + fmt.Sprintf("construct %s(%s)", in.Type, argList)
+		fmt.Fprintf(w, "construct %s(", in.Type)
+		writeArgs()
+		io.WriteString(w, ")")
 	case OpExtract:
-		return lhs + fmt.Sprintf("extract %s[%d]", argList, in.Index)
+		io.WriteString(w, "extract ")
+		writeArgs()
+		fmt.Fprintf(w, "[%d]", in.Index)
 	case OpExtractDyn:
-		return lhs + fmt.Sprintf("extractdyn %s", argList)
+		io.WriteString(w, "extractdyn ")
+		writeArgs()
 	case OpSwizzle:
-		return lhs + fmt.Sprintf("swizzle %s%v", argList, in.Indices)
+		io.WriteString(w, "swizzle ")
+		writeArgs()
+		fmt.Fprintf(w, "%v", in.Indices)
 	case OpInsert:
-		return lhs + fmt.Sprintf("insert %s at %d", argList, in.Index)
+		io.WriteString(w, "insert ")
+		writeArgs()
+		fmt.Fprintf(w, " at %d", in.Index)
 	case OpInsertDyn:
-		return lhs + fmt.Sprintf("insertdyn %s", argList)
+		io.WriteString(w, "insertdyn ")
+		writeArgs()
 	case OpSelect:
-		return lhs + fmt.Sprintf("select %s", argList)
+		io.WriteString(w, "select ")
+		writeArgs()
 	case OpLoad:
-		return lhs + "load " + in.Var.Name
+		io.WriteString(w, "load ")
+		io.WriteString(w, in.Var.Name)
 	case OpStore:
-		return fmt.Sprintf("store %s <- %s", in.Var.Name, argList)
+		fmt.Fprintf(w, "store %s <- ", in.Var.Name)
+		writeArgs()
 	case OpDiscard:
-		return "discard"
+		io.WriteString(w, "discard")
+	default:
+		io.WriteString(w, in.Op.String())
+		io.WriteString(w, " ")
+		writeArgs()
 	}
-	return lhs + in.Op.String() + " " + argList
 }
 
 // String renders a constant value.
 func (c *ConstVal) String() string {
-	parts := make([]string, 0, c.Len())
-	for i := 0; i < c.Len(); i++ {
+	var sb strings.Builder
+	c.print(&sb)
+	return sb.String()
+}
+
+func (c *ConstVal) print(w io.Writer) {
+	n := c.Len()
+	if n != 1 {
+		io.WriteString(w, "(")
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			io.WriteString(w, ", ")
+		}
 		switch {
 		case c.F != nil:
-			parts = append(parts, strconv.FormatFloat(c.F[i], 'g', -1, 64))
+			io.WriteString(w, strconv.FormatFloat(c.F[i], 'g', -1, 64))
 		case c.I != nil:
-			parts = append(parts, strconv.FormatInt(c.I[i], 10))
+			io.WriteString(w, strconv.FormatInt(c.I[i], 10))
 		case c.B != nil:
-			parts = append(parts, strconv.FormatBool(c.B[i]))
+			io.WriteString(w, strconv.FormatBool(c.B[i]))
 		}
 	}
-	if len(parts) == 1 {
-		return parts[0]
+	if n != 1 {
+		io.WriteString(w, ")")
 	}
-	return "(" + strings.Join(parts, ", ") + ")"
 }

@@ -1,0 +1,45 @@
+package pp
+
+// Native Go fuzz target for the GLSL preprocessor: Preprocess must never
+// panic, no matter how malformed the directive soup — unterminated
+// conditionals, self-referential macros, line continuations into EOF —
+// and must be deterministic (übershader specialisation is replayed per
+// variant, so a flaky expansion would poison the whole study).
+//
+// Seed corpora live under testdata/fuzz/FuzzPreprocess/ (checked in) and
+// are topped up here with directive-grammar corners. CI runs a short
+// -fuzztime smoke; `go test -fuzz FuzzPreprocess ./internal/pp` runs an
+// open-ended campaign.
+
+import "testing"
+
+func FuzzPreprocess(f *testing.F) {
+	for _, s := range []string{
+		"#version 330\nvoid main() { }",
+		"#define QUALITY 2\n#if QUALITY > 1\nfloat hq;\n#endif\n",
+		"#ifdef HAS_FOG\nfog();\n#else\nnofog();\n#endif\n",
+		"#define A B\n#define B A\nA B\n",
+		"#if defined(X) && !defined(Y)\nbody\n#elif X > 2\nother\n#endif\n",
+		"#define WIDE 1 \\\n + 2\nWIDE\n",
+		"#if 1\nunterminated",
+		"#endif\n#else\n",
+		"#define\n#undef\n#if\n",
+		"#define EMPTY\nEMPTY EMPTY EMPTY\n",
+		"no directives at all\n",
+		"#pragma optimize(off)\n#extension GL_EXT_x : enable\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		defines := map[string]string{"QUALITY": "2", "HAS_FOG": ""}
+		a, errA := Preprocess(src, defines)
+		b, errB := Preprocess(src, defines)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("Preprocess is not deterministic:\nfirst:  %q (%v)\nsecond: %q (%v)", a, errA, b, errB)
+		}
+		// Expansion with no predefined macros must be just as safe.
+		if _, err := Preprocess(src, nil); err != nil {
+			_ = err // rejection is fine; only panics are bugs
+		}
+	})
+}

@@ -116,6 +116,16 @@ type SweepEvent struct {
 	// EnumMS is the wall-clock milliseconds enumeration took for this
 	// shader (~0 when EnumCached).
 	EnumMS float64
+	// CompileHits counts driver compiles this shader's measurements served
+	// from the session compile cache — variants whose canonicalized
+	// lowerings converged to an already-compiled (vendor, IR fingerprint)
+	// — instead of running the vendor pipeline again.
+	CompileHits int
+	// MeasureMS is the wall-clock milliseconds the shader spent in the
+	// measurement pipeline: driver compiles, the batched sampling passes,
+	// and waits on measurements shared with concurrently-sweeping shaders.
+	// Together with EnumMS it shows where a sweep spends its time.
+	MeasureMS float64
 }
 
 // DefaultCacheBound is the session cache budget when Options.CacheBound
@@ -142,30 +152,74 @@ type Options struct {
 }
 
 // Session owns the shared state of a measurement campaign: the protocol,
-// the platform roster, a concurrency-safe measurement cache keyed by
-// (vendor, source hash, protocol), a cached ES-conversion table, and two
-// LRU-bounded caches — variant enumerations (evicted by variant count)
-// and canonicalized driver-front-end lowerings — so a long-lived sweep
-// service's memory stays flat at corpus scale. All methods are safe for
-// concurrent use; cached measurements are sound because the harness is
-// deterministic per (vendor, source, protocol).
+// the platform roster, a concurrency-safe measurement-score cache keyed
+// by (vendor, source hash, protocol), a cached ES-conversion table, and
+// four LRU-bounded caches — variant enumerations (evicted by variant
+// count), canonicalized driver-front-end lowerings, driver compiles keyed
+// by (vendor, IR fingerprint), and the measurement scores themselves — so
+// a long-lived sweep service's memory stays flat at corpus scale. All
+// methods are safe for concurrent use; cached measurements are sound
+// because the harness is deterministic per (vendor, source, protocol).
 type Session struct {
 	cfg       harness.Config
 	workers   int
 	platforms []*gpu.Platform
 
-	meas sync.Map // measKey -> *measEntry
-	es   sync.Map // desktop source hash -> *esEntry
+	// scores is the bounded cache of completed measurement scores;
+	// inflight coordinates measurements currently being taken, so
+	// concurrently-sweeping shaders that share a variant wait for one
+	// batched measurement instead of repeating it. A key evicted from
+	// scores is simply re-measured, bit-identically, on its next use
+	// (the harness is deterministic), so eviction trades only time for
+	// memory; likewise the narrow race between a scores miss and the
+	// inflight reservation can at worst duplicate a deterministic
+	// measurement.
+	scores   *lru.Cache[measKey, float64]
+	inflight sync.Map // measKey -> *measEntry
 
-	// lowered caches the canonicalized driver-front-end lowering per
-	// distinct effective source; enums caches variant enumerations per
-	// (lang, source hash). Both are LRU-evicted: on a racing miss two
-	// goroutines may redundantly compute the same deterministic value,
-	// which is benign, unlike unbounded growth.
-	lowered *lru.Cache[string, *ir.Program]
-	enums   *lru.Cache[enumKey, *core.VariantSet]
+	// lowered caches the driver front end's work per distinct source text:
+	// the canonicalized lowering, its IR fingerprint, and (for desktop
+	// texts in a session with mobile platforms) the GLES conversion —
+	// all derived from one parse. compiled caches vendor-pipeline results
+	// per (vendor, fingerprint), so variants whose lowerings converge at
+	// the canonicalization fixed point — common after ES conversion —
+	// compile once per platform instead of once per (variant, platform);
+	// enums caches variant enumerations per (lang, source hash). All are
+	// LRU-evicted: on a racing miss two goroutines may redundantly compute
+	// the same deterministic value, which is benign, unlike unbounded
+	// growth.
+	lowered  *lru.Cache[string, *frontEnd]
+	compiled *lru.Cache[compiledKey, *gpu.Compiled]
+	enums    *lru.Cache[enumKey, *core.VariantSet]
 
-	hits, misses atomic.Int64
+	// anyMobile records whether the roster has a mobile platform, so the
+	// shared front end converts each desktop text to GLES eagerly, while
+	// the raw (pre-canonicalization) lowering is still in hand.
+	anyMobile bool
+
+	hits, misses               atomic.Int64
+	compileHits, compileMisses atomic.Int64
+}
+
+// frontEnd is the driver front end's cached work for one distinct source
+// text: the lowering at its canonicalization fixed point, the IR
+// fingerprint that keys its driver compiles, and — for driver-visible
+// desktop texts when the session has mobile platforms — the GLES
+// conversion, produced from the same single parse (the conversion
+// consumes the raw lowering, exactly what ToES does internally). All
+// fields are immutable once cached; drivers receive clones.
+type frontEnd struct {
+	prog   *ir.Program
+	fp     string
+	es     string
+	esHash string
+}
+
+// compiledKey identifies one driver compile: the vendor pipeline that ran
+// and the fingerprint of the canonical program it consumed.
+type compiledKey struct {
+	vendor string
+	fp     string
 }
 
 // enumKey identifies one enumeration: the resolved source language and
@@ -181,15 +235,14 @@ type measKey struct {
 	cfg    harness.Config
 }
 
+// measEntry is one in-flight measurement: the goroutine that wins the
+// inflight reservation measures (as part of its platform batch) and
+// closes done; everyone else waits on done and reads the result. Entries
+// that fail keep their error and stay in the inflight map, so a failing
+// key fails every later lookup the way the old once-per-key cache did.
 type measEntry struct {
-	once sync.Once
+	done chan struct{}
 	ns   float64
-	err  error
-}
-
-type esEntry struct {
-	once sync.Once
-	src  string
 	err  error
 }
 
@@ -206,11 +259,20 @@ func NewSession(platforms []*gpu.Platform, opts Options) *Session {
 	case bound < 0:
 		bound = 0 // lru treats 0 as unbounded
 	}
+	anyMobile := false
+	for _, pl := range platforms {
+		if pl.Mobile {
+			anyMobile = true
+		}
+	}
 	return &Session{
 		cfg:       opts.Cfg,
 		workers:   workers,
 		platforms: platforms,
-		lowered:   lru.New[string, *ir.Program](bound),
+		anyMobile: anyMobile,
+		scores:    lru.New[measKey, float64](bound),
+		lowered:   lru.New[string, *frontEnd](bound),
+		compiled:  lru.New[compiledKey, *gpu.Compiled](bound),
 		enums:     lru.New[enumKey, *core.VariantSet](bound),
 	}
 }
@@ -226,9 +288,29 @@ func (s *Session) Platforms() []*gpu.Platform { return s.platforms }
 func (s *Session) Workers() int { return s.workers }
 
 // CacheStats returns how many measurements the session served from cache
-// and how many it actually ran.
+// (including waits on a measurement another shader had in flight) and how
+// many it actually ran.
 func (s *Session) CacheStats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// MeasCacheStats reports the measurement-score cache's occupancy: cached
+// scores, the configured bound (0 = unbounded), and how many scores have
+// been evicted since the session was created. An evicted score is
+// re-measured bit-identically on its next use, so eviction never changes
+// a result.
+func (s *Session) MeasCacheStats() (entries, bound int, evicted int64) {
+	_, _, ev := s.scores.Stats()
+	return s.scores.Len(), s.scores.Bound(), ev
+}
+
+// CompileCacheStats reports the driver-compile cache: how many vendor
+// compiles were served from cache vs run, its occupancy, and its bound
+// (0 = unbounded). A hit means a variant's canonicalized lowering
+// converged to a (vendor, IR fingerprint) pair some other variant already
+// compiled, so the vendor pipeline and cost model were skipped entirely.
+func (s *Session) CompileCacheStats() (hits, misses int64, entries, bound int) {
+	return s.compileHits.Load(), s.compileMisses.Load(), s.compiled.Len(), s.compiled.Bound()
 }
 
 // EnumCacheStats reports the enumeration cache's occupancy: cached
@@ -261,71 +343,76 @@ func (s *Session) Variants(h *core.Shader) (*core.VariantSet, bool) {
 	return vs, false
 }
 
-// esFor returns the cached GLES conversion of desktop GLSL source,
-// converting at most once per distinct source across all platforms and
-// shaders. handle, when non-nil, marks src as the exact text the handle's
-// IR was lowered from, letting a miss convert from the cached IR instead
-// of re-parsing the text (identical output: ToES is ESFromIR of the
-// text's lowering).
-func (s *Session) esFor(src, hash string, handle *core.Shader) (string, error) {
-	e, _ := s.es.LoadOrStore(hash, &esEntry{})
-	entry := e.(*esEntry)
-	entry.once.Do(func() {
-		if handle != nil {
-			entry.src, entry.err = crossc.ESFromIR(handle.IR(), "mobile")
-			return
-		}
-		entry.src, entry.err = crossc.ToES(src, "mobile")
-	})
-	return entry.src, entry.err
-}
-
-// measure returns the cached score for (platform, source, protocol),
-// measuring on a miss. handle, when non-nil, marks src as the exact text
-// the handle's IR was lowered from, letting the driver consume the cached
-// IR instead of re-parsing; generated text always goes through the driver
+// frontEndFor returns the cached driver-front-end work for one distinct
+// source text: parsed and lowered once per cache residency across all
+// platforms (the simulated drivers share one front end, as real drivers
+// share Mesa's), converted to GLES while the raw lowering is in hand
+// (desktop texts in a mobile-roster session — ToES is exactly ESFromIR of
+// the text's lowering, so sharing the parse is output-identical), then
+// taken through the vendor-independent first canonicalization fixed point
+// every driver pipeline starts with, and fingerprinted once for the
+// compile cache. Canonicalization is idempotent, so handing each driver a
+// clone of the fixed point leaves its output bit-identical while the
+// expensive multi-iteration run happens once instead of once per
+// platform. handle, when non-nil, marks src as the exact text the
+// handle's IR was lowered from, letting a miss clone the cached IR
+// instead of re-parsing; generated text always goes through the driver
 // front end so it keeps the paper's textual-interchange artefacts.
-// The bool reports whether the value came from cache.
-func (s *Session) measure(pl *gpu.Platform, src, hash string, handle *core.Shader) (float64, bool, error) {
-	key := measKey{vendor: pl.Vendor, hash: hash, cfg: s.cfg}
-	e, _ := s.meas.LoadOrStore(key, &measEntry{})
-	entry := e.(*measEntry)
-	hit := true
-	entry.once.Do(func() {
-		hit = false
-		entry.ns, entry.err = s.measureMiss(pl, src, hash, handle)
-	})
-	if hit {
-		s.hits.Add(1)
+// convertES is false for texts that are themselves GLES conversions (the
+// mobile drivers' effective sources — never converted again). Callers
+// must clone fe.prog before handing it to a driver pipeline. The cache is
+// LRU-bounded: after eviction (or on a racing miss) the work is redone,
+// bit-identically, so eviction trades only time for memory.
+func (s *Session) frontEndFor(src, hash string, handle *core.Shader, convertES bool) (*frontEnd, error) {
+	if fe, ok := s.lowered.Get(hash); ok {
+		return fe, nil
+	}
+	var prog *ir.Program
+	var err error
+	if handle != nil {
+		prog = handle.IR()
 	} else {
-		s.misses.Add(1)
+		prog, err = parseForDriver(src)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return entry.ns, hit, entry.err
-}
-
-// loweredFor returns the cached, canonicalized driver-front-end lowering
-// of one distinct source: parsed and lowered once per cache residency
-// across all platforms (the simulated drivers share one front end, as
-// real drivers share Mesa's), then taken through the vendor-independent
-// first canonicalization fixed point every driver pipeline starts with.
-// Canonicalization is idempotent, so handing each driver a clone of the
-// fixed point leaves its output bit-identical while the expensive
-// multi-iteration run happens once instead of once per platform. produce
-// supplies the lowering on a miss; callers must clone the returned
-// program before handing it to a driver pipeline. The cache is
-// LRU-bounded: after eviction (or on a racing miss) the lowering is
-// recomputed, bit-identically, so eviction trades only time for memory.
-func (s *Session) loweredFor(hash string, produce func() (*ir.Program, error)) (*ir.Program, error) {
-	if prog, ok := s.lowered.Get(hash); ok {
-		return prog, nil
-	}
-	prog, err := produce()
-	if err != nil {
-		return nil, err
+	fe := &frontEnd{}
+	if convertES && s.anyMobile {
+		// Convert before canonicalizing: the conversion must consume the
+		// raw lowering, the exact program ToES would hand it.
+		fe.es, err = crossc.ESFromIR(prog, "mobile")
+		if err != nil {
+			return nil, fmt.Errorf("mobile conversion: %w", err)
+		}
+		fe.esHash = core.HashSource(fe.es)
 	}
 	passes.Canonicalize(prog)
-	s.lowered.Add(hash, prog, 1)
-	return prog, nil
+	fe.prog, fe.fp = prog, core.FingerprintIR(prog)
+	s.lowered.Add(hash, fe, 1)
+	return fe, nil
+}
+
+// compiledFor returns the platform's driver compile of a canonical
+// lowering through the session compile cache, keyed by (vendor, IR
+// fingerprint). Sharing is sound: the vendor pipeline and cost model are
+// pure functions of the program, equal fingerprints mean structurally
+// identical programs, and a Compiled is immutable once built — so a
+// variant whose canonicalized lowering converged with an already-compiled
+// variant's reuses its compile, once per platform instead of once per
+// (variant, platform). The opening canonicalization of the vendor
+// pipeline is skipped (CompileCanonical): the input is already the fixed
+// point. The bool reports a cache hit.
+func (s *Session) compiledFor(pl *gpu.Platform, fe *frontEnd) (*gpu.Compiled, bool) {
+	key := compiledKey{vendor: pl.Vendor, fp: fe.fp}
+	if c, ok := s.compiled.Get(key); ok {
+		s.compileHits.Add(1)
+		return c, true
+	}
+	c := pl.CompileCanonical(fe.prog.Clone())
+	s.compiled.Add(key, c, 1)
+	s.compileMisses.Add(1)
+	return c, false
 }
 
 func parseForDriver(src string) (*ir.Program, error) {
@@ -336,36 +423,67 @@ func parseForDriver(src string) (*ir.Program, error) {
 	return prog, nil
 }
 
-func (s *Session) measureMiss(pl *gpu.Platform, src, hash string, handle *core.Shader) (float64, error) {
-	effective, effHash := src, hash
-	if pl.Mobile {
-		es, err := s.esFor(src, hash, handle)
-		if err != nil {
-			return 0, fmt.Errorf("mobile conversion: %w", err)
-		}
-		effective, effHash = es, core.HashSource(es)
-	}
-	produce := func() (*ir.Program, error) { return parseForDriver(effective) }
-	if handle != nil && !pl.Mobile {
-		// src is the exact text the handle's IR was lowered from: on a
-		// miss, clone the cached IR instead of re-parsing.
-		produce = func() (*ir.Program, error) { return handle.IR(), nil }
-	}
-	base, err := s.loweredFor(effHash, produce)
+// resolveCompiled takes one driver-visible desktop text through the
+// platform's front half: the shared front end (one parse serving the
+// desktop lowering and the GLES conversion), the ES text's own front end
+// on mobile, and the memoized vendor compile. handle, when non-nil, marks
+// src as the exact text the handle's IR was lowered from.
+func (s *Session) resolveCompiled(pl *gpu.Platform, src, hash string, handle *core.Shader) (*gpu.Compiled, bool, error) {
+	fe, err := s.frontEndFor(src, hash, handle, true)
 	if err != nil {
-		return 0, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+		return nil, false, fmt.Errorf("%s driver: %w", pl.Vendor, err)
 	}
-	compiled := pl.Compile(base.Clone())
-	return harness.MeasureCompiled(pl, compiled, src, s.cfg).Score(), nil
+	if pl.Mobile {
+		// The mobile driver consumes the converted ES text through its own
+		// front end, exactly as MeasureSource does: the paper's pipeline
+		// is textual past the conversion.
+		fe, err = s.frontEndFor(fe.es, fe.esHash, nil, false)
+		if err != nil {
+			return nil, false, fmt.Errorf("%s driver: %w", pl.Vendor, err)
+		}
+	}
+	compiled, hit := s.compiledFor(pl, fe)
+	return compiled, hit, nil
 }
 
 // Sweep runs the exhaustive study over compiled handles: every distinct
 // variant of every shader measured on every session platform, each
 // distinct (vendor, source, protocol) measurement performed exactly once.
-// onEvent, when non-nil, receives per-shader progress (serialized).
-// Results are deterministic: noise streams are seeded per (platform,
-// source), independent of scheduling and caching.
+// Work is scheduled as (platform → batch of distinct compiled variants):
+// per platform, a shader's session-cache misses are driver-compiled
+// through the (vendor, IR fingerprint) compile cache and sampled in one
+// harness.MeasureBatch pass. onEvent, when non-nil, receives per-shader
+// progress (serialized). Results are deterministic: noise streams are
+// seeded per (platform, source), independent of scheduling, batching, and
+// caching — and byte-identical to the per-variant legacy pipeline
+// (SweepLegacy), pinned corpus-wide by the harness-equivalence suite.
 func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
+	return s.sweep(handles, onEvent, s.sweepShader)
+}
+
+// SweepLegacy runs the same study through the per-variant measurement
+// pipeline: every (variant, platform) pair is measured by an independent
+// harness.MeasureSource call — converted, parsed, lowered, canonicalized,
+// vendor-compiled, and sampled from scratch, with none of the session's
+// measurement caches. This is the original study loop (and what the
+// string facade's Measure still does per call), not the immediately
+// preceding Session.Sweep, which already shared front-end lowerings and
+// scores across platforms; the batched pipeline subsumes that sharing
+// and adds the compile cache, the single-parse front end, and the
+// batched harness pass on top. It is kept as the differential-testing
+// and benchmarking oracle for the batched pipeline (the LegacyVariants
+// pattern): scores are byte-identical to Sweep, pinned corpus-wide by
+// TestSweepBatchedMatchesLegacy, and the harness benchmark-regression
+// gate (testdata/harness_baseline.json) fails CI if Sweep stops beating
+// this path by the committed factor. Study code should use Sweep.
+func (s *Session) SweepLegacy(handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
+	return s.sweep(handles, onEvent, s.sweepShaderLegacy)
+}
+
+// sweep is the shared study driver: the shader fan-out across the worker
+// pool, error collection, and the serialized event stream, parameterized
+// by the per-shader measurement strategy.
+func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perShader func(*core.Shader) (*ShaderResult, SweepEvent, error)) (*Sweep, error) {
 	results := make([]*ShaderResult, len(handles))
 	errs := make([]error, len(handles))
 
@@ -380,7 +498,7 @@ func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Swee
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var ev SweepEvent
-			results[i], ev, errs[i] = s.sweepShader(h)
+			results[i], ev, errs[i] = perShader(h)
 			if onEvent != nil && errs[i] == nil {
 				eventMu.Lock()
 				ev.Shader = h.Name
@@ -401,56 +519,211 @@ func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Swee
 	return &Sweep{Platforms: s.platforms, Results: results, Cfg: s.cfg}, nil
 }
 
+// origBaseline returns the unmodified-original baseline for a handle: the
+// source the driver would see without the offline optimizer — the
+// author's GLSL text, or for WGSL the frontend's unoptimized translation,
+// which the enumeration produces as the all-flags-off variant (in that
+// case the variant loop shares the measurement through the session
+// cache). The returned handle is non-nil only when the text is exactly
+// what the handle's IR was lowered from.
+func origBaseline(h *core.Shader, vs *core.VariantSet) (src, hash string, handle *core.Shader) {
+	if h.Lang == core.LangWGSL {
+		v := vs.VariantFor(core.NoFlags)
+		return v.Source, v.Hash, nil
+	}
+	return h.Source, h.Hash, h
+}
+
 // sweepShader measures one handle's original baseline and every distinct
 // variant on every session platform, reporting per-shader sweep progress
-// (variant counts, enumeration cost, measurement cache traffic).
+// (variant counts, enumeration and measurement cost, cache traffic). Work
+// is grouped per platform: each platform's uncached texts are compiled
+// through the session compile cache and sampled in one batched harness
+// pass.
 func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
 	enumStart := time.Now()
 	vs, enumCached := s.Variants(h)
 	ev.EnumCached = enumCached
 	ev.EnumMS = float64(time.Since(enumStart).Nanoseconds()) / 1e6
 	ev.UniqueVariants = vs.Unique()
-	// The unmodified-original baseline is the source the driver would see
-	// without the offline optimizer: the author's GLSL text, or for WGSL
-	// the frontend's unoptimized translation — which the enumeration just
-	// produced as the all-flags-off variant. In the WGSL case the variant
-	// loop below shares the measurement through the session cache.
-	origSrc, origHash, origHandle := h.Source, h.Hash, h
-	if h.Lang == core.LangWGSL {
-		v := vs.VariantFor(core.NoFlags)
-		origSrc, origHash, origHandle = v.Source, v.Hash, nil
-	}
+	origSrc, origHash, origHandle := origBaseline(h, vs)
 	r = &ShaderResult{
 		Handle:    h,
 		Variants:  vs,
 		OrigNS:    map[string]float64{},
 		VariantNS: map[string]map[string]float64{},
 	}
-	count := func(hit bool) {
-		if hit {
-			ev.CacheHits++
-		} else {
-			ev.Measured++
-		}
-	}
+	measStart := time.Now()
 	for _, pl := range s.platforms {
-		ns, hit, err := s.measure(pl, origSrc, origHash, origHandle)
+		origNS, perVariant, err := s.measurePlatform(pl, origSrc, origHash, origHandle, vs, &ev)
+		if err != nil {
+			return nil, ev, err
+		}
+		r.OrigNS[pl.Vendor] = origNS
+		r.VariantNS[pl.Vendor] = perVariant
+	}
+	ev.MeasureMS = float64(time.Since(measStart).Nanoseconds()) / 1e6
+	return r, ev, nil
+}
+
+// measurePlatform measures one shader's original plus every distinct
+// variant on one platform, batching the session-cache misses into a
+// single harness.MeasureBatch pass. Scores already cached — or being
+// measured by a concurrently-sweeping shader — are reused; misses are
+// reserved in the inflight map, resolved through the compile cache, and
+// sampled together. Every reserved entry is completed exactly once, on
+// success or failure, so waiters never block past this call.
+func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, origHandle *core.Shader, vs *core.VariantSet, ev *SweepEvent) (float64, map[string]float64, error) {
+	type slot struct {
+		src    string
+		hash   string
+		handle *core.Shader
+		entry  *measEntry // non-nil when owned or awaited
+		owned  bool
+		ns     float64
+		done   bool
+	}
+	slots := make([]slot, 0, 1+len(vs.Variants))
+	slots = append(slots, slot{src: origSrc, hash: origHash, handle: origHandle})
+	for _, v := range vs.Variants {
+		slots = append(slots, slot{src: v.Source, hash: v.Hash})
+	}
+
+	// Classify: cached score, our measurement to run, or someone else's
+	// in-flight measurement to wait for (which counts as a cache hit, as
+	// blocking on the old once-per-key entry did).
+	var owned []int
+	for i := range slots {
+		sl := &slots[i]
+		key := measKey{vendor: pl.Vendor, hash: sl.hash, cfg: s.cfg}
+		if ns, ok := s.scores.Get(key); ok {
+			sl.ns, sl.done = ns, true
+			s.hits.Add(1)
+			ev.CacheHits++
+			continue
+		}
+		e, loaded := s.inflight.LoadOrStore(key, &measEntry{done: make(chan struct{})})
+		sl.entry = e.(*measEntry)
+		if loaded {
+			s.hits.Add(1)
+			ev.CacheHits++
+			continue
+		}
+		sl.owned = true
+		owned = append(owned, i)
+		s.misses.Add(1)
+		ev.Measured++
+	}
+
+	// Resolve and compile the owned slots, then sample them as one batch.
+	// A slot that fails to resolve completes its entry with the error (and
+	// keeps it in the inflight map, failing later lookups the way the old
+	// error-caching did); the rest of the batch still completes so other
+	// shaders waiting on shared variants are never stranded.
+	var firstErr error
+	fail := func(sl *slot, err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		sl.entry.err = err
+		close(sl.entry.done)
+	}
+	items := make([]harness.BatchItem, 0, len(owned))
+	live := make([]int, 0, len(owned))
+	for _, i := range owned {
+		sl := &slots[i]
+		compiled, hit, err := s.resolveCompiled(pl, sl.src, sl.hash, sl.handle)
+		if err != nil {
+			if sl.handle != nil {
+				err = fmt.Errorf("original on %s: %w", pl.Vendor, err)
+			} else {
+				err = fmt.Errorf("variant %s on %s: %w", sl.hash, pl.Vendor, err)
+			}
+			fail(sl, err)
+			continue
+		}
+		if hit {
+			ev.CompileHits++
+		}
+		items = append(items, harness.BatchItem{Compiled: compiled, SrcForSeed: sl.src})
+		live = append(live, i)
+	}
+	for k, m := range harness.MeasureBatch(pl, items, s.cfg) {
+		sl := &slots[live[k]]
+		sl.ns, sl.done = m.Score(), true
+		key := measKey{vendor: pl.Vendor, hash: sl.hash, cfg: s.cfg}
+		s.scores.Add(key, sl.ns, 1)
+		sl.entry.ns = sl.ns
+		close(sl.entry.done)
+		s.inflight.Delete(key)
+	}
+
+	// Collect measurements other sweeps (or earlier duplicate slots of
+	// this one) had in flight. Our own batch is already complete, so this
+	// cannot deadlock on ourselves.
+	for i := range slots {
+		sl := &slots[i]
+		if sl.done || sl.owned {
+			continue
+		}
+		<-sl.entry.done
+		if sl.entry.err != nil {
+			if firstErr == nil {
+				firstErr = sl.entry.err
+			}
+			continue
+		}
+		sl.ns, sl.done = sl.entry.ns, true
+	}
+	if firstErr != nil {
+		return 0, nil, firstErr
+	}
+
+	perVariant := make(map[string]float64, len(vs.Variants))
+	for i, v := range vs.Variants {
+		perVariant[v.Hash] = slots[1+i].ns
+	}
+	return slots[0].ns, perVariant, nil
+}
+
+// sweepShaderLegacy is the per-variant reference: the original baseline
+// and every distinct variant measured per (variant, platform) through
+// harness.MeasureSource, with no session measurement caching. Kept as
+// the oracle sweepShader is differentially tested and benchmarked
+// against; see SweepLegacy for what it does and does not represent.
+func (s *Session) sweepShaderLegacy(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
+	enumStart := time.Now()
+	vs, enumCached := s.Variants(h)
+	ev.EnumCached = enumCached
+	ev.EnumMS = float64(time.Since(enumStart).Nanoseconds()) / 1e6
+	ev.UniqueVariants = vs.Unique()
+	origSrc, _, _ := origBaseline(h, vs)
+	r = &ShaderResult{
+		Handle:    h,
+		Variants:  vs,
+		OrigNS:    map[string]float64{},
+		VariantNS: map[string]map[string]float64{},
+	}
+	measStart := time.Now()
+	for _, pl := range s.platforms {
+		m, err := harness.MeasureSource(pl, origSrc, s.cfg)
 		if err != nil {
 			return nil, ev, fmt.Errorf("original on %s: %w", pl.Vendor, err)
 		}
-		count(hit)
-		r.OrigNS[pl.Vendor] = ns
-		perVariant := map[string]float64{}
+		ev.Measured++
+		r.OrigNS[pl.Vendor] = m.Score()
+		perVariant := make(map[string]float64, len(vs.Variants))
 		for _, v := range vs.Variants {
-			ns, hit, err := s.measure(pl, v.Source, v.Hash, nil)
+			m, err := harness.MeasureSource(pl, v.Source, s.cfg)
 			if err != nil {
 				return nil, ev, fmt.Errorf("variant %s on %s: %w", v.Hash, pl.Vendor, err)
 			}
-			count(hit)
-			perVariant[v.Hash] = ns
+			ev.Measured++
+			perVariant[v.Hash] = m.Score()
 		}
 		r.VariantNS[pl.Vendor] = perVariant
 	}
+	ev.MeasureMS = float64(time.Since(measStart).Nanoseconds()) / 1e6
 	return r, ev, nil
 }
 

@@ -650,3 +650,76 @@ func TestLoweredCacheBoundedUnderSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestMeasCacheBoundedAndEvicts closes the ROADMAP's last unbounded-cache
+// item: with a tiny CacheBound the measurement-score cache must stay
+// within its bound, actually evict under a multi-shader sweep, and — the
+// part that matters — re-measure evicted scores bit-identically, so a
+// bounded session's sweep equals an unbounded one's. The compile cache
+// rides the same bound and is checked alongside.
+func TestMeasCacheBoundedAndEvicts(t *testing.T) {
+	shaders, err := sweepSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 4 // far below the subset's distinct (vendor, text) count
+	sess := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig(), CacheBound: bound, Workers: 2})
+	handles := make([]*core.Shader, len(shaders))
+	for i, s := range shaders {
+		h, err := core.Compile(s.Source, s.Name, s.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	bounded, err := sess.Sweep(handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, b, evicted := sess.MeasCacheStats()
+	if b != bound {
+		t.Fatalf("meas cache bound = %d, want %d", b, bound)
+	}
+	if entries > bound {
+		t.Fatalf("meas cache holds %d scores, bound %d", entries, bound)
+	}
+	if evicted == 0 {
+		t.Fatal("sweep across the subset should have evicted scores from a bound-4 cache")
+	}
+	if _, _, centries, cbound := sess.CompileCacheStats(); cbound != bound || centries > bound {
+		t.Fatalf("compile cache %d entries exceeds bound %d", centries, cbound)
+	}
+
+	unbounded, err := NewSession(gpu.Platforms(), Options{Cfg: harness.FastConfig(), CacheBound: -1}).Sweep(handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rb := range bounded.Results {
+		ru := unbounded.Results[i]
+		for _, pl := range gpu.Platforms() {
+			if rb.OrigNS[pl.Vendor] != ru.OrigNS[pl.Vendor] {
+				t.Fatalf("%s: original differs under meas-cache eviction", rb.Name())
+			}
+			for hash, ns := range rb.VariantNS[pl.Vendor] {
+				if ru.VariantNS[pl.Vendor][hash] != ns {
+					t.Fatalf("%s: variant %s differs under meas-cache eviction", rb.Name(), hash)
+				}
+			}
+		}
+	}
+
+	// A warm re-sweep on the bounded session still completes and still
+	// matches: whatever was evicted is simply measured again.
+	again, err := sess.Sweep(handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rb := range bounded.Results {
+		ra := again.Results[i]
+		for _, pl := range gpu.Platforms() {
+			if rb.OrigNS[pl.Vendor] != ra.OrigNS[pl.Vendor] {
+				t.Fatalf("%s: re-sweep changed a score under eviction", rb.Name())
+			}
+		}
+	}
+}

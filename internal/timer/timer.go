@@ -56,8 +56,11 @@ func (q *Query) Measure(trueNS float64) float64 {
 	return t
 }
 
-// Reseed resets the noise stream (each shader measurement run uses a
-// derived seed so experiment order does not perturb results).
+// Reseed resets the noise stream in place (each shader measurement run
+// uses a derived seed so experiment order does not perturb results). The
+// stream after Reseed(seed) is identical to a fresh New(..., seed) query's,
+// so batched harness runs reuse one Query across a whole batch of variants
+// without re-allocating the generator per measurement.
 func (q *Query) Reseed(seed int64) {
-	q.rng = rand.New(rand.NewSource(seed))
+	q.rng.Seed(seed)
 }

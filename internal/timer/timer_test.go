@@ -87,6 +87,26 @@ func TestReseedRestartsStream(t *testing.T) {
 	}
 }
 
+// TestReseedMatchesFreshQuery pins the invariant the batched harness
+// depends on: reusing one Query across variants via Reseed(seed) yields
+// exactly the stream a fresh New(..., seed) query would, even after the
+// generator has been pulled from under a different seed.
+func TestReseedMatchesFreshQuery(t *testing.T) {
+	reused := New(0.05, 100, 10, 1)
+	for i := 0; i < 17; i++ { // advance the stream before reseeding
+		reused.Measure(1e6)
+	}
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		reused.Reseed(seed)
+		fresh := New(0.05, 100, 10, seed)
+		for i := 0; i < 25; i++ {
+			if got, want := reused.Measure(1e6), fresh.Measure(1e6); got != want {
+				t.Fatalf("seed %d sample %d: reseeded query gave %v, fresh query %v", seed, i, got, want)
+			}
+		}
+	}
+}
+
 func TestNoiseNeverNegative(t *testing.T) {
 	q := New(0.5, 0, 0, 11) // absurdly noisy
 	for i := 0; i < 1000; i++ {

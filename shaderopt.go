@@ -47,6 +47,44 @@
 // The string functions (Optimize, Variants, Measure, Render, Sweep, …)
 // remain as one-shot convenience wrappers over Compile.
 //
+// # Measurement pipeline
+//
+// With enumeration memoized, a cold sweep is dominated by the
+// measurement harness itself: driver compiles and cost-model sampling
+// per (variant, platform). Session.Sweep therefore schedules work as
+// (platform → batch of distinct compiled variants) and leans on four
+// session caches, all bounded by WithCacheBound:
+//
+//   - Front-end cache: each distinct driver-visible text is parsed,
+//     lowered, converted to GLES (one parse serves both — the conversion
+//     consumes the raw lowering, exactly what the textual path computes),
+//     canonicalized to the vendor-independent fixed point, and
+//     fingerprinted once, shared across all platforms.
+//   - Compile cache, keyed (vendor, IR fingerprint): variants whose
+//     canonicalized lowerings converge — common after ES conversion,
+//     where name loss and flattening erase textual differences — compile
+//     once per platform instead of once per (variant, platform), skipping
+//     the vendor pipeline and cost model entirely on a hit. The vendor
+//     pipeline's opening canonicalization is skipped too
+//     (gpu.CompileCanonical): the input is already the fixed point, and
+//     canonicalization is idempotent.
+//   - Measurement-score cache, keyed (vendor, source hash, protocol),
+//     with an in-flight table so concurrent sweeps sharing a variant wait
+//     for one batched measurement instead of repeating it.
+//   - The PR 3 enumeration cache (variant sets, LRU by variant count).
+//
+// The batch itself is one harness.MeasureBatch pass per (shader,
+// platform): the per-variant setup — seed derivation's platform prefix,
+// noise-generator construction, sample and summary allocation — is
+// hoisted out of the Frames×Repeats inner loop. Every variant's noise
+// stream stays independently seeded from (protocol seed, vendor, source),
+// so batching, batch order, caching, eviction, and worker count cannot
+// move a single sample: results are byte-identical to the per-variant
+// legacy pipeline, which survives as Session.SweepLegacy (the
+// LegacyVariants pattern) and oracles the equivalence suite. SweepEvent
+// reports where the time went (EnumMS vs MeasureMS) and what the caches
+// absorbed (CacheHits, CompileHits); cmd/sweep renders both live.
+//
 // # Testing strategy
 //
 // Aggressive rewrites of the optimizer and its enumeration engine are
@@ -65,21 +103,32 @@
 //     survives as Shader.LegacyVariants, and
 //     TestMemoizedEnumerationMatchesLegacy pins the trie path
 //     byte-identical to it corpus-wide — sources, hashes, ordering, and
-//     flag attribution. Worker-invariance tests do the same across shard
-//     widths, under -race in CI, and cache-bound tests pin that LRU
-//     eviction never changes results, only retention.
-//   - Fuzzing: native go-fuzz targets for the WGSL lexer, parser, and the
-//     parse→lower→generate→re-parse round trip, plus DetectLang, with
-//     seed corpora under testdata/fuzz and short smoke campaigns in CI.
+//     flag attribution. The harness-equivalence suite does the same for
+//     the measurement pipeline: MeasureBatch field-identical to
+//     per-variant MeasureCompiled (samples included), CompileCanonical
+//     identical to Compile on canonical input, and the batched
+//     Session.Sweep score-identical to Session.SweepLegacy corpus-wide,
+//     invariant under worker count, shader order, and cache hit/miss
+//     order. Worker-invariance tests run under -race in CI, and
+//     cache-bound tests pin that LRU eviction — enumeration, lowering,
+//     compile, and measurement-score caches alike — never changes
+//     results, only retention.
+//   - Fuzzing: native go-fuzz targets for both frontends — WGSL lexer,
+//     parser, and compile round trip; GLSL preprocessor, lexer, parser,
+//     and the parse→lower→generate→re-parse round trip — plus
+//     DetectLang, with seed corpora under testdata/fuzz and short smoke
+//     campaigns in CI.
 //   - Golden files: the Table I / Fig. 3-9 report renderers and the
 //     static-characterization data are compared byte-for-byte against
 //     checked-in goldens (regenerate with -update), so output changes are
 //     reviewed as diffs.
 //
-// A benchmark-regression gate (TestEnumerationSpeedupRegression) times
-// the memoized enumeration against the legacy path in-process and fails
-// CI if the speedup falls below the factor committed in
-// testdata/enum_baseline.json.
+// Two benchmark-regression gates time the memoized paths against their
+// preserved legacy counterparts in-process and fail CI if the speedup
+// falls below the committed factor: TestEnumerationSpeedupRegression
+// (testdata/enum_baseline.json) for variant enumeration, and
+// TestHarnessSpeedupRegression (testdata/harness_baseline.json) for the
+// batched measurement pipeline.
 package shaderopt
 
 import (
