@@ -2,7 +2,9 @@ package shaderopt
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +14,57 @@ import (
 	"shaderopt/internal/harness"
 	"shaderopt/internal/search"
 )
+
+// stepSummary appends a markdown fragment to the file named by
+// $GITHUB_STEP_SUMMARY when running under GitHub Actions, so the
+// benchmark gates' measured speedups surface on the workflow run page
+// without digging through logs. A no-op everywhere else.
+func stepSummary(t *testing.T, markdown string) {
+	t.Helper()
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Logf("step summary: %v", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprint(f, markdown)
+}
+
+// gateSummary renders one benchmark gate's result as the markdown table
+// the CI run page shows: measured speedup vs the committed baseline.
+func gateSummary(gate string, legacy, fast time.Duration, speedup, committed float64) string {
+	return fmt.Sprintf(
+		"### %s\n\n| legacy | optimized | speedup | committed gate |\n|---|---|---|---|\n| %v | %v | %.2fx | %.1fx |\n\n",
+		gate, legacy, fast, speedup, committed)
+}
+
+// TestStepSummaryWritesMarkdown pins the GitHub Actions plumbing: the
+// helper appends (not truncates) to $GITHUB_STEP_SUMMARY and stays a
+// no-op when the variable is unset.
+func TestStepSummaryWritesMarkdown(t *testing.T) {
+	path := t.TempDir() + "/summary.md"
+	if err := os.WriteFile(path, []byte("existing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("GITHUB_STEP_SUMMARY", path)
+	stepSummary(t, gateSummary("Test gate", 2*time.Second, time.Second, 2.0, 1.5))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"existing\n", "### Test gate", "| 2s | 1s | 2.00x | 1.5x |"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	stepSummary(t, "must not be written anywhere")
+}
 
 // enumBaseline mirrors testdata/enum_baseline.json: the committed
 // expectations of the enumeration benchmark-regression gate.
@@ -92,6 +145,8 @@ func TestEnumerationSpeedupRegression(t *testing.T) {
 	legacy, memo := best(legacyPass), best(memoPass)
 	speedup := float64(legacy) / float64(memo)
 	t.Logf("legacy %v, memoized %v: %.1fx (gate %.1fx)", legacy, memo, speedup, base.MinSpeedup)
+	stepSummary(t, gateSummary("Enumeration benchmark gate (memoized trie vs legacy)",
+		legacy, memo, speedup, base.MinSpeedup))
 	if speedup < base.MinSpeedup {
 		t.Fatalf("memoized enumeration only %.2fx faster than legacy, below the committed %.1fx gate",
 			speedup, base.MinSpeedup)
@@ -187,6 +242,8 @@ func TestHarnessSpeedupRegression(t *testing.T) {
 	legacy, batched := best(true), best(false)
 	speedup := float64(legacy) / float64(batched)
 	t.Logf("legacy %v, batched %v: %.2fx (gate %.1fx)", legacy, batched, speedup, base.MinSpeedup)
+	stepSummary(t, gateSummary("Harness benchmark gate (batched sweep vs per-variant legacy)",
+		legacy, batched, speedup, base.MinSpeedup))
 	if speedup < base.MinSpeedup {
 		t.Fatalf("batched measurement pipeline only %.2fx faster than per-variant legacy, below the committed %.1fx gate",
 			speedup, base.MinSpeedup)

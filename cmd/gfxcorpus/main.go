@@ -1,7 +1,8 @@
 // Command gfxcorpus inspects the shader corpus (the synthetic
-// GFXBench-4.0-like GLSL suite plus the native WGSL family): list shaders
-// with their language and size, dump a shader's source, or emit the whole
-// corpus to a directory (.frag for GLSL, .wgsl for WGSL).
+// GFXBench-4.0-like GLSL suite plus the native WGSL and HLSL families):
+// list shaders with their language and size, dump a shader's source, or
+// emit the whole corpus to a directory (.frag for GLSL, .wgsl for WGSL,
+// .hlsl for HLSL).
 //
 //	gfxcorpus -list
 //	gfxcorpus -dump blur/v9
@@ -50,8 +51,11 @@ func main() {
 	case *emit != "":
 		for _, s := range shaders {
 			ext := ".frag"
-			if s.Lang == shaderopt.LangWGSL {
+			switch s.Lang {
+			case shaderopt.LangWGSL:
 				ext = ".wgsl"
+			case shaderopt.LangHLSL:
+				ext = ".hlsl"
 			}
 			path := filepath.Join(*emit, strings.ReplaceAll(s.Name, "/", "_")+ext)
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -1,14 +1,15 @@
 // Command shaderanalyze is the ARM-offline-compiler-style static analyser
-// (the tool behind Fig. 4b): it compiles a fragment shader — desktop GLSL
-// or WGSL, auto-detected or pinned with -lang — with a chosen platform's
-// driver model and reports the per-pipe cycle decomposition, register
-// pressure, and instruction footprint. WGSL input reaches the drivers
-// through the frontend's GLSL translation, like a WebGPU runtime would
-// hand it over.
+// (the tool behind Fig. 4b): it compiles a fragment shader — desktop
+// GLSL, WGSL, or HLSL, auto-detected or pinned with -lang — with a chosen
+// platform's driver model and reports the per-pipe cycle decomposition,
+// register pressure, and instruction footprint. WGSL and HLSL input
+// reaches the drivers through the frontend's GLSL translation, like a
+// WebGPU runtime or a D3D-porting layer would hand it over.
 //
 //	shaderanalyze -platform ARM shader.frag
 //	shaderanalyze -all shader.frag
 //	shaderanalyze -lang wgsl -all shader.wgsl
+//	shaderanalyze -lang hlsl -all shader.hlsl
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 func main() {
 	vendor := flag.String("platform", "ARM", "platform: Intel, AMD, NVIDIA, ARM, Qualcomm")
 	all := flag.Bool("all", false, "analyse on every platform")
-	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl")
+	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl|hlsl")
 	flag.Parse()
 
 	src, err := readInput(flag.Args())

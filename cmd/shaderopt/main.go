@@ -1,5 +1,5 @@
 // Command shaderopt is the offline optimizer CLI (the LunarGlass
-// equivalent): it reads a fragment shader — desktop GLSL or WGSL,
+// equivalent): it reads a fragment shader — desktop GLSL, WGSL, or HLSL,
 // auto-detected or pinned with -lang — and writes the optimized desktop
 // GLSL, with pass selection via -flags.
 //
@@ -7,6 +7,7 @@
 //	shaderopt -flags all -es shader.frag        # GLES output
 //	shaderopt -variants shader.frag             # enumerate unique variants
 //	shaderopt -lang wgsl -flags all shader.wgsl # WGSL input
+//	shaderopt -lang hlsl -flags all shader.hlsl # HLSL input
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	flagList := flag.String("flags", "default", "optimization flags: none|default|all or name+name (adce, coalesce, gvn, reassociate, unroll, hoist, fp-reassociate, div-to-mul)")
-	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl")
+	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl|hlsl")
 	es := flag.Bool("es", false, "emit OpenGL ES output via the SPIR-V conversion path")
 	variants := flag.Bool("variants", false, "enumerate all 256 flag combinations and list unique variants")
 	vertex := flag.Bool("vertex", false, "also print the auto-generated matching vertex shader")

@@ -1,8 +1,8 @@
 // Command sweep regenerates the paper's tables and figures: it runs the
 // exhaustive 256-flag-combination study over the shader corpus — the
-// synthetic GFXBench-like GLSL suite plus the WGSL family — on all five
-// simulated platforms and renders each experiment. -lang restricts the
-// corpus to one source language.
+// synthetic GFXBench-like GLSL suite plus the native WGSL and HLSL
+// families — on all five simulated platforms and renders each experiment.
+// -lang restricts the corpus to one source language.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	sweep -exp table1,fig5,fig9 -fast
 //	sweep -exp fig7 -platform ARM
 //	sweep -lang wgsl -exp table1 -fast
+//	sweep -lang hlsl -exp table1,fig5 -fast
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
 	platform := flag.String("platform", "", "restrict per-platform figures (7, 9) to one vendor")
-	lang := flag.String("lang", "all", "restrict the corpus by source language: all|glsl|wgsl")
+	lang := flag.String("lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl")
 	fast := flag.Bool("fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
 	workers := flag.Int("workers", 0, "worker pool size for the sweep and the sharded variant enumeration (0 = GOMAXPROCS)")
 	flag.Parse()

@@ -33,9 +33,9 @@ const (
 )
 
 // diffCorpus returns the shaders under differential test: a
-// behaviour-diverse subset in -short mode (every pass family and both
-// languages represented), the full corpus otherwise — the full sweep is
-// wired into CI as its own step.
+// behaviour-diverse subset in -short mode (every pass family and all
+// three languages represented), the full corpus otherwise — the full
+// sweep is wired into CI as its own step.
 func diffCorpus(t *testing.T) []*corpus.Shader {
 	t.Helper()
 	all, err := corpus.Load()
@@ -49,6 +49,7 @@ func diffCorpus(t *testing.T) []*corpus.Shader {
 		"blur/v9", "godrays/s32", "pbr/l4_spec_full", "tonemap/filmic_full",
 		"fxaa/hq", "relief/basic", "alu/d3", "water/full", "ui/flat",
 		"wgsl/ripple", "wgsl/glow",
+		"hlsl/filmic_full", "hlsl/reinhard_ext",
 	}
 	var out []*corpus.Shader
 	for _, n := range names {

@@ -1,6 +1,7 @@
 // Quickstart: compile one fragment shader to a handle (parsed exactly
-// once), optimize it offline under two flag sets, and measure everything
-// on all five simulated GPUs.
+// once), optimize it offline under two flag sets, measure everything on
+// all five simulated GPUs — then do the same study from an HLSL source
+// through the third frontend, with zero changes past the IR.
 package main
 
 import (
@@ -63,4 +64,31 @@ func main() {
 
 	fmt.Println("\nOptimized shader (all flags):")
 	fmt.Println(allOut)
+
+	// The same pipeline speaks HLSL (and WGSL): the frontend is
+	// auto-detected, the handle API is identical, and every product —
+	// variants, measurements, renders — derives from the same shared IR.
+	hlslSh, err := shaderopt.Compile(hlslSrc, "quickstart-hlsl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHLSL input (detected %s): %d distinct variants; driver sees:\n%s\n",
+		hlslSh.Lang(), hlslSh.Variants().Unique(), hlslSh.Optimize(shaderopt.AllFlags))
 }
+
+const hlslSrc = `
+Texture2D tex : register(t0);
+SamplerState smp : register(s0);
+
+cbuffer Params : register(b0) {
+    float4 tint;
+};
+
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float4 acc = float4(0.0, 0.0, 0.0, 0.0);
+    [unroll] for (int i = 0; i < 4; i++) {
+        acc += tex.Sample(smp, uv + float2(float(i) * 0.005, 0.0)) / 4.0;
+    }
+    return acc * tint * 2.0 + acc * tint;
+}
+`

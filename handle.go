@@ -69,7 +69,7 @@ type Shader struct {
 	h *core.Shader
 }
 
-// Compile parses and lowers fragment shader source (GLSL or WGSL,
+// Compile parses and lowers fragment shader source (GLSL, WGSL, or HLSL,
 // auto-detected unless pinned with WithLang) once and returns the handle.
 func Compile(src, name string, opts ...Option) (*Shader, error) {
 	o := defaultOptions()
@@ -108,14 +108,15 @@ func (s *Shader) Optimize(flags Flags) string { return s.h.Optimize(flags) }
 func (s *Shader) Variants() *VariantSet { return s.h.Variants() }
 
 // ToGLSL returns the driver-visible desktop GLSL: the original text for
-// GLSL input, or the cached unoptimized translation for WGSL input.
+// GLSL input, or the cached unoptimized translation for WGSL and HLSL
+// input.
 func (s *Shader) ToGLSL() string { return s.h.GLSL() }
 
 // Measure times the shader on a platform under the protocol, reusing the
 // cached IR: GLSL input feeds the driver compiler directly from the
-// lowered program, WGSL input is measured via its cached GLSL translation
-// (the text a driver would see). Scores are identical to the string
-// facade's Measure.
+// lowered program, WGSL and HLSL input is measured via its cached GLSL
+// translation (the text a driver would see). Scores are identical to the
+// string facade's Measure.
 func (s *Shader) Measure(pl *Platform, cfg Protocol) (*Measurement, error) {
 	if s.h.GLSLIsSource() {
 		return harness.MeasureProgram(pl, s.h.IR(), s.h.Source, cfg)

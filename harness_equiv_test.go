@@ -35,11 +35,13 @@ import (
 )
 
 // equivShortNames is the -short subset: loop shaders, an übershader
-// instance, trivial shaders, and WGSL (whose baseline shares the
-// all-flags-off variant, the measurement-cache edge case).
+// instance, trivial shaders, and the translated frontends (WGSL and
+// HLSL, whose baselines share the all-flags-off variant — the
+// measurement-cache edge case).
 var equivShortNames = []string{
 	"blur/v9", "pbr/l2_spec", "tonemap/filmic_full", "ui/flat",
 	"wgsl/ripple", "wgsl/luma",
+	"hlsl/filmic_full", "hlsl/reinhard_ext",
 }
 
 func equivShaders(t *testing.T) []*corpus.Shader {

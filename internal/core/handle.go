@@ -9,8 +9,8 @@ import (
 	"shaderopt/internal/passes"
 )
 
-// frontendParses counts source-language frontend parses (GLSL or WGSL)
-// performed by this process. The compiled-handle API exists so a study
+// frontendParses counts source-language frontend parses (GLSL, WGSL, or
+// HLSL) performed by this process. The compiled-handle API exists so a study
 // pays exactly one frontend parse per shader; tests assert that invariant
 // through FrontendParses.
 var frontendParses atomic.Int64
@@ -104,7 +104,7 @@ func (s *Shader) LegacyVariants() *VariantSet {
 
 // GLSL returns the driver-visible desktop GLSL: the original text for GLSL
 // input (the driver sees the author's source), or the cached unoptimized
-// translation for WGSL input. Computed at most once per handle.
+// translation for WGSL and HLSL input. Computed at most once per handle.
 func (s *Shader) GLSL() string {
 	s.glslOnce.Do(func() {
 		if s.Lang == LangGLSL {
@@ -119,6 +119,6 @@ func (s *Shader) GLSL() string {
 // GLSLIsSource reports whether GLSL() is exactly the text whose lowering
 // produced this handle's IR — true for GLSL input, where measuring the
 // cached IR directly is equivalent to re-parsing the text. For generated
-// translations (WGSL input) the textual re-parse picks up interchange
-// artefacts, so measurement must go through the text.
+// translations (WGSL and HLSL input) the textual re-parse picks up
+// interchange artefacts, so measurement must go through the text.
 func (s *Shader) GLSLIsSource() bool { return s.Lang == LangGLSL }

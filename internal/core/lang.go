@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"strings"
 
+	"shaderopt/internal/hlsl"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/wgsl"
 )
 
 // Lang selects a source language frontend. The optimizer's middle end,
-// platforms, and study machinery are frontend-independent: both languages
-// lower to the same IR program form.
+// platforms, and study machinery are frontend-independent: all three
+// languages lower to the same IR program form.
 type Lang int
 
 // Supported source languages.
@@ -21,6 +22,8 @@ const (
 	LangGLSL
 	// LangWGSL is the WebGPU Shading Language.
 	LangWGSL
+	// LangHLSL is the Direct3D High-Level Shading Language.
+	LangHLSL
 )
 
 func (l Lang) String() string {
@@ -31,6 +34,8 @@ func (l Lang) String() string {
 		return "glsl"
 	case LangWGSL:
 		return "wgsl"
+	case LangHLSL:
+		return "hlsl"
 	}
 	return fmt.Sprintf("Lang(%d)", int(l))
 }
@@ -44,21 +49,40 @@ func ParseLang(s string) (Lang, error) {
 		return LangGLSL, nil
 	case "wgsl":
 		return LangWGSL, nil
+	case "hlsl":
+		return LangHLSL, nil
 	}
-	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, or wgsl)", s)
+	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, wgsl, or hlsl)", s)
 }
 
 // DetectLang guesses the source language from unambiguous syntax markers
 // in the code itself: WGSL is attributed (`@fragment`, and on entry points
-// that omit it, `@location`/`@builtin`/`@group`/`@binding`), while every
-// GLSL shader in the subset has `void main` and usually a #version line.
-// Comments are stripped first so prose mentioning either language's syntax
-// cannot flip the detection.
+// that omit it, `@location`/`@builtin`/`@group`/`@binding`); HLSL has
+// `cbuffer` blocks, `SV_`-prefixed system-value semantics, `register(...)`
+// bindings, and its own vector/matrix/resource type names (float4,
+// float3x3, Texture2D, SamplerState — GLSL spells these vec4, mat3,
+// sampler2D); every GLSL shader in the subset has `void main` and usually
+// a #version line. Comments are stripped first so prose mentioning another
+// language's syntax cannot flip the detection, and HLSL type names only
+// count as whole words so a GLSL identifier like `myfloat2` stays GLSL.
 func DetectLang(src string) Lang {
 	code := stripComments(src)
 	for _, marker := range []string{"@fragment", "@location(", "@builtin(", "@group(", "@binding("} {
 		if strings.Contains(code, marker) {
 			return LangWGSL
+		}
+	}
+	if containsWordPrefix(code, "SV_") {
+		return LangHLSL
+	}
+	for _, word := range []string{
+		"cbuffer", "register",
+		"float2", "float3", "float4", "float2x2", "float3x3", "float4x4",
+		"half2", "half3", "half4",
+		"Texture2D", "TextureCube", "SamplerState",
+	} {
+		if containsWord(code, word) {
+			return LangHLSL
 		}
 	}
 	if strings.Contains(code, "#version") || strings.Contains(code, "void main") {
@@ -68,6 +92,57 @@ func DetectLang(src string) Lang {
 		return LangWGSL
 	}
 	return LangGLSL
+}
+
+// containsWord reports whether code contains word delimited by
+// non-identifier characters, so `float2 uv` matches but `myfloat2` and
+// `float2x2` (when searching for `float2`) do not.
+func containsWord(code, word string) bool {
+	for from := 0; ; {
+		i := strings.Index(code[from:], word)
+		if i < 0 {
+			return false
+		}
+		i += from
+		before := byte(0)
+		if i > 0 {
+			before = code[i-1]
+		}
+		after := byte(0)
+		if j := i + len(word); j < len(code) {
+			after = code[j]
+		}
+		if !isWordByte(before) && !isWordByte(after) {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+// containsWordPrefix reports whether code contains word starting at a
+// word boundary, with any continuation allowed (for markers like "SV_"
+// that prefix a family of semantics: SV_Target, SV_Position, ... — but a
+// GLSL identifier such as `uSV_offset` must not match).
+func containsWordPrefix(code, word string) bool {
+	for from := 0; ; {
+		i := strings.Index(code[from:], word)
+		if i < 0 {
+			return false
+		}
+		i += from
+		before := byte(0)
+		if i > 0 {
+			before = code[i-1]
+		}
+		if !isWordByte(before) {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 // stripComments removes //-line and /* */-block comments (both languages
@@ -121,6 +196,13 @@ func LowerLang(src, name string, lang Lang) (*ir.Program, error) {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		return prog, nil
+	case LangHLSL:
+		frontendParses.Add(1)
+		prog, err := hlsl.Compile(src, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return prog, nil
 	default:
 		return lowerGLSL(src, name)
 	}
@@ -140,15 +222,17 @@ func OptimizeLang(src, name string, lang Lang, flags Flags) (string, error) {
 
 // ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
 // through untouched (the driver sees the author's original text), while
-// WGSL input is lowered and regenerated with no optimization flags — the
-// faithful all-artefacts baseline, mirroring how a WGSL runtime hands the
-// driver translated source rather than the original. It is a convenience
-// wrapper over Compile for one-shot use.
+// WGSL and HLSL input is lowered and regenerated with no optimization
+// flags — the faithful all-artefacts baseline, mirroring how a
+// WebGPU/D3D-porting runtime hands the driver translated source rather
+// than the original. It is a convenience wrapper over Compile for
+// one-shot use.
 func ToGLSL(src, name string, lang Lang) (string, error) {
-	if lang.Resolve(src) == LangGLSL {
+	resolved := lang.Resolve(src)
+	if resolved == LangGLSL {
 		return src, nil
 	}
-	h, err := Compile(src, name, LangWGSL)
+	h, err := Compile(src, name, resolved)
 	if err != nil {
 		return "", err
 	}

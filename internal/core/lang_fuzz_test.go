@@ -14,6 +14,10 @@ func FuzzDetectLang(f *testing.F) {
 		"// @fragment mentioned in prose\nvoid main() { }",
 		"/* fn arrow -> inside block comment */\nvoid main() { }",
 		"@group(0) @binding(1) var samp: sampler;",
+		"cbuffer B : register(b0) { float k; }",
+		"float4 main(float2 uv : TEXCOORD0) : SV_Target { return float4(uv, 0.0, 1.0); }",
+		"// HLSL float4 cbuffer SV_Target in prose only\nvoid main() { }",
+		"out vec4 c; uniform float myfloat2; void main() { c = vec4(myfloat2); }",
 		"",
 		"/* unterminated",
 		"//",
@@ -22,7 +26,7 @@ func FuzzDetectLang(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		lang := DetectLang(src)
-		if lang != LangGLSL && lang != LangWGSL {
+		if lang != LangGLSL && lang != LangWGSL && lang != LangHLSL {
 			t.Fatalf("DetectLang returned non-concrete language %v", lang)
 		}
 		// Comments are stripped before detection, so commenting more
@@ -30,7 +34,7 @@ func FuzzDetectLang(f *testing.F) {
 		// is only safe when the input doesn't end mid-comment, which
 		// would swallow the suffix; prepending a fresh line comment
 		// always is.)
-		if got := DetectLang("// swizzle @fragment fn -> void main\n" + src); got != lang {
+		if got := DetectLang("// swizzle @fragment fn -> void main cbuffer float4 SV_Target\n" + src); got != lang {
 			t.Fatalf("prepended comment flipped detection: %v -> %v\nsource:\n%s", lang, got, src)
 		}
 		if lang.Resolve(src) != lang {

@@ -2,10 +2,14 @@ package core
 
 import "testing"
 
-// TestDetectLangTable pins the detection heuristics, including the two
-// historical misclassifications: WGSL entry points that omit @fragment
-// but carry @location/@builtin attributes, and GLSL whose comments
-// mention WGSL syntax (`fn`, `->`, even `@fragment`).
+// TestDetectLangTable pins the three-way detection heuristics, including
+// the historical misclassifications: WGSL entry points that omit
+// @fragment but carry @location/@builtin attributes, GLSL whose comments
+// mention WGSL syntax (`fn`, `->`, even `@fragment`), and — since the
+// third frontend — HLSL sources distinguished from GLSL only by their
+// type vocabulary (float4 vs vec4), from comment-mentions of that
+// vocabulary, and from GLSL identifiers that merely embed an HLSL type
+// name (`myfloat2`).
 func TestDetectLangTable(t *testing.T) {
 	cases := []struct {
 		name string
@@ -75,6 +79,63 @@ func TestDetectLangTable(t *testing.T) {
 		{
 			"unterminated block comment",
 			"void main() { } /* trailing",
+			LangGLSL,
+		},
+		{
+			"hlsl with cbuffer and semantics",
+			"cbuffer B : register(b0) { float k; }\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { return float4(uv, k, 1.0); }\n",
+			LangHLSL,
+		},
+		{
+			// Only the type vocabulary distinguishes this from GLSL: no
+			// cbuffer, no register, no SV_ semantic.
+			"hlsl types only",
+			"float4 main(float2 uv : TEXCOORD0) { return float4(uv, 0.0, 1.0); }\n",
+			LangHLSL,
+		},
+		{
+			"hlsl texture objects",
+			"Texture2D tex;\nSamplerState s;\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { return tex.Sample(s, uv); }\n",
+			LangHLSL,
+		},
+		{
+			// `void main` exists (a helper-style entry), but SV_ output
+			// semantics make it HLSL; HLSL must be checked before the GLSL
+			// `void main` heuristic.
+			"hlsl with void main and SV_ semantic",
+			"void main(float2 uv : TEXCOORD0, out float4 c : SV_Target) { c = float4(uv, 0.0, 1.0); }\n",
+			LangHLSL,
+		},
+		{
+			// Regression: HLSL type names in comments are not code.
+			"glsl mentioning float4 in a comment",
+			"// ported from HLSL: float4 main(float2 uv) : SV_Target\n#version 330\nout vec4 c;\nvoid main() { c = vec4(1.0); }\n",
+			LangGLSL,
+		},
+		{
+			// Regression: an identifier embedding an HLSL type name is not
+			// an HLSL marker — word boundaries matter.
+			"glsl with hlsl-ish identifier",
+			"out vec4 c;\nuniform float myfloat2;\nvoid main() { c = vec4(myfloat2); }\n",
+			LangGLSL,
+		},
+		{
+			// Ambiguous soup: WGSL attributes win over HLSL vocabulary, so a
+			// WGSL shader whose comments mention float4 stays WGSL.
+			"wgsl mentioning hlsl types in comments",
+			"// HLSL twin uses float4 and SV_Target\n@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }\n",
+			LangWGSL,
+		},
+		{
+			"hlsl register binding only",
+			"Texture2D t : register(t0);\nSamplerState s;\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { return t.Sample(s, uv); }\n",
+			LangHLSL,
+		},
+		{
+			// Regression: "SV_" must match only at a word boundary — a
+			// GLSL identifier containing the substring is not a semantic.
+			"glsl identifier containing SV_",
+			"out vec4 c;\nuniform float uSV_offset;\nvoid main() { c = vec4(uSV_offset); }\n",
 			LangGLSL,
 		},
 	}

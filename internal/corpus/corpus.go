@@ -13,6 +13,7 @@ import (
 
 	"shaderopt/internal/core"
 	"shaderopt/internal/glsl"
+	"shaderopt/internal/hlsl"
 	"shaderopt/internal/pp"
 	"shaderopt/internal/wgsl"
 )
@@ -25,16 +26,16 @@ type Shader struct {
 	// Family groups übershader instances.
 	Family string
 	// Lang is the source language (GLSL for the übershader families, WGSL
-	// for the wgsl family).
+	// for the wgsl family, HLSL for the hlsl family).
 	Lang core.Lang
 	// Defines are the specialization knobs applied to the family template
-	// (GLSL families only; WGSL has no preprocessor).
+	// (GLSL families only; the WGSL and HLSL entries are pre-specialized).
 	Defines map[string]string
 	// Source is the compile-ready source text (preprocessed, for GLSL).
 	Source string
 	// Lines is the paper's Fig. 4a metric (executable lines after
-	// preprocessing; for WGSL, of the canonical lowered form, so the
-	// metric is comparable across languages).
+	// preprocessing; for WGSL and HLSL, of the canonical lowered form, so
+	// the metric is comparable across languages).
 	Lines int
 }
 
@@ -282,6 +283,23 @@ func Load() ([]*Shader, error) {
 			Lines:  glsl.CountLines(sh),
 		})
 	}
+	for _, e := range hlslEntries() {
+		m, err := hlsl.Parse(e.source)
+		if err != nil {
+			return nil, fmt.Errorf("hlsl/%s: parse: %w", e.name, err)
+		}
+		sh, err := hlsl.Translate(m)
+		if err != nil {
+			return nil, fmt.Errorf("hlsl/%s: translate: %w", e.name, err)
+		}
+		out = append(out, &Shader{
+			Name:   "hlsl/" + e.name,
+			Family: "hlsl",
+			Lang:   core.LangHLSL,
+			Source: e.source,
+			Lines:  glsl.CountLines(sh),
+		})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
@@ -308,7 +326,7 @@ func FamilyNames() []string {
 			names = append(names, g.Family)
 		}
 	}
-	names = append(names, "wgsl")
+	names = append(names, "wgsl", "hlsl")
 	sort.Strings(names)
 	return names
 }

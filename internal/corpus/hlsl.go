@@ -1,0 +1,115 @@
+package corpus
+
+// The HLSL slice of the corpus: fragment (pixel) shaders written natively
+// in HLSL, run through the same exhaustive flag study as the GLSL and
+// WGSL suites via the hlsl frontend. The family is a hand-specialized
+// port of the GLSL tonemap übershader family — instance for instance,
+// same math, same uniform interface — so flag effectiveness is directly
+// comparable across source languages: each hlsl/<instance> must produce
+// exactly as many distinct variants as its tonemap/<instance> source (a
+// cross-language fingerprint the equivalence suite pins).
+//
+// HLSL has no preprocessor in the subset, so the #if OPERATOR / #ifdef
+// GAMMA / #ifdef VIGNETTE specializations of the GLSL template appear
+// here pre-expanded, exactly as the preprocessor would leave them.
+
+type hlslEntry struct {
+	name   string
+	source string
+}
+
+func hlslEntries() []hlslEntry {
+	return []hlslEntry{
+		{"reinhard", hlslReinhard},
+		{"reinhard_ext", hlslReinhardExt},
+		{"filmic", hlslFilmic},
+		{"reinhard_gamma", hlslReinhardGamma},
+		{"filmic_gamma", hlslFilmicGamma},
+		{"filmic_full", hlslFilmicFull},
+	}
+}
+
+// hlslHeader is the shared interface of the family: the HDR source
+// texture with its sampler state, the tonemap constant block, and the
+// luminance helper (the port of the GLSL template's shared prelude).
+const hlslHeader = `
+Texture2D hdrTex : register(t0);
+SamplerState hdrSmp : register(s0);
+
+cbuffer Tonemap : register(b0) {
+    float exposure;
+    float whitePoint;
+};
+
+float luminance(float3 c) {
+    return dot(c, float3(0.2126, 0.7152, 0.0722));
+}
+`
+
+// hlslReinhard ports tonemap/reinhard (OPERATOR == 0).
+const hlslReinhard = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float3 mapped = hdr / (hdr + float3(1.0, 1.0, 1.0));
+    return float4(mapped, 1.0);
+}
+`
+
+// hlslReinhardExt ports tonemap/reinhard_ext (OPERATOR == 1): the
+// extended Reinhard operator with a white-point term.
+const hlslReinhardExt = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float l = luminance(hdr);
+    float lm = l * (1.0 + l / (whitePoint * whitePoint)) / (1.0 + l);
+    float3 mapped = hdr * (lm / (l + 0.0001));
+    return float4(mapped, 1.0);
+}
+`
+
+// hlslFilmic ports tonemap/filmic (OPERATOR == 2): the Hejl/Burgess-Dawson
+// curve with the gamma baked into the fit.
+const hlslFilmic = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float3 x = max(float3(0.0, 0.0, 0.0), hdr - 0.004);
+    float3 mapped = (x * (6.2 * x + 0.5)) / (x * (6.2 * x + 1.7) + 0.06);
+    return float4(mapped, 1.0);
+}
+`
+
+// hlslReinhardGamma ports tonemap/reinhard_gamma (OPERATOR == 0 + GAMMA).
+const hlslReinhardGamma = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float3 mapped = hdr / (hdr + float3(1.0, 1.0, 1.0));
+    mapped = pow(mapped, float3(1.0 / 2.2, 1.0 / 2.2, 1.0 / 2.2));
+    return float4(mapped, 1.0);
+}
+`
+
+// hlslFilmicGamma ports tonemap/filmic_gamma (OPERATOR == 2 + GAMMA).
+const hlslFilmicGamma = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float3 x = max(float3(0.0, 0.0, 0.0), hdr - 0.004);
+    float3 mapped = (x * (6.2 * x + 0.5)) / (x * (6.2 * x + 1.7) + 0.06);
+    mapped = pow(mapped, float3(1.0 / 2.2, 1.0 / 2.2, 1.0 / 2.2));
+    return float4(mapped, 1.0);
+}
+`
+
+// hlslFilmicFull ports tonemap/filmic_full (OPERATOR == 2 + GAMMA +
+// VIGNETTE).
+const hlslFilmicFull = hlslHeader + `
+float4 main(float2 uv : TEXCOORD0) : SV_Target {
+    float3 hdr = hdrTex.Sample(hdrSmp, uv).rgb * exposure;
+    float3 x = max(float3(0.0, 0.0, 0.0), hdr - 0.004);
+    float3 mapped = (x * (6.2 * x + 0.5)) / (x * (6.2 * x + 1.7) + 0.06);
+    mapped = pow(mapped, float3(1.0 / 2.2, 1.0 / 2.2, 1.0 / 2.2));
+    float2 d = uv - float2(0.5, 0.5);
+    float vig = 1.0 - dot(d, d) * 0.7;
+    mapped = mapped * vig;
+    return float4(mapped, 1.0);
+}
+`

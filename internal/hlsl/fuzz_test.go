@@ -1,0 +1,94 @@
+package hlsl_test
+
+// Native Go fuzz targets for the HLSL frontend. Three layers, each with
+// its own invariant, mirroring the WGSL targets:
+//
+//   - FuzzHLSLLexer: LexAll never panics on arbitrary input.
+//   - FuzzHLSLParse: Parse never panics; rejection is an error, not a
+//     crash.
+//   - FuzzHLSLCompileRoundTrip: any input the full frontend accepts must
+//     survive the study pipeline — the lowered IR verifies, and its
+//     generated desktop GLSL re-parses and re-lowers cleanly (the
+//     interchange form every simulated driver consumes must never be
+//     rejected downstream).
+//
+// Seed corpora live under testdata/fuzz/<FuzzTarget>/ (checked in) and
+// are topped up here with the native HLSL corpus shaders. CI runs a short
+// -fuzztime smoke per target; `go test -fuzz FuzzHLSLX ./internal/hlsl`
+// runs an open-ended campaign.
+
+import (
+	"testing"
+
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/glslgen"
+	"shaderopt/internal/hlsl"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/passes"
+)
+
+// seedHLSL adds the native HLSL corpus plus grammar-corner snippets.
+func seedHLSL(f *testing.F) {
+	f.Helper()
+	for _, s := range corpus.MustLoad() {
+		if s.Lang.String() == "hlsl" {
+			f.Add(s.Source)
+		}
+	}
+	for _, s := range []string{
+		"float4 main(float2 uv : TEXCOORD0) : SV_Target { return float4(uv, 0.0, 1.0); }",
+		"cbuffer B : register(b0) { float k; }\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target {\n  float acc = 0.0;\n  [unroll] for (int i = 0; i < 4; i++) { acc += float(i) * k; }\n  if (acc > 1.0) { discard; }\n  return float4(acc, acc, acc, 1.0);\n}",
+		"float helper(float x) { return x > 0.5 ? 1.0 - x : x; }",
+		"static const float w[3] = {0.25, 0.5, 0.25};",
+		"// comment only",
+		"Texture2D tex; SamplerState s;\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { float3 v = tex.Sample(s, uv).xxy; return float4(v, 1.0); }",
+		"static const float3x3 m = float3x3(1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0);\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { return float4(mul(m, float3(uv, 1.0)), 1.0); }",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzHLSLLexer checks the lexer never panics: every input either
+// tokenizes or fails with an error.
+func FuzzHLSLLexer(f *testing.F) {
+	seedHLSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		hlsl.LexAll(src)
+	})
+}
+
+// FuzzHLSLParse checks the recursive-descent parser never panics, no
+// matter how malformed the token stream.
+func FuzzHLSLParse(f *testing.F) {
+	seedHLSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		hlsl.Parse(src)
+	})
+}
+
+// FuzzHLSLCompileRoundTrip checks the full-frontend invariant: accepted
+// input lowers to verifiable IR whose generated GLSL re-parses and
+// re-lowers cleanly.
+func FuzzHLSLCompileRoundTrip(f *testing.F) {
+	seedHLSL(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := hlsl.Compile(src, "fuzz")
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if err := prog.Verify(); err != nil {
+			t.Fatalf("accepted HLSL lowered to invalid IR: %v\nsource:\n%s", err, src)
+		}
+		// The driver-visible translation: the unoptimized pipeline baseline.
+		passes.Run(prog, passes.NoFlags)
+		out := glslgen.Generate(prog, glslgen.Desktop)
+		sh, err := glsl.Parse(out)
+		if err != nil {
+			t.Fatalf("generated GLSL does not re-parse: %v\nHLSL:\n%s\nGLSL:\n%s", err, src, out)
+		}
+		if _, err := lower.Lower(sh, "fuzz-reparse"); err != nil {
+			t.Fatalf("generated GLSL does not re-lower: %v\nHLSL:\n%s\nGLSL:\n%s", err, src, out)
+		}
+	})
+}

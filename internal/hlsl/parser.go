@@ -1,0 +1,804 @@
+package hlsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the HLSL subset.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a complete HLSL module.
+func Parse(src string) (*Module, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	m := &Module{}
+	for p.cur().Kind != EOF {
+		d := p.parseDecl()
+		if d != nil {
+			m.Decls = append(m.Decls, d)
+		}
+		if len(p.errs) > 8 {
+			break
+		}
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return m, nil
+}
+
+// MustParse parses src and panics on error. For tests and fixed sources.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *Parser) cur() Token {
+	if p.pos >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekTok(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// accept consumes the next token if it is punctuation or keyword text.
+func (p *Parser) accept(text string) bool {
+	t := p.cur()
+	if (t.Kind == Punct || t.Kind == Keyword) && t.Text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) Token {
+	t := p.cur()
+	if (t.Kind == Punct || t.Kind == Keyword) && t.Text == text {
+		return p.next()
+	}
+	p.errorf(t.Pos, "expected %q, found %s", text, t)
+	return t
+}
+
+// sync skips tokens until after the next semicolon or closing brace.
+func (p *Parser) sync() {
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			return
+		}
+		p.next()
+		if t.Kind == Punct && (t.Text == ";" || t.Text == "}") {
+			return
+		}
+	}
+}
+
+// --- Declarations ---
+
+func (p *Parser) parseDecl() Decl {
+	t := p.cur()
+	if t.Kind == Punct && t.Text == ";" {
+		p.next()
+		return nil
+	}
+	if t.Kind == Keyword {
+		switch t.Text {
+		case "cbuffer", "tbuffer":
+			return p.parseCBuffer()
+		case "static", "const", "uniform":
+			return p.parseGlobalVar()
+		case "struct", "typedef":
+			p.errorf(t.Pos, "%s declarations are outside the supported subset", t.Text)
+			p.sync()
+			return nil
+		}
+		p.errorf(t.Pos, "unexpected keyword %q at module scope", t.Text)
+		p.sync()
+		return nil
+	}
+	if t.Kind == Ident && IsTypeName(t.Text) {
+		// `Type Name (` starts a function; anything else is a global.
+		if p.peekTok(1).Kind == Ident && p.peekTok(2).Kind == Punct && p.peekTok(2).Text == "(" {
+			return p.parseFn()
+		}
+		return p.parseGlobalVar()
+	}
+	p.errorf(t.Pos, "expected declaration, found %s", t)
+	p.sync()
+	return nil
+}
+
+// parseAnnots parses a run of `: NAME` annotations after a declarator or
+// function signature: semantics (TEXCOORD0, SV_Target) are returned as
+// semantic, register(...) bindings as register; packoffset(...) is
+// accepted and dropped.
+func (p *Parser) parseAnnots() (semantic, register string) {
+	for p.cur().Kind == Punct && p.cur().Text == ":" {
+		p.next()
+		nm := p.cur()
+		if nm.Kind != Ident && nm.Kind != Keyword {
+			p.errorf(nm.Pos, "expected annotation after ':', found %s", nm)
+			return
+		}
+		p.next()
+		switch nm.Text {
+		case "register", "packoffset":
+			p.expect("(")
+			var args []string
+			for !p.accept(")") {
+				if p.cur().Kind == EOF {
+					p.errorf(p.cur().Pos, "unterminated %s annotation", nm.Text)
+					return
+				}
+				tok := p.next()
+				if tok.Kind == Punct && tok.Text == "," {
+					continue
+				}
+				args = append(args, tok.Text)
+			}
+			if nm.Text == "register" && len(args) > 0 {
+				register = args[0]
+			}
+		default:
+			semantic = nm.Text
+		}
+	}
+	return
+}
+
+// parseCBuffer parses `cbuffer Name [: register(bN)] { members };`.
+func (p *Parser) parseCBuffer() Decl {
+	t := p.next() // cbuffer / tbuffer
+	name := p.cur()
+	if name.Kind != Ident {
+		p.errorf(name.Pos, "expected cbuffer name, found %s", name)
+		p.sync()
+		return nil
+	}
+	p.next()
+	_, register := p.parseAnnots()
+	d := &CBufferDecl{Pos: t.Pos, Name: name.Text, Register: register}
+	p.expect("{")
+	for !p.accept("}") {
+		if p.cur().Kind == EOF {
+			p.errorf(p.cur().Pos, "unterminated cbuffer %q", d.Name)
+			return d
+		}
+		if p.accept(";") {
+			continue
+		}
+		ty := p.parseType()
+		if ty == nil {
+			p.sync()
+			continue
+		}
+		mn := p.cur()
+		if mn.Kind != Ident {
+			p.errorf(mn.Pos, "expected member name, found %s", mn)
+			p.sync()
+			continue
+		}
+		p.next()
+		arrayLen := p.parseArraySuffix()
+		p.parseAnnots() // packoffset is a layout detail; drop it
+		p.expect(";")
+		d.Members = append(d.Members, CBufferMember{Pos: mn.Pos, Type: ty, Name: mn.Text, ArrayLen: arrayLen})
+	}
+	p.accept(";") // trailing semicolon is conventional but optional
+	return d
+}
+
+// parseGlobalVar parses `[static] [const] [uniform] type name [N]
+// [: register(...)] [= init];` at module scope.
+func (p *Parser) parseGlobalVar() Decl {
+	start := p.cur().Pos
+	var isStatic, isConst bool
+	for {
+		t := p.cur()
+		if t.Kind != Keyword {
+			break
+		}
+		switch t.Text {
+		case "static":
+			isStatic = true
+		case "const":
+			isConst = true
+		case "uniform":
+			// explicit uniform is the default storage for globals
+		default:
+			p.errorf(t.Pos, "unexpected %q in global declaration", t.Text)
+			p.sync()
+			return nil
+		}
+		p.next()
+	}
+	ty := p.parseType()
+	if ty == nil {
+		p.sync()
+		return nil
+	}
+	name := p.cur()
+	if name.Kind != Ident {
+		p.errorf(name.Pos, "expected variable name, found %s", name)
+		p.sync()
+		return nil
+	}
+	p.next()
+	arrayLen := p.parseArraySuffix()
+	_, register := p.parseAnnots()
+	var init Expr
+	if p.accept("=") {
+		init = p.parseInitializer()
+	}
+	p.expect(";")
+	return &GlobalVar{
+		Pos: start, Static: isStatic, Const: isConst,
+		Type: ty, Name: name.Text, ArrayLen: arrayLen,
+		Register: register, Init: init,
+	}
+}
+
+func (p *Parser) parseFn() Decl {
+	ret := p.parseType()
+	name := p.next() // checked Ident by the caller
+	fn := &FnDecl{Pos: name.Pos, Ret: ret, Name: name.Text}
+	p.expect("(")
+	if !p.accept(")") {
+		for {
+			prm, ok := p.parseParam()
+			if !ok {
+				p.sync()
+				return nil
+			}
+			fn.Params = append(fn.Params, prm)
+			if p.accept(")") {
+				break
+			}
+			p.expect(",")
+		}
+	}
+	fn.RetSemantic, _ = p.parseAnnots()
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseParam() (Param, bool) {
+	var prm Param
+	if t := p.cur(); t.Kind == Keyword && (t.Text == "in" || t.Text == "out" || t.Text == "inout") {
+		prm.Qual = t.Text
+		p.next()
+	}
+	prm.Type = p.parseType()
+	if prm.Type == nil {
+		return prm, false
+	}
+	nm := p.cur()
+	if nm.Kind != Ident {
+		p.errorf(nm.Pos, "expected parameter name, found %s", nm)
+		return prm, false
+	}
+	p.next()
+	prm.Name = nm.Text
+	prm.ArrayLen = p.parseArraySuffix()
+	prm.Semantic, _ = p.parseAnnots()
+	return prm, true
+}
+
+// parseType parses an intrinsic type reference, with an optional template
+// argument for resource types (Texture2D<float4>).
+func (p *Parser) parseType() *TypeExpr {
+	t := p.cur()
+	if t.Kind != Ident || !IsTypeName(t.Text) {
+		p.errorf(t.Pos, "expected type, found %s", t)
+		return nil
+	}
+	p.next()
+	te := &TypeExpr{Pos: t.Pos, Name: t.Text}
+	if p.cur().Kind == Punct && p.cur().Text == "<" && strings.HasPrefix(t.Text, "Texture") {
+		p.next()
+		el := p.cur()
+		if el.Kind != Ident || !IsTypeName(el.Text) {
+			p.errorf(el.Pos, "expected texel type, found %s", el)
+		} else {
+			te.Elem = el.Text
+			p.next()
+		}
+		p.expect(">")
+	}
+	return te
+}
+
+// parseArraySuffix parses an optional C-style `[N]` or `[]` declarator
+// suffix; -1 means no array.
+func (p *Parser) parseArraySuffix() int {
+	if !(p.cur().Kind == Punct && p.cur().Text == "[") {
+		return -1
+	}
+	p.next()
+	if p.accept("]") {
+		return 0
+	}
+	n := p.cur()
+	if n.Kind != IntLit {
+		p.errorf(n.Pos, "expected array length, found %s", n)
+		p.expect("]")
+		return -1
+	}
+	p.next()
+	v, err := strconv.Atoi(strings.TrimRight(n.Text, "uUlL"))
+	if err != nil || v < 1 {
+		p.errorf(n.Pos, "bad array length %q", n.Text)
+		v = 1
+	}
+	p.expect("]")
+	return v
+}
+
+// parseInitializer parses either a brace initializer list or an
+// expression.
+func (p *Parser) parseInitializer() Expr {
+	if p.cur().Kind == Punct && p.cur().Text == "{" {
+		t := p.next()
+		list := &InitListExpr{Pos: t.Pos}
+		for !p.accept("}") {
+			if p.cur().Kind == EOF {
+				p.errorf(p.cur().Pos, "unterminated initializer list")
+				return list
+			}
+			list.Elems = append(list.Elems, p.parseExpr())
+			if !p.accept(",") && !(p.cur().Kind == Punct && p.cur().Text == "}") {
+				p.errorf(p.cur().Pos, "expected ',' or '}' in initializer, found %s", p.cur())
+				return list
+			}
+		}
+		return list
+	}
+	return p.parseExpr()
+}
+
+// --- Statements ---
+
+func (p *Parser) parseBlock() *BlockStmt {
+	open := p.expect("{")
+	blk := &BlockStmt{Pos: open.Pos}
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			p.errorf(t.Pos, "unterminated block")
+			return blk
+		}
+		if t.Kind == Punct && t.Text == "}" {
+			p.next()
+			return blk
+		}
+		s := p.parseStmt()
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		if len(p.errs) > 8 {
+			return blk
+		}
+	}
+}
+
+// skipStmtAttrs drops statement attributes such as [unroll], [loop],
+// [branch], and [flatten]; they are compiler hints with no semantic
+// content in the subset.
+func (p *Parser) skipStmtAttrs() {
+	for p.cur().Kind == Punct && p.cur().Text == "[" && p.peekTok(1).Kind == Ident {
+		switch p.peekTok(1).Text {
+		case "unroll", "loop", "branch", "flatten", "fastopt", "allow_uav_condition":
+		default:
+			return
+		}
+		p.next() // [
+		p.next() // attr name
+		if p.accept("(") {
+			for !p.accept(")") {
+				if p.cur().Kind == EOF {
+					return
+				}
+				p.next()
+			}
+		}
+		p.expect("]")
+	}
+}
+
+func (p *Parser) parseStmt() Stmt {
+	p.skipStmtAttrs()
+	t := p.cur()
+	switch {
+	case t.Kind == Punct && t.Text == "{":
+		return p.parseBlock()
+	case t.Kind == Punct && t.Text == ";":
+		p.next()
+		return nil
+	case t.Kind == Keyword:
+		switch t.Text {
+		case "const", "static":
+			return p.parseLocalDeclSemi()
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "return":
+			p.next()
+			var res Expr
+			if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+				res = p.parseExpr()
+			}
+			p.expect(";")
+			return &ReturnStmt{Pos: t.Pos, Result: res}
+		case "discard":
+			p.next()
+			p.expect(";")
+			return &DiscardStmt{Pos: t.Pos}
+		case "break":
+			p.next()
+			p.expect(";")
+			return &BreakStmt{Pos: t.Pos}
+		case "continue":
+			p.next()
+			p.expect(";")
+			return &ContinueStmt{Pos: t.Pos}
+		default:
+			p.errorf(t.Pos, "unexpected keyword %q in statement", t.Text)
+			p.sync()
+			return nil
+		}
+	case t.Kind == Ident && IsTypeName(t.Text) && p.peekTok(1).Kind == Ident:
+		return p.parseLocalDeclSemi()
+	default:
+		return p.parseSimpleStmtSemi()
+	}
+}
+
+// parseLocalDecl parses a C-style local declaration
+// `[static] [const] type name [N] [= init]` without the semicolon.
+func (p *Parser) parseLocalDecl() Stmt {
+	start := p.cur().Pos
+	isConst := false
+	for {
+		t := p.cur()
+		if t.Kind == Keyword && (t.Text == "const" || t.Text == "static") {
+			if t.Text == "const" {
+				isConst = true
+			}
+			p.next()
+			continue
+		}
+		break
+	}
+	ty := p.parseType()
+	if ty == nil {
+		p.sync()
+		return nil
+	}
+	nm := p.cur()
+	if nm.Kind != Ident {
+		p.errorf(nm.Pos, "expected name in declaration, found %s", nm)
+		p.sync()
+		return nil
+	}
+	p.next()
+	arrayLen := p.parseArraySuffix()
+	var init Expr
+	if p.accept("=") {
+		init = p.parseInitializer()
+	}
+	return &DeclStmt{Pos: start, Const: isConst, Type: ty, Name: nm.Text, ArrayLen: arrayLen, Init: init}
+}
+
+func (p *Parser) parseLocalDeclSemi() Stmt {
+	s := p.parseLocalDecl()
+	if s != nil {
+		p.expect(";")
+	}
+	return s
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement,
+// without consuming a trailing semicolon (for `for` headers).
+func (p *Parser) parseSimpleStmt() Stmt {
+	t := p.cur()
+	// Prefix inc/dec: `++i` is as idiomatic as `i++` in for-loop posts;
+	// both desugar to compound assignment (value-position prefix forms
+	// are outside the subset, like all side-effecting expressions).
+	if t.Kind == Punct && (t.Text == "++" || t.Text == "--") {
+		p.next()
+		lhs := p.parsePostfix()
+		op := "+="
+		if t.Text == "--" {
+			op = "-="
+		}
+		return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: op, RHS: &IntLitExpr{Pos: t.Pos, Value: 1}}
+	}
+	lhs := p.parseExpr()
+	cur := p.cur()
+	if cur.Kind == Punct {
+		switch cur.Text {
+		case "=", "+=", "-=", "*=", "/=":
+			p.next()
+			rhs := p.parseExpr()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: cur.Text, RHS: rhs}
+		case "++":
+			p.next()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: "+=", RHS: &IntLitExpr{Pos: cur.Pos, Value: 1}}
+		case "--":
+			p.next()
+			return &AssignStmt{Pos: t.Pos, LHS: lhs, Op: "-=", RHS: &IntLitExpr{Pos: cur.Pos, Value: 1}}
+		}
+	}
+	return &ExprStmt{Pos: t.Pos, X: lhs}
+}
+
+func (p *Parser) parseSimpleStmtSemi() Stmt {
+	s := p.parseSimpleStmt()
+	p.expect(";")
+	return s
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.expect("if")
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	then := p.parseStmtAsBlock()
+	var els Stmt
+	if p.accept("else") {
+		p.skipStmtAttrs()
+		if p.cur().Kind == Keyword && p.cur().Text == "if" {
+			els = p.parseIf()
+		} else {
+			els = p.parseStmtAsBlock()
+		}
+	}
+	return &IfStmt{Pos: t.Pos, Cond: cond, Then: then, Else: els}
+}
+
+// parseStmtAsBlock parses a braced block, or wraps a single unbraced
+// statement (C permits `if (c) discard;`) in a block.
+func (p *Parser) parseStmtAsBlock() *BlockStmt {
+	if p.cur().Kind == Punct && p.cur().Text == "{" {
+		return p.parseBlock()
+	}
+	s := p.parseStmt()
+	blk := &BlockStmt{Pos: p.cur().Pos}
+	if s != nil {
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk
+}
+
+func (p *Parser) parseFor() Stmt {
+	t := p.expect("for")
+	p.expect("(")
+	var init Stmt
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		if c := p.cur(); (c.Kind == Ident && IsTypeName(c.Text) && p.peekTok(1).Kind == Ident) ||
+			(c.Kind == Keyword && (c.Text == "const" || c.Text == "static")) {
+			init = p.parseLocalDecl()
+		} else {
+			init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(";")
+	var cond Expr
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		cond = p.parseExpr()
+	}
+	p.expect(";")
+	var post Stmt
+	if !(p.cur().Kind == Punct && p.cur().Text == ")") {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(")")
+	body := p.parseStmtAsBlock()
+	return &ForStmt{Pos: t.Pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+func (p *Parser) parseWhile() Stmt {
+	t := p.expect("while")
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	body := p.parseStmtAsBlock()
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}
+}
+
+// --- Expressions ---
+
+// Binary operator precedence, higher binds tighter. The ternary ?: sits
+// below all binary operators and associates right.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseTernary() }
+
+func (p *Parser) parseTernary() Expr {
+	cond := p.parseBinary(1)
+	t := p.cur()
+	if t.Kind == Punct && t.Text == "?" {
+		p.next()
+		thn := p.parseTernary()
+		p.expect(":")
+		els := p.parseTernary()
+		return &CondExpr{Pos: t.Pos, Cond: cond, Then: thn, Else: els}
+	}
+	return cond
+}
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return lhs
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &BinaryExpr{Pos: t.Pos, Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	if t.Kind == Punct {
+		switch t.Text {
+		case "-", "!":
+			p.next()
+			return &UnaryExpr{Pos: t.Pos, Op: t.Text, X: p.parseUnary()}
+		case "+":
+			p.next()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return x
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			x = &IndexExpr{Pos: t.Pos, X: x, Index: idx}
+		case ".":
+			p.next()
+			nm := p.cur()
+			if nm.Kind != Ident {
+				p.errorf(nm.Pos, "expected member name after '.', found %s", nm)
+				return x
+			}
+			p.next()
+			if p.cur().Kind == Punct && p.cur().Text == "(" {
+				// Resource method: tex.Sample(samp, uv).
+				call := p.parseCallArgs(t.Pos, nm.Text)
+				x = &MethodCallExpr{Pos: t.Pos, Recv: x, Method: nm.Text, Args: call.Args}
+				continue
+			}
+			x = &MemberExpr{Pos: t.Pos, X: x, Name: nm.Text}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case IntLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "uUlL")
+		var v int64
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			u, err := strconv.ParseUint(text[2:], 16, 64)
+			if err != nil {
+				p.errorf(t.Pos, "bad hex literal %q", t.Text)
+			}
+			v = int64(u)
+		} else {
+			var err error
+			v, err = strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				p.errorf(t.Pos, "bad int literal %q", t.Text)
+			}
+		}
+		return &IntLitExpr{Pos: t.Pos, Value: v}
+	case FloatLit:
+		p.next()
+		text := strings.TrimRight(t.Text, "fFhH")
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLitExpr{Pos: t.Pos, Value: v}
+	case BoolLit:
+		p.next()
+		return &BoolLitExpr{Pos: t.Pos, Value: t.Text == "true"}
+	case Ident:
+		p.next()
+		if p.cur().Kind == Punct && p.cur().Text == "(" {
+			return p.parseCallArgs(t.Pos, t.Text)
+		}
+		return &IdentExpr{Pos: t.Pos, Name: t.Text}
+	case Punct:
+		if t.Text == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errorf(t.Pos, "unexpected token %s in expression", t)
+	p.next()
+	return &IntLitExpr{Pos: t.Pos, Value: 0}
+}
+
+func (p *Parser) parseCallArgs(pos Pos, callee string) *CallExpr {
+	p.expect("(")
+	call := &CallExpr{Pos: pos, Callee: callee}
+	if p.accept(")") {
+		return call
+	}
+	for {
+		call.Args = append(call.Args, p.parseExpr())
+		if p.accept(")") {
+			return call
+		}
+		p.expect(",")
+		if p.cur().Kind == EOF {
+			p.errorf(p.cur().Pos, "unterminated call to %q", callee)
+			return call
+		}
+	}
+}

@@ -521,13 +521,13 @@ func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perSha
 
 // origBaseline returns the unmodified-original baseline for a handle: the
 // source the driver would see without the offline optimizer — the
-// author's GLSL text, or for WGSL the frontend's unoptimized translation,
-// which the enumeration produces as the all-flags-off variant (in that
-// case the variant loop shares the measurement through the session
-// cache). The returned handle is non-nil only when the text is exactly
-// what the handle's IR was lowered from.
+// author's GLSL text, or for translated frontends (WGSL, HLSL) the
+// unoptimized translation, which the enumeration produces as the
+// all-flags-off variant (in that case the variant loop shares the
+// measurement through the session cache). The returned handle is non-nil
+// only when the text is exactly what the handle's IR was lowered from.
 func origBaseline(h *core.Shader, vs *core.VariantSet) (src, hash string, handle *core.Shader) {
-	if h.Lang == core.LangWGSL {
+	if h.Lang != core.LangGLSL {
 		v := vs.VariantFor(core.NoFlags)
 		return v.Source, v.Hash, nil
 	}

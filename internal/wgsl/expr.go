@@ -72,7 +72,7 @@ func (tr *translator) identExpr(e *IdentExpr) (glsl.Expr, sem.Type, error) {
 		return nil, sem.Void, errf(e.Pos, "sampler %q can only appear as a textureSample argument", e.Name)
 	}
 	// Locals bind under localName; module-scope names under their rename.
-	ln := localName(e.Name)
+	ln := tr.localName(e.Name)
 	if t, ok := tr.lookup(ln); ok {
 		return &glsl.IdentExpr{Pos: pos(e.Pos), Name: ln}, t, nil
 	}

@@ -91,6 +91,19 @@ func (tr *translator) rename(name string) string {
 	return nn
 }
 
+// freshName reserves a GLSL-safe module-scope name for a synthesized
+// variable (not a source identifier, so the rename map is bypassed — a
+// user global that happens to share the base name keeps its own slot and
+// the synthesized variable moves aside).
+func (tr *translator) freshName(base string) string {
+	nn := base
+	for glsl.IsKeyword(nn) || glsl.IsTypeName(nn) || sem.IsBuiltin(nn) || tr.taken[nn] {
+		nn += "_w"
+	}
+	tr.taken[nn] = true
+	return nn
+}
+
 func errf(p Pos, format string, args ...any) error {
 	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
 }
@@ -245,7 +258,7 @@ func (tr *translator) helperFn(d *FnDecl) error {
 			return errf(d.Pos, "fn %s param %s: %v", d.Name, p.Name, err)
 		}
 		// Parameters shadow module names; bind without the module rename map.
-		pn := localName(p.Name)
+		pn := tr.localName(p.Name)
 		fn.Params = append(fn.Params, glsl.Param{Type: spec, Name: pn})
 		tr.bind(pn, t)
 	}
@@ -272,7 +285,7 @@ func (tr *translator) entryFn(d *FnDecl) error {
 		if err != nil {
 			return errf(d.Pos, "entry return: %v", err)
 		}
-		outVar = tr.rename("fragColor")
+		outVar = tr.freshName("fragColor")
 		g := &glsl.GlobalVar{Qual: glsl.QualOut, Type: spec, Name: outVar}
 		if a, ok := FindAttr(d.RetAttrs, "location"); ok && len(a.Args) == 1 {
 			g.Layout = "location = " + a.Args[0]
@@ -309,10 +322,14 @@ func (tr *translator) entryFn(d *FnDecl) error {
 	return nil
 }
 
-// localName keeps function-local identifiers GLSL-safe without going
-// through the module rename map (locals may shadow freely).
-func localName(name string) string {
-	for glsl.IsKeyword(name) || glsl.IsTypeName(name) || sem.IsBuiltin(name) {
+// localName keeps function-local identifiers GLSL-safe and clear of
+// every module-level spelling. Steering clear of tr.taken matters for
+// correctness, not just hygiene: the entry return desugars into an
+// assignment to the synthesized out variable by name, so a local that
+// kept a colliding spelling (e.g. one literally named fragColor) would
+// capture that store and the shader would silently output nothing.
+func (tr *translator) localName(name string) string {
+	for glsl.IsKeyword(name) || glsl.IsTypeName(name) || sem.IsBuiltin(name) || tr.taken[name] {
 		name += "_w"
 	}
 	return name
@@ -438,7 +455,7 @@ func (tr *translator) declStmt(p Pos, name string, ty *TypeExpr, init Expr, isLe
 	if err != nil {
 		return nil, errf(p, "%s %s: %v", kindWord(isLet), name, err)
 	}
-	ln := localName(name)
+	ln := tr.localName(name)
 	tr.bind(ln, t)
 	return &glsl.DeclStmt{Pos: pos(p), Const: isLet, Type: spec, Name: ln, Init: gInit}, nil
 }

@@ -189,6 +189,33 @@ fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
 	}
 }
 
+// TestLowerLocalFragColorDoesNotCaptureReturn pins that a function-local
+// named fragColor cannot shadow the synthesized out variable: the entry
+// return desugars into a store to that variable by name, and a capturing
+// local would silently blank the shader's output.
+func TestLowerLocalFragColorDoesNotCaptureReturn(t *testing.T) {
+	prog := compile(t, `
+@fragment
+fn main(@location(0) uv: vec2<f32>) -> @location(0) vec4<f32> {
+    var fragColor: vec4<f32> = vec4<f32>(uv, 0.25, 1.0);
+    return fragColor;
+}`)
+	env := harness.DefaultEnv(prog)
+	env.Inputs[prog.Inputs[0].Name] = ir.FloatConst(0.5, 0.75)
+	res, err := exec.Run(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[prog.Outputs[0].Name]
+	want := [4]float64{0.5, 0.75, 0.25, 1}
+	for i, w := range want {
+		if out.Float(i) != w {
+			t.Fatalf("output = [%v %v %v %v], want %v — local fragColor captured the return store",
+				out.Float(0), out.Float(1), out.Float(2), out.Float(3), want)
+		}
+	}
+}
+
 // TestLowerMatchesGLSLFrontend is the cross-frontend equivalence check:
 // the same shader written in GLSL and WGSL must produce identical
 // interpreter results on a grid of fragments.

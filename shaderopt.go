@@ -1,24 +1,28 @@
 // Package shaderopt is a pure-Go reproduction of the experimental stack
 // from "A Cross-platform Evaluation of Graphics Shader Compiler
 // Optimization" (Crawford & O'Boyle, ISPASS 2018), grown into a
-// multi-frontend compiler study platform: two source language frontends
-// (desktop GLSL and WGSL) lower into one shared optimizer IR, LunarGlass's
-// eight flag-controlled passes (including the paper's custom unsafe
-// floating-point additions) transform it, and the result feeds five
-// simulated GPU platforms with vendor-specific driver compilers and cost
-// models, a timer-query measurement harness, and the exhaustive
+// multi-frontend compiler study platform: three source language frontends
+// (desktop GLSL, WGSL, and HLSL) lower into one shared optimizer IR,
+// LunarGlass's eight flag-controlled passes (including the paper's custom
+// unsafe floating-point additions) transform it, and the result feeds
+// five simulated GPU platforms with vendor-specific driver compilers and
+// cost models, a timer-query measurement harness, and the exhaustive
 // 256-combination iterative-compilation study.
 //
 // The pipeline is frontend-independent past the IR:
 //
 //	GLSL ──parse/check──┐
-//	                    ├──> IR ──passes──> GLSL codegen ──> {desktop driver | ES conversion → mobile driver}
-//	WGSL ──parse/bind───┘
+//	WGSL ──parse/bind───┼──> IR ──passes──> GLSL codegen ──> {desktop driver | ES conversion → mobile driver}
+//	HLSL ──parse/bind───┘
 //
 // so every study artefact — variant enumeration, per-flag attribution,
-// platform measurements, rendered images — is available for both
-// languages. Source language is auto-detected by default and can be
-// pinned with WithLang or the *Lang functions.
+// platform measurements, rendered images — is available for all three
+// languages, and the study can ask how flag effectiveness transfers
+// across source languages (the hlsl corpus family is an
+// instance-for-instance port of the GLSL tonemap family with pinned
+// variant fingerprints, so the comparison is exact). Source language is
+// auto-detected by default and can be pinned with WithLang or the *Lang
+// functions.
 //
 // The study is compile-once / measure-many (256 flag combinations per
 // shader across 5 platforms), so the API is built around compiled
@@ -92,13 +96,17 @@
 //
 //   - Differential equivalence (TestDifferentialEquivalence): the
 //     metamorphic oracle. Every enumerated variant of every corpus shader
-//     — both languages — is re-parsed from its generated text (the exact
-//     bytes a driver receives), rendered through the reference
+//     — all three languages — is re-parsed from its generated text (the
+//     exact bytes a driver receives), rendered through the reference
 //     interpreter, and compared pixel-by-pixel against the unoptimized
 //     shader: bit-for-bit for safe flag sets, within a documented epsilon
 //     for the two unsafe FP flags; and every variant must be accepted by
 //     all five platform drivers. -short runs a representative subset, CI
-//     runs the full corpus.
+//     runs the full corpus. The cross-language suite
+//     (TestHLSLFamilyVariantFingerprints) additionally pins the ported
+//     hlsl corpus family to its GLSL source family: identical
+//     flag→variant partitions and bit-identical renders, so frontend
+//     changes cannot silently alter the optimizable shape of a program.
 //   - Reference-implementation pinning: the pre-memoization enumeration
 //     survives as Shader.LegacyVariants, and
 //     TestMemoizedEnumerationMatchesLegacy pins the trie path
@@ -113,11 +121,12 @@
 //     cache-bound tests pin that LRU eviction — enumeration, lowering,
 //     compile, and measurement-score caches alike — never changes
 //     results, only retention.
-//   - Fuzzing: native go-fuzz targets for both frontends — WGSL lexer,
-//     parser, and compile round trip; GLSL preprocessor, lexer, parser,
-//     and the parse→lower→generate→re-parse round trip — plus
-//     DetectLang, with seed corpora under testdata/fuzz and short smoke
-//     campaigns in CI.
+//   - Fuzzing: native go-fuzz targets for all three frontends — WGSL and
+//     HLSL lexers, parsers, and compile round trips; GLSL preprocessor,
+//     lexer, parser, and the parse→lower→generate→re-parse round trip —
+//     plus the three-way DetectLang, with seed corpora under
+//     testdata/fuzz, short smoke campaigns in CI, and 2-minute campaigns
+//     per target in the nightly workflow.
 //   - Golden files: the Table I / Fig. 3-9 report renderers and the
 //     static-characterization data are compared byte-for-byte against
 //     checked-in goldens (regenerate with -update), so output changes are
@@ -128,7 +137,17 @@
 // falls below the committed factor: TestEnumerationSpeedupRegression
 // (testdata/enum_baseline.json) for variant enumeration, and
 // TestHarnessSpeedupRegression (testdata/harness_baseline.json) for the
-// batched measurement pipeline.
+// batched measurement pipeline. Under GitHub Actions both gates write
+// their measured speedups to the run's step summary.
+//
+// CI is two-stage: a fast `quick` matrix (gofmt, vet, staticcheck,
+// build, -short suite under -race, on Go 1.22/1.23 × ubuntu/macos) gives
+// PR signal in minutes, and the five full-corpus oracles above run
+// behind it in a `gates` job that a broken build never reaches. A
+// nightly workflow runs the full suite per language, 2-minute fuzz
+// campaigns on every target, the complete benchmark run, and uploads the
+// generated study reports (Table I / Fig. 5, per source language) as
+// build artifacts.
 package shaderopt
 
 import (
@@ -176,16 +195,17 @@ const (
 	LangAuto = core.LangAuto
 	LangGLSL = core.LangGLSL
 	LangWGSL = core.LangWGSL
+	LangHLSL = core.LangHLSL
 )
 
-// ParseLang parses a -lang flag value ("auto", "glsl", "wgsl").
+// ParseLang parses a -lang flag value ("auto", "glsl", "wgsl", "hlsl").
 func ParseLang(s string) (Lang, error) { return core.ParseLang(s) }
 
 // DetectLang guesses the source language of a fragment shader.
 func DetectLang(src string) Lang { return core.DetectLang(src) }
 
-// Optimize runs the offline optimizer on fragment shader source (GLSL or
-// WGSL, auto-detected) and returns optimized desktop GLSL — the
+// Optimize runs the offline optimizer on fragment shader source (GLSL,
+// WGSL, or HLSL, auto-detected) and returns optimized desktop GLSL — the
 // interchange form every simulated driver consumes. Convenience wrapper
 // over Compile for one-shot use; compile a handle to reuse the parsed
 // form.
@@ -208,9 +228,15 @@ func OptimizeWGSL(src, name string, flags Flags) (string, error) {
 	return OptimizeLang(src, name, LangWGSL, flags)
 }
 
-// Variants enumerates all 256 flag combinations for a shader (GLSL or
-// WGSL, auto-detected) and deduplicates the distinct outputs (Fig. 4c).
-// Convenience wrapper over Compile for one-shot use.
+// OptimizeHLSL runs the offline optimizer on an HLSL pixel shader and
+// returns optimized desktop GLSL. Convenience wrapper over Compile.
+func OptimizeHLSL(src, name string, flags Flags) (string, error) {
+	return OptimizeLang(src, name, LangHLSL, flags)
+}
+
+// Variants enumerates all 256 flag combinations for a shader (GLSL,
+// WGSL, or HLSL, auto-detected) and deduplicates the distinct outputs
+// (Fig. 4c). Convenience wrapper over Compile for one-shot use.
 func Variants(src, name string) (*core.VariantSet, error) {
 	return VariantsLang(src, name, LangAuto)
 }
@@ -255,10 +281,10 @@ type Measurement = harness.Measurement
 
 // Measure times fragment shader source on a platform under the protocol.
 // GLSL is measured as written (mobile platforms receive it through the
-// GLES conversion pipeline); WGSL input is auto-detected and measured via
-// its unoptimized GLSL translation, the form a driver would see.
-// Convenience wrapper over Compile for one-shot use; compile a handle (or
-// use a Session) to measure many variants without re-parsing.
+// GLES conversion pipeline); WGSL and HLSL input is auto-detected and
+// measured via its unoptimized GLSL translation, the form a driver would
+// see. Convenience wrapper over Compile for one-shot use; compile a
+// handle (or use a Session) to measure many variants without re-parsing.
 func Measure(pl *Platform, src string, cfg Protocol) (*Measurement, error) {
 	sh, err := Compile(src, "measure")
 	if err != nil {
@@ -277,9 +303,9 @@ func Speedup(baselineNS, variantNS float64) float64 {
 func ConvertToES(src, name string) (string, error) { return crossc.ToES(src, name) }
 
 // ToGLSL returns the desktop-GLSL form of a shader: GLSL input passes
-// through untouched; WGSL input is lowered and regenerated unoptimized,
-// the source a driver would actually receive. Convenience wrapper over
-// Compile for one-shot use.
+// through untouched; WGSL and HLSL input is lowered and regenerated
+// unoptimized, the source a driver would actually receive. Convenience
+// wrapper over Compile for one-shot use.
 func ToGLSL(src, name string, lang Lang) (string, error) {
 	return core.ToGLSL(src, name, lang)
 }
@@ -320,12 +346,12 @@ func Sweep(shaders []*corpus.Shader, platforms []*Platform, cfg Protocol) (*sear
 // SweepResult re-exports the study result type.
 type SweepResult = search.Sweep
 
-// Render interprets a fragment shader (GLSL or WGSL, auto-detected)
-// functionally for every pixel of a w×h image with default-initialized
-// uniforms (0.5 floats, the patterned texture) and uv varying over
-// [0,1]². It returns RGBA rows — handy for visually confirming
-// optimization equivalence, including across frontends. Convenience
-// wrapper over Compile for one-shot use.
+// Render interprets a fragment shader (GLSL, WGSL, or HLSL,
+// auto-detected) functionally for every pixel of a w×h image with
+// default-initialized uniforms (0.5 floats, the patterned texture) and uv
+// varying over [0,1]². It returns RGBA rows — handy for visually
+// confirming optimization equivalence, including across frontends.
+// Convenience wrapper over Compile for one-shot use.
 func Render(src, name string, w, h int, flags Flags) ([][][4]float64, error) {
 	sh, err := Compile(src, name)
 	if err != nil {
