@@ -13,6 +13,7 @@ import (
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/harness"
 	"shaderopt/internal/search"
+	"shaderopt/internal/telemetry"
 )
 
 // stepSummary appends a markdown fragment to the file named by
@@ -40,6 +41,40 @@ func gateSummary(gate string, legacy, fast time.Duration, speedup, committed flo
 	return fmt.Sprintf(
 		"### %s\n\n| legacy | optimized | speedup | committed gate |\n|---|---|---|---|\n| %v | %v | %.2fx | %.1fx |\n\n",
 		gate, legacy, fast, speedup, committed)
+}
+
+// cacheSummary renders the session caches' traffic from a telemetry
+// snapshot as the markdown table the benchmark-gate step summary shows
+// next to the speedup numbers: how much of the batched pipeline's win
+// came from each cache.
+func cacheSummary(snap *telemetry.Snapshot) string {
+	var sb strings.Builder
+	sb.WriteString("### Session cache hit rates (batched sweep)\n\n| cache | hits | misses | hit rate |\n|---|---|---|---|\n")
+	for _, name := range []string{"enum", "lowered", "compile", "scores"} {
+		hits := snap.Counters["cache."+name+".hits"]
+		misses := snap.Counters["cache."+name+".misses"]
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %d | %.1f%% |\n", name, hits, misses, rate)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// TestCacheSummaryTable pins the hit-rate table's shape and arithmetic.
+func TestCacheSummaryTable(t *testing.T) {
+	snap := &telemetry.Snapshot{Counters: map[string]int64{
+		"cache.compile.hits":   30,
+		"cache.compile.misses": 10,
+	}}
+	got := cacheSummary(snap)
+	for _, want := range []string{"| cache | hits | misses | hit rate |", "| compile | 30 | 10 | 75.0% |", "| enum | 0 | 0 | 0.0% |"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cache summary missing %q:\n%s", want, got)
+		}
+	}
 }
 
 // TestStepSummaryWritesMarkdown pins the GitHub Actions plumbing: the
@@ -207,12 +242,18 @@ func TestHarnessSpeedupRegression(t *testing.T) {
 		return handles
 	}
 
+	// lastBatched keeps the final batched pass's session so its registry
+	// snapshot can feed the step summary's cache hit-rate table.
+	var lastBatched *search.Session
 	run := func(legacy bool) time.Duration {
 		// Fresh handles and a fresh session per pass: the sweep itself is
 		// cold, but handle compilation and enumeration stay outside the
 		// timed window — they are identical in both pipelines.
 		handles := compileAll()
 		sess := search.NewSession(gpu.Platforms(), search.Options{Cfg: harness.FastConfig(), Workers: 1})
+		if !legacy {
+			lastBatched = sess
+		}
 		start := time.Now()
 		var err error
 		if legacy {
@@ -244,6 +285,7 @@ func TestHarnessSpeedupRegression(t *testing.T) {
 	t.Logf("legacy %v, batched %v: %.2fx (gate %.1fx)", legacy, batched, speedup, base.MinSpeedup)
 	stepSummary(t, gateSummary("Harness benchmark gate (batched sweep vs per-variant legacy)",
 		legacy, batched, speedup, base.MinSpeedup))
+	stepSummary(t, cacheSummary(lastBatched.Metrics()))
 	if speedup < base.MinSpeedup {
 		t.Fatalf("batched measurement pipeline only %.2fx faster than per-variant legacy, below the committed %.1fx gate",
 			speedup, base.MinSpeedup)

@@ -25,6 +25,7 @@ func main() {
 	es := flag.Bool("es", false, "emit OpenGL ES output via the SPIR-V conversion path")
 	variants := flag.Bool("variants", false, "enumerate all 256 flag combinations and list unique variants")
 	vertex := flag.Bool("vertex", false, "also print the auto-generated matching vertex shader")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics table (parse and enumeration counters) to stderr on exit")
 	flag.Parse()
 
 	src, name, err := readInput(flag.Args())
@@ -36,14 +37,20 @@ func main() {
 		fail(err)
 	}
 
+	// One registry observes the run; -metrics renders it on the way out.
+	reg := shaderopt.NewTelemetry()
+	if *metrics {
+		defer func() { fmt.Fprintln(os.Stderr, reg.Snapshot().Table()) }()
+	}
+
 	// One parse serves every mode below: the handle caches the lowered IR.
-	sh, err := shaderopt.Compile(src, name, shaderopt.WithLang(lang))
+	sh, err := shaderopt.Compile(src, name, shaderopt.WithLang(lang), shaderopt.WithTelemetry(reg))
 	if err != nil {
 		fail(err)
 	}
 
 	if *variants {
-		vs := sh.Variants()
+		vs := sh.VariantsT(reg)
 		fmt.Printf("%d unique variants from 256 flag combinations:\n", vs.Unique())
 		for i, v := range vs.Variants {
 			fmt.Printf("%3d. %s  (%d flag sets, canonical: %v)\n", i+1, v.Hash, len(v.FlagSets), v.Canonical())

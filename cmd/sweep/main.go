@@ -11,11 +11,16 @@
 //	sweep -exp fig7 -platform ARM
 //	sweep -lang wgsl -exp table1 -fast
 //	sweep -lang hlsl -exp table1,fig5 -fast
+//	sweep -lang glsl -fast -trace out.json -metrics
+//	sweep -fast -debug-addr localhost:6060
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -29,21 +34,78 @@ import (
 	"shaderopt/internal/search"
 )
 
+// cliConfig carries the flag values into run.
+type cliConfig struct {
+	exp, platform, lang string
+	fast                bool
+	workers             int
+	traceOut            string
+	metrics             bool
+	debugAddr           string
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
-	platform := flag.String("platform", "", "restrict per-platform figures (7, 9) to one vendor")
-	lang := flag.String("lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl")
-	fast := flag.Bool("fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
-	workers := flag.Int("workers", 0, "worker pool size for the sweep and the sharded variant enumeration (0 = GOMAXPROCS)")
+	var c cliConfig
+	flag.StringVar(&c.exp, "exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
+	flag.StringVar(&c.platform, "platform", "", "restrict per-platform figures (7, 9) to one vendor")
+	flag.StringVar(&c.lang, "lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl")
+	flag.BoolVar(&c.fast, "fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
+	flag.IntVar(&c.workers, "workers", 0, "worker pool size for the sweep and the sharded variant enumeration (0 = GOMAXPROCS)")
+	flag.StringVar(&c.traceOut, "trace", "", "write the run's spans as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
+	flag.BoolVar(&c.metrics, "metrics", false, "print the end-of-run telemetry metrics table to stdout")
+	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar (/debug/vars) and net/http/pprof (/debug/pprof/) on this address for the run's duration")
 	flag.Parse()
 
-	if err := run(*exp, *platform, *lang, *fast, *workers); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, platformFilter, langFilter string, fast bool, workers int) error {
+func run(c cliConfig) error {
+	expList, platformFilter, langFilter := c.exp, c.platform, c.lang
+	fast, workers := c.fast, c.workers
+
+	// One registry observes the whole run: corpus compiles, enumeration,
+	// driver compiles, and the measurement harness all report into it.
+	reg := shaderopt.NewTelemetry()
+	var tracer *shaderopt.Tracer
+	if c.traceOut != "" {
+		tracer = shaderopt.NewTracer()
+		reg.SetTracer(tracer)
+	}
+	if c.debugAddr != "" {
+		expvar.Publish("shaderopt", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			// expvar and pprof register themselves on the default mux.
+			if err := http.ListenAndServe(c.debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", c.debugAddr)
+	}
+	// finish emits the observability outputs once the run is done; the
+	// snapshot argument lets the sweep path pass the gauge-refreshed one.
+	finish := func(snap *shaderopt.TelemetrySnapshot) error {
+		if c.metrics {
+			fmt.Println(snap.Table())
+		}
+		if c.traceOut != "" {
+			f, err := os.Create(c.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", c.traceOut)
+		}
+		return nil
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -100,7 +162,7 @@ func run(expList, platformFilter, langFilter string, fast bool, workers int) err
 
 	needSweep := has("fig3") || has("fig5") || has("fig6") || has("fig7") || has("fig8") || has("fig9") || has("table1")
 	if !needSweep {
-		return nil
+		return finish(reg.Snapshot())
 	}
 
 	cfg := harness.DefaultConfig()
@@ -112,14 +174,15 @@ func run(expList, platformFilter, langFilter string, fast bool, workers int) err
 	// exactly once, and the event stream gives live per-shader progress —
 	// including how long the sharded variant enumeration took per shader,
 	// so the -workers effect is visible as the sweep streams.
-	handles, err := shaderopt.CompileCorpus(shaders)
+	handles, err := shaderopt.CompileCorpus(shaders, shaderopt.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
 	sess := shaderopt.NewSession(
 		shaderopt.WithProtocol(cfg),
 		shaderopt.WithPlatforms(platforms...),
-		shaderopt.WithWorkers(workers))
+		shaderopt.WithWorkers(workers),
+		shaderopt.WithTelemetry(reg))
 	fmt.Printf("Running exhaustive sweep (256 flag combinations per shader, %d workers)...\n", sess.Workers())
 	sweep, err := sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
 		fmt.Fprintln(os.Stderr, renderEvent(ev))
@@ -128,6 +191,7 @@ func run(expList, platformFilter, langFilter string, fast bool, workers int) err
 		return err
 	}
 	fmt.Fprintln(os.Stderr, renderSummary(sessionStats(sess)))
+	fmt.Fprintln(os.Stderr, renderAggregate(sweep.Stats))
 	fmt.Println()
 
 	if has("table1") || has("fig5") {
@@ -181,5 +245,5 @@ func run(expList, platformFilter, langFilter string, fast bool, workers int) err
 		dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
 		fmt.Println(report.Fig3(gains, vendors, "ARM", dist))
 	}
-	return nil
+	return finish(sess.Metrics())
 }

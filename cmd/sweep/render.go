@@ -41,6 +41,19 @@ func sessionStats(sess *shaderopt.Session) sweepStats {
 	return st
 }
 
+// renderAggregate formats the sweep's final one-line aggregate: corpus
+// size, total unique variants, the overall measurement-cache hit rate,
+// and where the time went — summed per-shader enumeration and
+// measurement wall-clock plus total driver-compile time (read from the
+// gpu.compile histogram of the attached telemetry snapshot). Pure in the
+// stats, so the golden test can pin the format.
+func renderAggregate(st shaderopt.PipelineStats) string {
+	return fmt.Sprintf(
+		"  total: %d shaders, %d unique variants; cache hit rate %.1f%%; enum %.1fms, measure %.1fms, compile %.1fms",
+		st.Shaders, st.UniqueVariants, 100*st.HitRate(),
+		st.EnumMS, st.MeasureMS, st.CompileMS())
+}
+
 // renderSummary formats the end-of-sweep cache accounting.
 func renderSummary(st sweepStats) string {
 	return fmt.Sprintf(

@@ -16,8 +16,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"shaderopt"
+	"shaderopt/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -46,12 +48,24 @@ func TestGoldenProgress(t *testing.T) {
 		enumEntries: 12, enumVariants: 84, enumBound: 16384,
 		scoreEntries: 149, scoreBound: 16384, scoreEvicted: 0,
 	}
+	agg := shaderopt.PipelineStats{
+		Shaders: 12, UniqueVariants: 84,
+		Measured: 149, CacheHits: 11, CompileHits: 15,
+		EnumMS: 245.6, MeasureMS: 1234.5,
+		Metrics: &telemetry.Snapshot{
+			Histograms: map[string]telemetry.HistogramSnapshot{
+				"gpu.compile": {Sum: 456700 * time.Microsecond},
+			},
+		},
+	}
 	var sb strings.Builder
 	for _, ev := range events {
 		sb.WriteString(renderEvent(ev))
 		sb.WriteString("\n")
 	}
 	sb.WriteString(renderSummary(stats))
+	sb.WriteString("\n")
+	sb.WriteString(renderAggregate(agg))
 	sb.WriteString("\n")
 
 	path := filepath.Join("testdata", "progress.golden")

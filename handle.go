@@ -20,6 +20,7 @@ type options struct {
 	workers    int
 	cacheBound int
 	platforms  []*Platform
+	telemetry  *Telemetry
 }
 
 func defaultOptions() options {
@@ -61,6 +62,18 @@ func WithPlatforms(platforms ...*Platform) Option {
 	return func(o *options) { o.platforms = platforms }
 }
 
+// WithTelemetry attaches a telemetry registry: every pipeline layer the
+// call drives reports into it — frontend parse spans and counters for
+// Compile, plus enumeration, cache, driver-compile, and harness metrics
+// for a NewSession sweep — and a tracer attached to the registry
+// (Telemetry.SetTracer) receives the pipeline's spans. Instrumentation
+// never changes results: a traced sweep's scores are byte-identical to
+// an untraced one's. Without this option a session still keeps a private
+// registry, readable through Session.Telemetry.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(o *options) { o.telemetry = reg }
+}
+
 // Shader is a compiled handle: source parsed and lowered exactly once,
 // with every later operation — optimization, variant enumeration,
 // measurement, rendering — derived from the cached IR by
@@ -76,7 +89,7 @@ func Compile(src, name string, opts ...Option) (*Shader, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	h, err := core.Compile(src, name, o.lang)
+	h, err := core.CompileT(o.telemetry, src, name, o.lang)
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +119,11 @@ func (s *Shader) Optimize(flags Flags) string { return s.h.Optimize(flags) }
 // codegen runs once per distinct result. The enumeration runs once per
 // handle and is cached; callers share the result.
 func (s *Shader) Variants() *VariantSet { return s.h.Variants() }
+
+// VariantsT is Variants with a telemetry registry observing the
+// enumeration: the walk that actually runs (the first per handle)
+// records its span and the trie's node/merge/collapse counters.
+func (s *Shader) VariantsT(reg *Telemetry) *VariantSet { return s.h.VariantsT(reg, 1) }
 
 // ToGLSL returns the driver-visible desktop GLSL: the original text for
 // GLSL input, or the cached unoptimized translation for WGSL and HLSL
@@ -185,8 +203,8 @@ type Session struct {
 }
 
 // NewSession creates a measurement session. Options: WithProtocol,
-// WithWorkers, WithPlatforms, WithLang (the default language for
-// Session.Compile).
+// WithWorkers, WithPlatforms, WithTelemetry, WithLang (the default
+// language for Session.Compile).
 func NewSession(opts ...Option) *Session {
 	o := defaultOptions()
 	for _, opt := range opts {
@@ -201,15 +219,17 @@ func NewSession(opts ...Option) *Session {
 			Cfg:        o.cfg,
 			Workers:    o.workers,
 			CacheBound: o.cacheBound,
+			Telemetry:  o.telemetry,
 		}),
 		lang: o.lang,
 	}
 }
 
 // Compile parses and lowers source once under the session's default
-// language (override per call with Compile and WithLang).
+// language (override per call with Compile and WithLang). The parse
+// reports into the session's telemetry registry.
 func (s *Session) Compile(src, name string) (*Shader, error) {
-	return Compile(src, name, WithLang(s.lang))
+	return Compile(src, name, WithLang(s.lang), WithTelemetry(s.inner.Telemetry()))
 }
 
 // Protocol returns the session's measurement protocol.
@@ -248,6 +268,17 @@ func (s *Session) CompileCacheStats() (hits, misses int64, entries, bound int) {
 func (s *Session) EnumCacheStats() (entries, variants, bound int) {
 	return s.inner.EnumCacheStats()
 }
+
+// Telemetry returns the session's registry — the one passed through
+// WithTelemetry, or the private registry the session created. All the
+// *CacheStats accessors above are thin wrappers over its counters.
+func (s *Session) Telemetry() *Telemetry { return s.inner.Telemetry() }
+
+// Metrics refreshes the cache-occupancy gauges and snapshots the
+// session's telemetry registry: every counter, gauge, and duration
+// histogram the pipeline layers recorded. Render it with
+// TelemetrySnapshot.Table.
+func (s *Session) Metrics() *TelemetrySnapshot { return s.inner.Metrics() }
 
 // Variants returns a shader's variant enumeration through the session's
 // LRU cache, sharding the memoized trie walk across the session's worker

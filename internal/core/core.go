@@ -19,6 +19,7 @@ import (
 	"shaderopt/internal/ir"
 	"shaderopt/internal/lower"
 	"shaderopt/internal/passes"
+	"shaderopt/internal/telemetry"
 )
 
 // Flags re-exports the optimizer flag set for API convenience.
@@ -52,8 +53,10 @@ func Lower(src, name string) (*ir.Program, error) {
 	return LowerLang(src, name, LangAuto)
 }
 
-func lowerGLSL(src, name string) (*ir.Program, error) {
-	frontendParses.Add(1)
+func lowerGLSL(reg *telemetry.Registry, src, name string) (*ir.Program, error) {
+	countParse(reg, LangGLSL)
+	span := reg.StartSpan("parse glsl", "frontend").Arg("shader", name)
+	defer span.End()
 	sh, err := glsl.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -63,6 +66,16 @@ func lowerGLSL(src, name string) (*ir.Program, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return prog, nil
+}
+
+// countParse records one frontend parse+lower run: the process-wide
+// FrontendParses counter (the one-parse-per-shader invariant tests pin)
+// and, when a registry is threaded in, the per-language registry
+// counters that generalize it.
+func countParse(reg *telemetry.Registry, lang Lang) {
+	frontendParses.Add(1)
+	reg.Counter("frontend.parses").Inc()
+	reg.Counter("frontend.parses." + lang.String()).Inc()
 }
 
 // Variant is one distinct optimization output for a shader.

@@ -9,6 +9,7 @@ import (
 	"shaderopt/internal/glslgen"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/passes"
+	"shaderopt/internal/telemetry"
 )
 
 // The exhaustive flag enumeration is the hot path of a cold sweep: naively
@@ -69,11 +70,20 @@ func FingerprintIR(p *ir.Program) string { return irFingerprint(p) }
 // enumerateFromIR runs the exhaustive flag enumeration from an already
 // lowered base program, sharding the trie walk across `workers`
 // goroutines (<= 1 runs inline). The result is independent of the worker
-// count and byte-identical to legacyEnumerateFromIR.
-func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
+// count and byte-identical to legacyEnumerateFromIR. reg, when non-nil,
+// receives an "enumerate" span plus the walk's structural counters —
+// distinct nodes, step applications, no-op subtree collapses, and
+// fingerprint merges — which together say how hard the DAG collapse
+// worked for this shader; instrumentation never influences the walk.
+func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, workers int) *VariantSet {
+	span := reg.StartSpan("enumerate", "enum").Arg("shader", name).Arg("workers", workers)
+	defer span.End()
+	var stepsApplied, collapses, merges, nodes int64
+
 	pre := base.Clone()
 	passes.Prepare(pre)
 	root := &enumNode{prog: pre, fp: irFingerprint(pre)}
+	nodes++ // the root is the first distinct IR state
 
 	combos := passes.AllCombinations()
 	// assign tracks, per combination, the DAG node holding its IR after
@@ -94,6 +104,7 @@ func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
 		parallelFor(workers, len(parents), func(i int) {
 			children[i] = applyStep(parents[i], st)
 		})
+		stepsApplied += int64(len(parents))
 
 		// Merge by fingerprint: a child that lands on an existing node's
 		// state (typically its own parent, when the pass was a no-op)
@@ -105,10 +116,17 @@ func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
 		onChild := make(map[*enumNode]*enumNode, len(parents))
 		for i, par := range parents {
 			ch := children[i]
-			if existing, ok := byFP[ch.fp]; ok {
+			if ch == par {
+				// No-op pass: the whole subtree collapses onto the parent.
+				collapses++
+			} else if existing, ok := byFP[ch.fp]; ok {
+				// Convergent prefix: a different path already produced this
+				// IR state; share all downstream work with it.
+				merges++
 				ch = existing
 			} else {
 				byFP[ch.fp] = ch
+				nodes++
 			}
 			onChild[par] = ch
 		}
@@ -134,6 +152,16 @@ func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
 		outOf[leaf] = outs[i]
 	}
 
+	// The structural counters are accumulated locally and published once:
+	// the hot loop pays no atomic traffic, and a nil registry costs only
+	// these adds.
+	reg.Counter("enum.runs").Inc()
+	reg.Counter("enum.nodes").Add(nodes)
+	reg.Counter("enum.steps").Add(stepsApplied)
+	reg.Counter("enum.collapses").Add(collapses)
+	reg.Counter("enum.merges").Add(merges)
+	reg.Counter("enum.leaves").Add(int64(len(leaves)))
+
 	// Assemble exactly like the legacy path: walk combinations in
 	// ascending order, deduplicating by generated-source hash (distinct
 	// leaf IRs can still print identical source).
@@ -151,6 +179,7 @@ func enumerateFromIR(base *ir.Program, name string, workers int) *VariantSet {
 		v.FlagSets = append(v.FlagSets, flags)
 		vs.ByFlags[flags] = v
 	}
+	reg.Counter("enum.variants").Add(int64(vs.Unique()))
 	return vs
 }
 

@@ -7,6 +7,7 @@ import (
 	"shaderopt/internal/glslgen"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/passes"
+	"shaderopt/internal/telemetry"
 )
 
 // frontendParses counts source-language frontend parses (GLSL, WGSL, or
@@ -47,8 +48,15 @@ type Shader struct {
 // Compile parses and lowers source once, returning the handle every other
 // operation reuses. lang may be LangAuto.
 func Compile(src, name string, lang Lang) (*Shader, error) {
+	return CompileT(nil, src, name, lang)
+}
+
+// CompileT is Compile with a telemetry registry threaded in: the single
+// frontend parse records its per-language span and counters. A nil
+// registry records nothing.
+func CompileT(reg *telemetry.Registry, src, name string, lang Lang) (*Shader, error) {
 	resolved := lang.Resolve(src)
-	base, err := LowerLang(src, name, resolved)
+	base, err := LowerLangT(reg, src, name, resolved)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +96,16 @@ func (s *Shader) Variants() *VariantSet { return s.VariantsN(1) }
 // the worker count; the first enumeration wins and is cached for the
 // handle's lifetime.
 func (s *Shader) VariantsN(workers int) *VariantSet {
+	return s.VariantsT(nil, workers)
+}
+
+// VariantsT is VariantsN with a telemetry registry threaded in: the
+// enumeration that actually runs (the first per handle — later calls
+// return the memo) records its span and the trie walk's node/merge/
+// collapse counters. A nil registry records nothing.
+func (s *Shader) VariantsT(reg *telemetry.Registry, workers int) *VariantSet {
 	s.variantsOnce.Do(func() {
-		s.variants = enumerateFromIR(s.base, s.Name, workers)
+		s.variants = enumerateFromIR(reg, s.base, s.Name, workers)
 	})
 	return s.variants
 }

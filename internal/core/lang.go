@@ -6,6 +6,7 @@ import (
 
 	"shaderopt/internal/hlsl"
 	"shaderopt/internal/ir"
+	"shaderopt/internal/telemetry"
 	"shaderopt/internal/wgsl"
 )
 
@@ -188,23 +189,34 @@ func (l Lang) Resolve(src string) Lang {
 // LowerLang parses source in the given language (auto-detected when
 // LangAuto) and lowers it to the shared IR.
 func LowerLang(src, name string, lang Lang) (*ir.Program, error) {
+	return LowerLangT(nil, src, name, lang)
+}
+
+// LowerLangT is LowerLang with a telemetry registry threaded in: the
+// parse+lower run records a per-language "parse <lang>" span and the
+// frontend.parses counters. A nil registry records nothing.
+func LowerLangT(reg *telemetry.Registry, src, name string, lang Lang) (*ir.Program, error) {
 	switch lang.Resolve(src) {
 	case LangWGSL:
-		frontendParses.Add(1)
+		countParse(reg, LangWGSL)
+		span := reg.StartSpan("parse wgsl", "frontend").Arg("shader", name)
+		defer span.End()
 		prog, err := wgsl.Compile(src, name)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		return prog, nil
 	case LangHLSL:
-		frontendParses.Add(1)
+		countParse(reg, LangHLSL)
+		span := reg.StartSpan("parse hlsl", "frontend").Arg("shader", name)
+		defer span.End()
 		prog, err := hlsl.Compile(src, name)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		return prog, nil
 	default:
-		return lowerGLSL(src, name)
+		return lowerGLSL(reg, src, name)
 	}
 }
 

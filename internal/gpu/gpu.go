@@ -12,12 +12,14 @@ package gpu
 
 import (
 	"fmt"
+	"time"
 
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/isa"
 	"shaderopt/internal/lower"
 	"shaderopt/internal/passes"
+	"shaderopt/internal/telemetry"
 )
 
 // DriverConfig describes which optimizations a vendor's JIT compiler
@@ -122,7 +124,27 @@ func (pl *Platform) Compile(prog *ir.Program) *Compiled {
 // platform. For input of unknown provenance use Compile. Transforms prog
 // in place; pass a clone if the program is shared.
 func (pl *Platform) CompileCanonical(prog *ir.Program) *Compiled {
-	return pl.compileCanonical(prog)
+	return pl.CompileCanonicalT(nil, prog)
+}
+
+// CompileCanonicalT is CompileCanonical with a telemetry registry
+// threaded in: the vendor pipeline records a per-vendor "compile
+// <vendor>" span, the gpu.compiles counters, and its wall-clock duration
+// in the gpu.compile histogram (whose sum is a sweep's total driver-
+// compile time). A nil registry records nothing; instrumentation never
+// changes the compile.
+func (pl *Platform) CompileCanonicalT(reg *telemetry.Registry, prog *ir.Program) *Compiled {
+	if reg == nil {
+		return pl.compileCanonical(prog)
+	}
+	span := reg.StartSpan("compile "+pl.Vendor, "gpu")
+	start := time.Now()
+	c := pl.compileCanonical(prog)
+	reg.Histogram("gpu.compile").Observe(time.Since(start))
+	reg.Counter("gpu.compiles").Inc()
+	reg.Counter("gpu.compiles." + pl.Vendor).Inc()
+	span.End()
+	return c
 }
 
 // compileCanonical is the vendor-specific tail of the driver pipeline:

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"shaderopt/internal/crossc"
 	"shaderopt/internal/exec"
@@ -20,6 +21,7 @@ import (
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/sem"
+	"shaderopt/internal/telemetry"
 	"shaderopt/internal/timer"
 )
 
@@ -178,8 +180,31 @@ type BatchItem struct {
 // affect any sample. The equivalence is pinned corpus-wide by
 // TestMeasureBatchMatchesPerVariant.
 func MeasureBatch(pl *gpu.Platform, items []BatchItem, cfg Config) []*Measurement {
+	return MeasureBatchT(nil, pl, items, cfg)
+}
+
+// MeasureBatchT is MeasureBatch with a telemetry registry threaded in:
+// the batch records a "measure <vendor>" span carrying the batch size,
+// the harness.batches / harness.batch.items / harness.samples counters,
+// and the wall-clock duration of the whole sample loop in the
+// harness.sample_loop histogram. A nil registry records nothing; the
+// noise streams (and so every sample) are untouched either way.
+func MeasureBatchT(reg *telemetry.Registry, pl *gpu.Platform, items []BatchItem, cfg Config) []*Measurement {
 	if len(items) == 0 {
 		return nil
+	}
+	if reg != nil {
+		span := reg.StartSpan("measure "+pl.Vendor, "harness").Arg("batch", len(items))
+		start := time.Now()
+		defer func() {
+			reg.Histogram("harness.sample_loop").Observe(time.Since(start))
+			span.End()
+		}()
+		reg.Counter("harness.batches").Inc()
+		reg.Counter("harness.batch.items").Add(int64(len(items)))
+		if cfg.Frames > 0 && cfg.Repeats > 0 {
+			reg.Counter("harness.samples").Add(int64(len(items) * cfg.Frames * cfg.Repeats))
+		}
 	}
 	draws := cfg.DesktopDraws
 	if pl.Mobile {

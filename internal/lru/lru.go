@@ -24,6 +24,17 @@ type Cache[K comparable, V any] struct {
 	hits    int64
 	misses  int64
 	evicted int64
+
+	// Optional external event sinks (see Instrument); nil when the cache
+	// is uninstrumented.
+	hitSink, missSink, evictSink Counter
+}
+
+// Counter is the event-sink interface Instrument accepts: anything with
+// an atomic Add, such as a telemetry registry counter. Keeping it an
+// interface keeps this package dependency-free.
+type Counter interface {
+	Add(delta int64)
 }
 
 type entry[K comparable, V any] struct {
@@ -42,6 +53,17 @@ func New[K comparable, V any](maxCost int) *Cache[K, V] {
 	}
 }
 
+// Instrument wires cache events to external counters — hits and misses
+// on Get, evictions on Add — so a session can surface every cache's
+// traffic uniformly through one telemetry registry. Any sink may be nil.
+// Call before the cache is shared; sinks observe events from then on (the
+// internal Stats counters keep counting from zero regardless).
+func (c *Cache[K, V]) Instrument(hits, misses, evictions Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hitSink, c.missSink, c.evictSink = hits, misses, evictions
+}
+
 // Get returns the cached value and marks it most recently used.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
@@ -49,9 +71,15 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
+		if c.hitSink != nil {
+			c.hitSink.Add(1)
+		}
 		return el.Value.(*entry[K, V]).val, true
 	}
 	c.misses++
+	if c.missSink != nil {
+		c.missSink.Add(1)
+	}
 	var zero V
 	return zero, false
 }
@@ -90,6 +118,9 @@ func (c *Cache[K, V]) Add(key K, val V, cost int) {
 		delete(c.items, e.key)
 		c.cost -= e.cost
 		c.evicted++
+		if c.evictSink != nil {
+			c.evictSink.Add(1)
+		}
 	}
 }
 

@@ -111,6 +111,33 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// fakeCounter is a minimal stats sink for Instrument tests.
+type fakeCounter struct{ v int64 }
+
+func (f *fakeCounter) Add(delta int64) { f.v += delta }
+
+func TestInstrumentSinks(t *testing.T) {
+	c := New[string, int](1)
+	var hits, misses, evicts fakeCounter
+	c.Instrument(&hits, &misses, &evicts)
+	c.Get("miss")
+	c.Add("a", 1, 1)
+	c.Get("a")
+	c.Add("b", 2, 1) // evicts a
+	if hits.v != 1 || misses.v != 1 || evicts.v != 1 {
+		t.Fatalf("sinks = %d/%d/%d, want 1/1/1", hits.v, misses.v, evicts.v)
+	}
+	// The internal stats count the same events, and nil sinks are allowed.
+	if h, m, e := c.Stats(); h != 1 || m != 1 || e != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", h, m, e)
+	}
+	c.Instrument(nil, nil, nil)
+	c.Get("b")
+	if hits.v != 1 {
+		t.Fatalf("detached sink advanced: %d", hits.v)
+	}
+}
+
 // TestConcurrentMixedUse drives the cache from many goroutines under -race
 // and checks the bound holds throughout.
 func TestConcurrentMixedUse(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 	"shaderopt/internal/ir"
 	"shaderopt/internal/lru"
 	"shaderopt/internal/passes"
+	"shaderopt/internal/telemetry"
 )
 
 // ShaderResult holds one shader's exhaustive measurements.
@@ -83,11 +84,61 @@ type Sweep struct {
 	Platforms []*gpu.Platform
 	Results   []*ShaderResult
 	Cfg       harness.Config
+	// Stats aggregates where this sweep spent its time and what the
+	// session caches absorbed, with a full telemetry snapshot attached.
+	Stats PipelineStats
 
 	// bestStatic memoizes BestStaticFlags per vendor: the argmax is a full
 	// 256×shaders scan and every Fig. 5/6/7 analysis needs it.
 	staticMu   sync.Mutex
 	bestStatic map[string]staticBest
+}
+
+// PipelineStats is the aggregate observability summary of one sweep: the
+// per-shader SweepEvent stream folded into totals, plus a point-in-time
+// snapshot of the session's telemetry registry (cumulative over the
+// session — reuse a session and the registry keeps counting, while the
+// event-derived totals here are per sweep).
+type PipelineStats struct {
+	// Shaders is the number of handles swept.
+	Shaders int
+	// UniqueVariants sums each swept shader's deduplicated variant count.
+	UniqueVariants int
+	// Measured counts measurements this sweep ran; CacheHits counts the
+	// ones the session measurement cache (or an in-flight wait) absorbed.
+	Measured, CacheHits int64
+	// CompileHits counts driver compiles served from the (vendor, IR
+	// fingerprint) compile cache during this sweep.
+	CompileHits int64
+	// EnumMS and MeasureMS sum the per-shader enumeration and measurement
+	// wall-clock milliseconds (summed across concurrently-swept shaders,
+	// so they can exceed the sweep's wall-clock time).
+	EnumMS, MeasureMS float64
+	// Metrics is the session's telemetry snapshot taken as the sweep
+	// finished: every counter, gauge, and histogram the pipeline layers
+	// recorded (frontend parses, enumeration trie structure, per-cache
+	// hits/misses/evictions, per-vendor compiles, harness batches).
+	Metrics *telemetry.Snapshot
+}
+
+// HitRate returns the measurement-cache hit rate of the sweep in
+// [0, 1] (0 when nothing was looked up).
+func (p PipelineStats) HitRate() float64 {
+	total := p.Measured + p.CacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(p.CacheHits) / float64(total)
+}
+
+// CompileMS returns the sweep's total driver-compile wall-clock
+// milliseconds, read from the gpu.compile histogram of the telemetry
+// snapshot (0 without a snapshot).
+func (p PipelineStats) CompileMS() float64 {
+	if p.Metrics == nil {
+		return 0
+	}
+	return float64(p.Metrics.Histograms["gpu.compile"].Sum.Nanoseconds()) / 1e6
 }
 
 type staticBest struct {
@@ -149,6 +200,14 @@ type Options struct {
 	// OnEvent, when non-nil, receives a SweepEvent as each shader
 	// completes. Callbacks are serialized.
 	OnEvent func(SweepEvent)
+	// Telemetry, when non-nil, is the registry every pipeline layer the
+	// session drives reports into — frontend parses, enumeration trie
+	// counters, per-cache hits/misses/evictions, per-vendor compile
+	// spans and durations, harness batch sizes — and whose attached
+	// tracer (if any) receives the sweep's spans. Nil makes the session
+	// create a private registry, so the stats accessors and Sweep.Stats
+	// always work; read it back through Session.Telemetry.
+	Telemetry *telemetry.Registry
 }
 
 // Session owns the shared state of a measurement campaign: the protocol,
@@ -197,8 +256,17 @@ type Session struct {
 	// the raw (pre-canonicalization) lowering is still in hand.
 	anyMobile bool
 
-	hits, misses               atomic.Int64
-	compileHits, compileMisses atomic.Int64
+	// reg is the session's telemetry registry (Options.Telemetry, or a
+	// private one), the single sink every pipeline layer reports into;
+	// the counters below are its pre-resolved handles for the hot paths.
+	// session.measure.{hits,misses} count measurement-cache traffic at
+	// the session level (an inflight wait is a hit, though the scores
+	// lru never saw it); cache.compile.{hits,misses} are fed by the
+	// compile cache's lru sink, compiledFor being its only reader.
+	reg                        *telemetry.Registry
+	measHits, measMisses       *telemetry.Counter
+	compileHits, compileMisses *telemetry.Counter
+	scoreEvicts                *telemetry.Counter
 }
 
 // frontEnd is the driver front end's cached work for one distinct source
@@ -265,16 +333,65 @@ func NewSession(platforms []*gpu.Platform, opts Options) *Session {
 			anyMobile = true
 		}
 	}
-	return &Session{
-		cfg:       opts.Cfg,
-		workers:   workers,
-		platforms: platforms,
-		anyMobile: anyMobile,
-		scores:    lru.New[measKey, float64](bound),
-		lowered:   lru.New[string, *frontEnd](bound),
-		compiled:  lru.New[compiledKey, *gpu.Compiled](bound),
-		enums:     lru.New[enumKey, *core.VariantSet](bound),
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
+	s := &Session{
+		cfg:           opts.Cfg,
+		workers:       workers,
+		platforms:     platforms,
+		anyMobile:     anyMobile,
+		scores:        lru.New[measKey, float64](bound),
+		lowered:       lru.New[string, *frontEnd](bound),
+		compiled:      lru.New[compiledKey, *gpu.Compiled](bound),
+		enums:         lru.New[enumKey, *core.VariantSet](bound),
+		reg:           reg,
+		measHits:      reg.Counter("session.measure.hits"),
+		measMisses:    reg.Counter("session.measure.misses"),
+		compileHits:   reg.Counter("cache.compile.hits"),
+		compileMisses: reg.Counter("cache.compile.misses"),
+		scoreEvicts:   reg.Counter("cache.scores.evictions"),
+	}
+	instrumentCache(s.scores, reg, "scores")
+	instrumentCache(s.lowered, reg, "lowered")
+	instrumentCache(s.compiled, reg, "compile")
+	instrumentCache(s.enums, reg, "enum")
+	return s
+}
+
+// instrumentCache attaches one session cache's hit/miss/eviction sinks to
+// the uniform cache.<name>.{hits,misses,evictions} registry counters.
+func instrumentCache[K comparable, V any](c *lru.Cache[K, V], reg *telemetry.Registry, name string) {
+	c.Instrument(
+		reg.Counter("cache."+name+".hits"),
+		reg.Counter("cache."+name+".misses"),
+		reg.Counter("cache."+name+".evictions"),
+	)
+}
+
+// Telemetry returns the session's registry: Options.Telemetry when one
+// was supplied, else the private registry the session created. Attach a
+// tracer to it (telemetry.Registry.SetTracer) to capture the sweep's
+// spans; call Metrics for a snapshot with occupancy gauges refreshed.
+func (s *Session) Telemetry() *telemetry.Registry { return s.reg }
+
+// Metrics refreshes the cache.<name>.{entries,cost,bound} occupancy
+// gauges and returns a snapshot of the session's telemetry registry —
+// the consolidated form of every per-layer counter and histogram the
+// pipeline recorded, and the source of truth the legacy *CacheStats
+// accessors now read through.
+func (s *Session) Metrics() *telemetry.Snapshot {
+	occupancy := func(name string, entries, cost, bound int) {
+		s.reg.Gauge("cache." + name + ".entries").Set(int64(entries))
+		s.reg.Gauge("cache." + name + ".cost").Set(int64(cost))
+		s.reg.Gauge("cache." + name + ".bound").Set(int64(bound))
+	}
+	occupancy("scores", s.scores.Len(), s.scores.Cost(), s.scores.Bound())
+	occupancy("lowered", s.lowered.Len(), s.lowered.Cost(), s.lowered.Bound())
+	occupancy("compile", s.compiled.Len(), s.compiled.Cost(), s.compiled.Bound())
+	occupancy("enum", s.enums.Len(), s.enums.Cost(), s.enums.Bound())
+	return s.reg.Snapshot()
 }
 
 // Config returns the session's measurement protocol.
@@ -289,19 +406,21 @@ func (s *Session) Workers() int { return s.workers }
 
 // CacheStats returns how many measurements the session served from cache
 // (including waits on a measurement another shader had in flight) and how
-// many it actually ran.
+// many it actually ran. Superseded by the telemetry registry — this is a
+// thin wrapper over the session.measure.{hits,misses} counters, kept so
+// existing callers read the same numbers from the consolidated source.
 func (s *Session) CacheStats() (hits, misses int64) {
-	return s.hits.Load(), s.misses.Load()
+	return s.measHits.Value(), s.measMisses.Value()
 }
 
 // MeasCacheStats reports the measurement-score cache's occupancy: cached
 // scores, the configured bound (0 = unbounded), and how many scores have
 // been evicted since the session was created. An evicted score is
 // re-measured bit-identically on its next use, so eviction never changes
-// a result.
+// a result. Superseded by the telemetry registry — the eviction count is
+// the cache.scores.evictions counter fed by the cache's stats sink.
 func (s *Session) MeasCacheStats() (entries, bound int, evicted int64) {
-	_, _, ev := s.scores.Stats()
-	return s.scores.Len(), s.scores.Bound(), ev
+	return s.scores.Len(), s.scores.Bound(), s.scoreEvicts.Value()
 }
 
 // CompileCacheStats reports the driver-compile cache: how many vendor
@@ -309,8 +428,11 @@ func (s *Session) MeasCacheStats() (entries, bound int, evicted int64) {
 // (0 = unbounded). A hit means a variant's canonicalized lowering
 // converged to a (vendor, IR fingerprint) pair some other variant already
 // compiled, so the vendor pipeline and cost model were skipped entirely.
+// Superseded by the telemetry registry — a thin wrapper over the
+// cache.compile.{hits,misses} counters (compiledFor is that cache's only
+// reader, so the lru-level sink counts exactly these events).
 func (s *Session) CompileCacheStats() (hits, misses int64, entries, bound int) {
-	return s.compileHits.Load(), s.compileMisses.Load(), s.compiled.Len(), s.compiled.Bound()
+	return s.compileHits.Value(), s.compileMisses.Value(), s.compiled.Len(), s.compiled.Bound()
 }
 
 // EnumCacheStats reports the enumeration cache's occupancy: cached
@@ -338,7 +460,7 @@ func (s *Session) Variants(h *core.Shader) (*core.VariantSet, bool) {
 	if vs, ok := s.enums.Get(key); ok {
 		return vs, true
 	}
-	vs := h.VariantsN(s.workers)
+	vs := h.VariantsT(s.reg, s.workers)
 	s.enums.Add(key, vs, vs.Unique())
 	return vs, false
 }
@@ -404,14 +526,15 @@ func (s *Session) frontEndFor(src, hash string, handle *core.Shader, convertES b
 // pipeline is skipped (CompileCanonical): the input is already the fixed
 // point. The bool reports a cache hit.
 func (s *Session) compiledFor(pl *gpu.Platform, fe *frontEnd) (*gpu.Compiled, bool) {
+	// Hit/miss accounting rides on the cache's lru stats sink
+	// (cache.compile.{hits,misses}): this lookup is the cache's only
+	// reader, so the sink counts exactly these events.
 	key := compiledKey{vendor: pl.Vendor, fp: fe.fp}
 	if c, ok := s.compiled.Get(key); ok {
-		s.compileHits.Add(1)
 		return c, true
 	}
-	c := pl.CompileCanonical(fe.prog.Clone())
+	c := pl.CompileCanonicalT(s.reg, fe.prog.Clone())
 	s.compiled.Add(key, c, 1)
-	s.compileMisses.Add(1)
 	return c, false
 }
 
@@ -490,6 +613,7 @@ func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perSha
 	var wg sync.WaitGroup
 	var done atomic.Int64
 	var eventMu sync.Mutex
+	var stats PipelineStats
 	sem := make(chan struct{}, s.workers)
 	for i, h := range handles {
 		wg.Add(1)
@@ -499,13 +623,22 @@ func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perSha
 			defer func() { <-sem }()
 			var ev SweepEvent
 			results[i], ev, errs[i] = perShader(h)
-			if onEvent != nil && errs[i] == nil {
+			if errs[i] == nil {
 				eventMu.Lock()
 				ev.Shader = h.Name
 				ev.Done = int(done.Add(1))
 				ev.Total = len(handles)
 				ev.Workers = s.workers
-				onEvent(ev)
+				stats.Shaders++
+				stats.UniqueVariants += ev.UniqueVariants
+				stats.Measured += int64(ev.Measured)
+				stats.CacheHits += int64(ev.CacheHits)
+				stats.CompileHits += int64(ev.CompileHits)
+				stats.EnumMS += ev.EnumMS
+				stats.MeasureMS += ev.MeasureMS
+				if onEvent != nil {
+					onEvent(ev)
+				}
 				eventMu.Unlock()
 			}
 		}(i, h)
@@ -516,7 +649,8 @@ func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perSha
 			return nil, fmt.Errorf("%s: %w", handles[i].Name, err)
 		}
 	}
-	return &Sweep{Platforms: s.platforms, Results: results, Cfg: s.cfg}, nil
+	stats.Metrics = s.Metrics()
+	return &Sweep{Platforms: s.platforms, Results: results, Cfg: s.cfg, Stats: stats}, nil
 }
 
 // origBaseline returns the unmodified-original baseline for a handle: the
@@ -541,6 +675,8 @@ func origBaseline(h *core.Shader, vs *core.VariantSet) (src, hash string, handle
 // through the session compile cache and sampled in one batched harness
 // pass.
 func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
+	span := s.reg.StartSpan("sweep "+h.Name, "sweep")
+	defer span.End()
 	enumStart := time.Now()
 	vs, enumCached := s.Variants(h)
 	ev.EnumCached = enumCached
@@ -598,20 +734,20 @@ func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, or
 		key := measKey{vendor: pl.Vendor, hash: sl.hash, cfg: s.cfg}
 		if ns, ok := s.scores.Get(key); ok {
 			sl.ns, sl.done = ns, true
-			s.hits.Add(1)
+			s.measHits.Inc()
 			ev.CacheHits++
 			continue
 		}
 		e, loaded := s.inflight.LoadOrStore(key, &measEntry{done: make(chan struct{})})
 		sl.entry = e.(*measEntry)
 		if loaded {
-			s.hits.Add(1)
+			s.measHits.Inc()
 			ev.CacheHits++
 			continue
 		}
 		sl.owned = true
 		owned = append(owned, i)
-		s.misses.Add(1)
+		s.measMisses.Inc()
 		ev.Measured++
 	}
 
@@ -648,7 +784,7 @@ func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, or
 		items = append(items, harness.BatchItem{Compiled: compiled, SrcForSeed: sl.src})
 		live = append(live, i)
 	}
-	for k, m := range harness.MeasureBatch(pl, items, s.cfg) {
+	for k, m := range harness.MeasureBatchT(s.reg, pl, items, s.cfg) {
 		sl := &slots[live[k]]
 		sl.ns, sl.done = m.Score(), true
 		key := measKey{vendor: pl.Vendor, hash: sl.hash, cfg: s.cfg}

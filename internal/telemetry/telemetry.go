@@ -1,0 +1,410 @@
+// Package telemetry is the pipeline's observability substrate: a
+// dependency-free, concurrency-safe metrics registry (counters, gauges,
+// and fixed-bucket duration histograms with mergeable snapshots) plus a
+// span tracer that emits Chrome trace-event JSON (see trace.go). Every
+// layer of the sweep pipeline — frontends, the enumeration trie, the
+// session caches, the vendor driver compilers, and the measurement
+// harness — records into one Registry threaded down from the Session, so
+// a 256-combination sweep can say exactly where its time and cache
+// traffic went.
+//
+// The package is built for zero-cost-when-disabled instrumentation: every
+// method is safe on a nil receiver and does nothing, so call sites read
+//
+//	reg.Counter("cache.compile.hits").Inc()
+//	span := reg.StartSpan("compile Intel", "gpu")
+//	defer span.End()
+//
+// unconditionally, with a nil *Registry turning the whole line into a few
+// predictable branches. Instrumentation never feeds back into results:
+// metrics observe the pipeline, they do not steer it (a traced sweep's
+// scores are pinned byte-identical to an untraced one).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe for concurrent use and on a nil
+// receiver (no-ops, reading zero).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins instantaneous value (cache occupancy, pool
+// size). The zero value is ready to use; all methods are safe for
+// concurrent use and on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last recorded value (zero on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram bucket upper bounds used when none are
+// given: exponential decades from 1µs to 10s, bracketing everything from
+// a single driver compile to a full-corpus measurement pass.
+func DefaultBuckets() []time.Duration {
+	return []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+		time.Second, 10 * time.Second,
+	}
+}
+
+// Histogram is a fixed-bucket duration histogram: observations are
+// counted into the first bucket whose upper bound is >= the value, with
+// one implicit overflow bucket past the last bound. Count, sum, min, and
+// max are tracked exactly. All methods are safe for concurrent use and on
+// a nil receiver.
+type Histogram struct {
+	bounds []time.Duration // sorted ascending, immutable after creation
+	counts []atomic.Int64  // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // valid when count > 0
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets()
+	}
+	bounds = append([]time.Duration(nil), bounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	atomicMin(&h.min, int64(d))
+	atomicMax(&h.max, int64(d))
+}
+
+// atomicMin lowers dst to v unless an observation at least as low is
+// already recorded. The first observation always wins the CAS against the
+// zero value via the count==0 convention handled in Observe's callers:
+// min is only read when count > 0, and the race between the first two
+// observations settles to the true minimum because both loop.
+func atomicMin(dst *atomic.Int64, v int64) {
+	for {
+		cur := dst.Load()
+		if cur != 0 && cur <= v {
+			return
+		}
+		if dst.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMax raises dst to v; durations are non-negative, so the zero
+// initial value is a valid floor.
+func atomicMax(dst *atomic.Int64, v int64) {
+	for {
+		cur := dst.Load()
+		if v <= cur {
+			return
+		}
+		if dst.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Registry is a named collection of counters, gauges, and histograms,
+// with an optionally attached span Tracer so one handle threads both
+// metrics and tracing through the pipeline. Instruments are created on
+// first use and shared by name. All methods are safe for concurrent use
+// and on a nil receiver (returning nil instruments, whose methods no-op).
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	tracer atomic.Pointer[Tracer]
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (DefaultBuckets when none) on first use. Later
+// calls return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds ...time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetTracer attaches (or, with nil, detaches) the span tracer StartSpan
+// delegates to.
+func (r *Registry) SetTracer(t *Tracer) {
+	if r != nil {
+		r.tracer.Store(t)
+	}
+}
+
+// Tracer returns the attached span tracer, or nil.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// StartSpan opens a span on the attached tracer. With no tracer attached
+// (or a nil registry) it returns a nil span whose methods no-op, so call
+// sites need no conditional.
+func (r *Registry) StartSpan(name, category string) *Span {
+	return r.Tracer().Start(name, category)
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// element, the overflow bucket.
+	Bounds []time.Duration
+	Counts []int64
+	Count  int64
+	Sum    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Mean returns the mean observed duration (zero when empty).
+func (h HistogramSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, safe to read, merge,
+// and render while the registry keeps counting. Snapshots from sharded or
+// sequential runs merge with Merge.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current state. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]time.Duration(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    time.Duration(h.sum.Load()),
+			Min:    time.Duration(h.min.Load()),
+			Max:    time.Duration(h.max.Load()),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Merge folds another snapshot into this one: counters and histogram
+// buckets add (histograms must share bucket bounds; mismatched bounds
+// keep the receiver's buckets and merge only the exact aggregates),
+// gauges take the maximum (they are instantaneous values, and for the
+// occupancy gauges the registry publishes, the high-water mark is the
+// useful aggregate).
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		if v > s.Gauges[name] {
+			s.Gauges[name] = v
+		}
+	}
+	for name, oh := range o.Histograms {
+		sh, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = cloneHistSnapshot(oh)
+			continue
+		}
+		sh.Count += oh.Count
+		sh.Sum += oh.Sum
+		if oh.Count > 0 && (sh.Min == 0 || (oh.Min != 0 && oh.Min < sh.Min)) {
+			sh.Min = oh.Min
+		}
+		if oh.Max > sh.Max {
+			sh.Max = oh.Max
+		}
+		if len(sh.Bounds) == len(oh.Bounds) && boundsEqual(sh.Bounds, oh.Bounds) {
+			for i := range sh.Counts {
+				sh.Counts[i] += oh.Counts[i]
+			}
+		}
+		s.Histograms[name] = sh
+	}
+}
+
+func cloneHistSnapshot(h HistogramSnapshot) HistogramSnapshot {
+	h.Bounds = append([]time.Duration(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
+func boundsEqual(a, b []time.Duration) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the snapshot as an aligned, name-sorted text table — the
+// -metrics output of cmd/sweep. Counters and gauges print their value;
+// histograms print count, total, mean, min, and max. The rendering is a
+// pure function of the snapshot, so goldens can pin it.
+func (s *Snapshot) Table() string {
+	type row struct{ name, kind, value string }
+	var rows []row
+	for name, v := range s.Counters {
+		rows = append(rows, row{name, "counter", fmt.Sprintf("%d", v)})
+	}
+	for name, v := range s.Gauges {
+		rows = append(rows, row{name, "gauge", fmt.Sprintf("%d", v)})
+	}
+	for name, h := range s.Histograms {
+		rows = append(rows, row{name, "histogram", fmt.Sprintf(
+			"count %d, total %s, mean %s, min %s, max %s",
+			h.Count, fmtDur(h.Sum), fmtDur(h.Mean()), fmtDur(h.Min), fmtDur(h.Max))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	nameW, kindW := 0, 0
+	for _, r := range rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+		if len(r.kind) > kindW {
+			kindW = len(r.kind)
+		}
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-*s  %-*s  %s\n", nameW, r.name, kindW, r.kind, r.value)
+	}
+	return sb.String()
+}
+
+// fmtDur renders a duration with millisecond-scale readability: exact Go
+// formatting truncated to microsecond precision so tables stay narrow.
+func fmtDur(d time.Duration) string {
+	return d.Truncate(time.Microsecond).String()
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentHammer drives counters, gauges, and histograms
+// from a worker pool the way a sweep's shader fan-out does, and checks
+// the totals are exact. Run under -race in CI, this is the
+// concurrency-safety pin for the whole registry.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("hammer.count").Inc()
+				reg.Counter("hammer.bulk").Add(3)
+				reg.Gauge("hammer.gauge").Set(int64(w))
+				reg.Histogram("hammer.hist").Observe(time.Duration(i%7) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("hammer.count").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Counter("hammer.bulk").Value(); got != 3*workers*perWorker {
+		t.Errorf("bulk counter = %d, want %d", got, 3*workers*perWorker)
+	}
+	snap := reg.Snapshot()
+	h := snap.Histograms["hammer.hist"]
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	if h.Max != 6*time.Millisecond {
+		t.Errorf("max = %v, want 6ms", h.Max)
+	}
+	if g := snap.Gauges["hammer.gauge"]; g < 0 || g >= workers {
+		t.Errorf("gauge = %d, want one of the worker ids", g)
+	}
+}
+
+// TestNilSafety pins the disabled state: every method on a nil registry,
+// nil instruments, nil tracer, and nil span must be a no-op, because
+// uninstrumented call sites rely on it.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("x").Set(5)
+	reg.Histogram("x").Observe(time.Second)
+	if v := reg.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter = %d", v)
+	}
+	span := reg.StartSpan("nope", "test")
+	span.Arg("k", "v")
+	span.End()
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	var tr *Tracer
+	s := tr.Start("nope", "test")
+	s.End()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("nil tracer JSON = %q", sb.String())
+	}
+}
+
+// TestHistogramBuckets pins the bucketing rule: an observation lands in
+// the first bucket whose bound is >= the value, with one overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("b", time.Millisecond, 10*time.Millisecond)
+	h.Observe(time.Millisecond)      // first bucket (inclusive bound)
+	h.Observe(2 * time.Millisecond)  // second bucket
+	h.Observe(20 * time.Millisecond) // overflow
+	hs := reg.Snapshot().Histograms["b"]
+	want := []int64{1, 1, 1}
+	if len(hs.Counts) != 3 {
+		t.Fatalf("counts = %v, want 3 buckets", hs.Counts)
+	}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Min != time.Millisecond || hs.Max != 20*time.Millisecond {
+		t.Errorf("min/max = %v/%v", hs.Min, hs.Max)
+	}
+	if hs.Mean() != (23*time.Millisecond)/3 {
+		t.Errorf("mean = %v", hs.Mean())
+	}
+}
+
+// TestSnapshotMerge pins the merge semantics sharded runs rely on:
+// counters and matching-bounds histograms add, gauges take the maximum.
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c").Add(2)
+	a.Gauge("g").Set(5)
+	a.Histogram("h", time.Millisecond).Observe(time.Millisecond)
+	b := NewRegistry()
+	b.Counter("c").Add(3)
+	b.Counter("only_b").Add(1)
+	b.Gauge("g").Set(3)
+	b.Histogram("h", time.Millisecond).Observe(4 * time.Millisecond)
+
+	snap := a.Snapshot()
+	snap.Merge(b.Snapshot())
+	if snap.Counters["c"] != 5 || snap.Counters["only_b"] != 1 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["g"] != 5 {
+		t.Errorf("gauge = %d, want max 5", snap.Gauges["g"])
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 2 || h.Sum != 5*time.Millisecond {
+		t.Errorf("histogram = %+v", h)
+	}
+	if h.Min != time.Millisecond || h.Max != 4*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("bucket counts = %v", h.Counts)
+	}
+}
+
+// TestSnapshotTable pins the -metrics rendering shape: sorted by name,
+// aligned, one line per instrument.
+func TestSnapshotTable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.counter").Add(7)
+	reg.Gauge("a.gauge").Set(42)
+	reg.Histogram("c.hist", time.Millisecond).Observe(500 * time.Microsecond)
+	table := reg.Snapshot().Table()
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), table)
+	}
+	if !strings.HasPrefix(lines[0], "a.gauge") || !strings.HasPrefix(lines[1], "b.counter") || !strings.HasPrefix(lines[2], "c.hist") {
+		t.Errorf("table not name-sorted:\n%s", table)
+	}
+	if !strings.Contains(lines[1], "7") || !strings.Contains(lines[2], "count 1") {
+		t.Errorf("table values wrong:\n%s", table)
+	}
+}

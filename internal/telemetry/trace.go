@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and exports them as Chrome trace-event JSON — the
+// format chrome://tracing and Perfetto load directly — so a sweep's
+// parse, enumeration, compile, and measurement phases are browsable on a
+// timeline. Span ids are deterministic (sequential in start order) and
+// the clock is injected, so tests can pin golden traces byte-for-byte;
+// the default clock is the process monotonic clock. All methods are safe
+// for concurrent use and on a nil receiver (no-ops), so a nil *Tracer is
+// the disabled state.
+//
+// Concurrent spans are laid out on tracks: each span takes the lowest
+// free track id for its lifetime, so overlapping spans never share a
+// Perfetto row and a single-threaded run uses exactly one row.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Duration
+	events []traceEvent
+	tracks []bool // tracks[i]: track i occupied by an open span
+	nextID int64
+}
+
+// traceEvent is one completed span in Chrome trace-event form ("ph":"X",
+// a complete event with timestamp and duration in microseconds).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int64          `json:"id"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer creates a tracer on the process monotonic clock.
+func NewTracer() *Tracer {
+	start := time.Now()
+	return NewTracerClock(func() time.Duration { return time.Since(start) })
+}
+
+// NewTracerClock creates a tracer on an injected monotonic clock: clock()
+// must be non-decreasing and is read under the tracer's lock, so a test
+// clock that advances a fixed step per call yields a fully deterministic
+// trace.
+func NewTracerClock(clock func() time.Duration) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Span is one open interval on the trace timeline. End completes it;
+// Arg attaches a key/value to the completed event. A nil span (from a
+// nil tracer or registry) no-ops.
+type Span struct {
+	mu    sync.Mutex
+	t     *Tracer
+	id    int64
+	name  string
+	cat   string
+	start time.Duration
+	tid   int
+	args  map[string]any
+}
+
+// Start opens a span. name is the timeline label (e.g. "compile Intel"),
+// cat the Chrome trace category used for filtering (e.g. "gpu").
+func (t *Tracer) Start(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	tid := 0
+	for tid < len(t.tracks) && t.tracks[tid] {
+		tid++
+	}
+	if tid == len(t.tracks) {
+		t.tracks = append(t.tracks, false)
+	}
+	t.tracks[tid] = true
+	start := t.clock()
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name, cat: cat, start: start, tid: tid}
+}
+
+// Arg attaches a key/value pair to the span's trace event (shown in the
+// Perfetto details pane). It returns the span for chaining and no-ops
+// after End.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.t == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+	return s
+}
+
+// End completes the span and records its trace event. Multiple End calls
+// are safe; only the first records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.t
+	s.t = nil
+	s.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	end := t.clock()
+	t.events = append(t.events, traceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   micros(s.start),
+		Dur:  micros(end - s.start),
+		PID:  1,
+		TID:  s.tid + 1,
+		ID:   s.id,
+		Args: s.args,
+	})
+	t.tracks[s.tid] = false
+	t.mu.Unlock()
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// WriteJSON writes the completed spans as a Chrome trace-event JSON
+// object, one event per line, ordered by (timestamp, id) so the output
+// is deterministic for a deterministic clock. Open spans are not
+// written. Map-valued args marshal with sorted keys (encoding/json), so
+// the whole document is byte-stable.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].ID < events[j].ID
+	})
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fakeClock advances a fixed step per reading, making every timestamp —
+// and so the whole exported trace — deterministic.
+func fakeClock(step time.Duration) func() time.Duration {
+	var now time.Duration
+	return func() time.Duration {
+		now += step
+		return now
+	}
+}
+
+// TestGoldenTrace pins the Chrome trace-event export byte-for-byte: a
+// fixed span scenario on a deterministic clock must serialize to
+// testdata/trace.golden. Regenerate after an intentional format change
+// with:
+//
+//	go test ./internal/telemetry -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	tr := NewTracerClock(fakeClock(100 * time.Microsecond))
+
+	sweep := tr.Start("sweep blur/v9", "sweep").Arg("variants", 11)
+	parse := tr.Start("parse glsl", "frontend").Arg("shader", "blur/v9")
+	parse.End()
+	enum := tr.Start("enumerate", "enum").Arg("workers", 4)
+	enum.End()
+	for _, vendor := range []string{"Intel", "ARM"} {
+		c := tr.Start("compile "+vendor, "gpu")
+		m := tr.Start("measure "+vendor, "harness").Arg("batch", 12)
+		c.End()
+		m.End()
+	}
+	sweep.End()
+
+	var sb []byte
+	{
+		var buf bytesBuffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sb = buf.b
+	}
+
+	// The export must be valid JSON that Perfetto's loader accepts:
+	// a traceEvents array of complete events.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(sb, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("trace has %d events, want 7", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" || ev["name"] == "" {
+			t.Errorf("malformed event: %v", ev)
+		}
+	}
+
+	path := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, sb, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if string(sb) != string(want) {
+		t.Errorf("trace differs from golden; rerun with -update after reviewing.\n--- got ---\n%s\n--- want ---\n%s", sb, want)
+	}
+}
+
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// TestTracerTracks pins the track-allocation rule: overlapping spans get
+// distinct tids, and a track is reusable once its span ends.
+func TestTracerTracks(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Microsecond))
+	a := tr.Start("a", "t")
+	b := tr.Start("b", "t") // overlaps a -> new track
+	a.End()
+	c := tr.Start("c", "t") // a's track is free again
+	b.End()
+	c.End()
+
+	tids := map[string]int{}
+	for _, ev := range tr.events {
+		tids[ev.Name] = ev.TID
+	}
+	if tids["a"] == tids["b"] {
+		t.Errorf("overlapping spans share track %d", tids["a"])
+	}
+	if tids["c"] != tids["a"] {
+		t.Errorf("freed track not reused: a=%d c=%d", tids["a"], tids["c"])
+	}
+}
+
+// TestTracerConcurrent hammers the tracer from many goroutines under
+// -race; every span must land exactly once with a unique id.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := tr.Start("work", "t").Arg("i", i)
+				s.End()
+				s.End() // double End must be safe
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.events) != workers*perWorker {
+		t.Fatalf("%d events, want %d", len(tr.events), workers*perWorker)
+	}
+	seen := map[int64]bool{}
+	for _, ev := range tr.events {
+		if seen[ev.ID] {
+			t.Fatalf("duplicate span id %d", ev.ID)
+		}
+		seen[ev.ID] = true
+	}
+}

@@ -89,6 +89,36 @@
 // reports where the time went (EnumMS vs MeasureMS) and what the caches
 // absorbed (CacheHits, CompileHits); cmd/sweep renders both live.
 //
+// # Observability
+//
+// The whole pipeline reports into a unified telemetry subsystem
+// (internal/telemetry): a dependency-free, concurrency-safe registry of
+// named counters, gauges, and fixed-bucket duration histograms, plus a
+// span tracer that emits Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto. Pass a registry in with WithTelemetry
+// (or read the session's private one back with Session.Telemetry):
+//
+//	reg := shaderopt.NewTelemetry()
+//	tr := shaderopt.NewTracer()
+//	reg.SetTracer(tr)
+//	sess := shaderopt.NewSession(shaderopt.WithTelemetry(reg))
+//	sweep, _ := sess.Sweep(handles, nil)
+//	fmt.Print(sess.Metrics().Table())     // end-of-run metrics table
+//	tr.WriteJSON(f)                       // chrome://tracing file
+//	_ = sweep.Stats                       // aggregate PipelineStats
+//
+// Every layer contributes: the frontends record per-language parse
+// spans and frontend.parses counters, the enumeration trie its
+// enum.{nodes,steps,collapses,merges,leaves} structure, all four
+// session caches uniform cache.<name>.{hits,misses,evictions} counters
+// through the LRU's stats sink, the simulated drivers per-vendor
+// "compile <vendor>" spans and the gpu.compile histogram, and the
+// harness batch sizes and sample-loop durations. Everything is nil-safe
+// and off by default — instrumentation never changes results (a traced
+// sweep's scores are byte-identical to an untraced one's, pinned by
+// TestSweepTracedMatchesUntraced). cmd/sweep exposes all of it: -trace
+// out.json, -metrics, and -debug-addr (expvar + net/http/pprof).
+//
 // # Testing strategy
 //
 // Aggressive rewrites of the optimizer and its enumeration engine are
@@ -158,6 +188,7 @@ import (
 	"shaderopt/internal/harness"
 	"shaderopt/internal/passes"
 	"shaderopt/internal/search"
+	"shaderopt/internal/telemetry"
 )
 
 // Flags selects optimization passes; combine with bitwise or.
@@ -323,11 +354,14 @@ func Corpus() ([]*corpus.Shader, error) { return corpus.Load() }
 type CorpusShader = corpus.Shader
 
 // CompileCorpus compiles every corpus entry into a handle, ready for a
-// Session sweep: one frontend parse per shader.
-func CompileCorpus(shaders []*corpus.Shader) ([]*Shader, error) {
+// Session sweep: one frontend parse per shader. Options are applied to
+// each compile (WithTelemetry records the parses; the corpus entry's
+// language always wins over WithLang).
+func CompileCorpus(shaders []*corpus.Shader, opts ...Option) ([]*Shader, error) {
 	out := make([]*Shader, len(shaders))
 	for i, cs := range shaders {
-		sh, err := Compile(cs.Source, cs.Name, WithLang(cs.Lang))
+		callOpts := append(append(make([]Option, 0, len(opts)+1), opts...), WithLang(cs.Lang))
+		sh, err := Compile(cs.Source, cs.Name, callOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -345,6 +379,31 @@ func Sweep(shaders []*corpus.Shader, platforms []*Platform, cfg Protocol) (*sear
 
 // SweepResult re-exports the study result type.
 type SweepResult = search.Sweep
+
+// PipelineStats re-exports the aggregate sweep observability summary
+// attached to SweepResult.Stats.
+type PipelineStats = search.PipelineStats
+
+// Telemetry is the unified metrics registry the pipeline reports into:
+// named counters, gauges, and duration histograms, plus an optional
+// attached Tracer. Attach one with WithTelemetry; all methods are safe
+// for concurrent use and nil-safe.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// Tracer records spans and writes them as Chrome trace-event JSON
+// (chrome://tracing, Perfetto). Attach one with Telemetry.SetTracer.
+type Tracer = telemetry.Tracer
+
+// NewTracer creates a tracer timestamping spans against a wall-clock
+// epoch taken now.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// TelemetrySnapshot is a point-in-time copy of a registry's metrics,
+// mergeable across registries and renderable with Table.
+type TelemetrySnapshot = telemetry.Snapshot
 
 // Render interprets a fragment shader (GLSL, WGSL, or HLSL,
 // auto-detected) functionally for every pixel of a w×h image with
