@@ -50,7 +50,7 @@ func gateSummary(gate string, legacy, fast time.Duration, speedup, committed flo
 func cacheSummary(snap *telemetry.Snapshot) string {
 	var sb strings.Builder
 	sb.WriteString("### Session cache hit rates (batched sweep)\n\n| cache | hits | misses | hit rate |\n|---|---|---|---|\n")
-	for _, name := range []string{"enum", "lowered", "compile", "scores"} {
+	for _, name := range []string{"enum", "lowered", "compile", "scores", "store"} {
 		hits := snap.Counters["cache."+name+".hits"]
 		misses := snap.Counters["cache."+name+".misses"]
 		rate := 0.0

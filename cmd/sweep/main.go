@@ -13,6 +13,14 @@
 //	sweep -lang hlsl -exp table1,fig5 -fast
 //	sweep -lang glsl -fast -trace out.json -metrics
 //	sweep -fast -debug-addr localhost:6060
+//	sweep -fast -server 127.0.0.1:7077
+//
+// With -server the command runs as a thin client of a sweepd daemon: it
+// submits the corpus sources to the service, which measures them through
+// its shared warm session and persistent store, streams back per-shader
+// progress, and returns every score; enumeration and report rendering
+// stay local (they are deterministic, so the locally enumerated variant
+// hashes join the returned scores exactly).
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"shaderopt/internal/harness"
 	"shaderopt/internal/report"
 	"shaderopt/internal/search"
+	"shaderopt/internal/sweepd"
 )
 
 // cliConfig carries the flag values into run.
@@ -42,6 +51,7 @@ type cliConfig struct {
 	traceOut            string
 	metrics             bool
 	debugAddr           string
+	server              string
 }
 
 func main() {
@@ -54,6 +64,7 @@ func main() {
 	flag.StringVar(&c.traceOut, "trace", "", "write the run's spans as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
 	flag.BoolVar(&c.metrics, "metrics", false, "print the end-of-run telemetry metrics table to stdout")
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar (/debug/vars) and net/http/pprof (/debug/pprof/) on this address for the run's duration")
+	flag.StringVar(&c.server, "server", "", "run as a thin client of a sweepd daemon at this address (host:port or URL) instead of measuring locally")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -166,32 +177,48 @@ func run(c cliConfig) error {
 	}
 
 	cfg := harness.DefaultConfig()
+	protocol := "default"
 	if fast {
 		cfg = harness.FastConfig()
+		protocol = "fast"
 	}
-	// Compile once per shader, then sweep the handles through a session:
-	// the measurement cache guarantees each distinct variant is measured
-	// exactly once, and the event stream gives live per-shader progress —
-	// including how long the sharded variant enumeration took per shader,
-	// so the -workers effect is visible as the sweep streams.
-	handles, err := shaderopt.CompileCorpus(shaders, shaderopt.WithTelemetry(reg))
-	if err != nil {
-		return err
+	var sweep *search.Sweep
+	// finalSnap is the telemetry snapshot finish renders: the session's
+	// gauge-refreshed one locally, the plain registry remotely.
+	var finalSnap func() *shaderopt.TelemetrySnapshot
+	if c.server != "" {
+		var err error
+		sweep, err = remoteSweep(c.server, protocol, reg, shaders, cfg, workers)
+		if err != nil {
+			return err
+		}
+		finalSnap = reg.Snapshot
+	} else {
+		// Compile once per shader, then sweep the handles through a session:
+		// the measurement cache guarantees each distinct variant is measured
+		// exactly once, and the event stream gives live per-shader progress —
+		// including how long the sharded variant enumeration took per shader,
+		// so the -workers effect is visible as the sweep streams.
+		handles, err := shaderopt.CompileCorpus(shaders, shaderopt.WithTelemetry(reg))
+		if err != nil {
+			return err
+		}
+		sess := shaderopt.NewSession(
+			shaderopt.WithProtocol(cfg),
+			shaderopt.WithPlatforms(platforms...),
+			shaderopt.WithWorkers(workers),
+			shaderopt.WithTelemetry(reg))
+		fmt.Printf("Running exhaustive sweep (256 flag combinations per shader, %d workers)...\n", sess.Workers())
+		sweep, err = sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
+			fmt.Fprintln(os.Stderr, renderEvent(ev))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, renderSummary(sessionStats(sess)))
+		fmt.Fprintln(os.Stderr, renderAggregate(sweep.Stats))
+		finalSnap = sess.Metrics
 	}
-	sess := shaderopt.NewSession(
-		shaderopt.WithProtocol(cfg),
-		shaderopt.WithPlatforms(platforms...),
-		shaderopt.WithWorkers(workers),
-		shaderopt.WithTelemetry(reg))
-	fmt.Printf("Running exhaustive sweep (256 flag combinations per shader, %d workers)...\n", sess.Workers())
-	sweep, err := sess.Sweep(handles, func(ev shaderopt.SweepEvent) {
-		fmt.Fprintln(os.Stderr, renderEvent(ev))
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(os.Stderr, renderSummary(sessionStats(sess)))
-	fmt.Fprintln(os.Stderr, renderAggregate(sweep.Stats))
 	fmt.Println()
 
 	if has("table1") || has("fig5") {
@@ -245,5 +272,54 @@ func run(c cliConfig) error {
 		dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
 		fmt.Println(report.Fig3(gains, vendors, "ARM", dist))
 	}
-	return finish(sess.Metrics())
+	return finish(finalSnap())
+}
+
+// remoteSweep runs the study through a sweepd daemon: corpus sources go
+// over the wire, measurement happens in the service's shared warm
+// session, and the streamed scores are joined to a local (deterministic)
+// variant enumeration so every report renders exactly as it would from a
+// local sweep.
+func remoteSweep(addr, protocol string, reg *shaderopt.Telemetry, shaders []*corpus.Shader, cfg harness.Config, workers int) (*search.Sweep, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &sweepd.Client{BaseURL: addr}
+	if err := client.Health(); err != nil {
+		return nil, fmt.Errorf("sweepd at %s: %w", addr, err)
+	}
+	req := sweepd.SweepRequest{Protocol: protocol}
+	for _, s := range shaders {
+		req.Shaders = append(req.Shaders, sweepd.ShaderSource{
+			Name: s.Name, Source: s.Source, Lang: s.Lang.String(),
+		})
+	}
+	fmt.Printf("Submitting sweep of %d shaders to %s (protocol %s)...\n", len(shaders), addr, protocol)
+	scores, err := client.Sweep(req, func(ev search.SweepEvent) {
+		fmt.Fprintln(os.Stderr, renderEvent(ev))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(scores) != len(shaders) {
+		return nil, fmt.Errorf("sweepd returned %d results for %d shaders", len(scores), len(shaders))
+	}
+	results := make([]*search.ShaderResult, len(shaders))
+	for i, s := range shaders {
+		if scores[i].Name != s.Name {
+			return nil, fmt.Errorf("sweepd result order differs: %s vs %s", scores[i].Name, s.Name)
+		}
+		h, err := core.CompileT(reg, s.Source, s.Name, s.Lang)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = &search.ShaderResult{
+			Handle:    h,
+			Shader:    s,
+			Variants:  h.VariantsT(reg, workers),
+			OrigNS:    scores[i].Orig,
+			VariantNS: scores[i].Variants,
+		}
+	}
+	return &search.Sweep{Platforms: gpu.Platforms(), Results: results, Cfg: cfg}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"shaderopt/internal/passes"
 	"shaderopt/internal/search"
 	"shaderopt/internal/sem"
+	"shaderopt/internal/store"
 )
 
 // Option configures Compile and NewSession. Compile honors WithLang;
@@ -21,6 +22,7 @@ type options struct {
 	cacheBound int
 	platforms  []*Platform
 	telemetry  *Telemetry
+	store      *store.Store
 }
 
 func defaultOptions() options {
@@ -72,6 +74,30 @@ func WithPlatforms(platforms ...*Platform) Option {
 // registry, readable through Session.Telemetry.
 func WithTelemetry(reg *Telemetry) Option {
 	return func(o *options) { o.telemetry = reg }
+}
+
+// Store is a persistent content-addressed on-disk cache (see
+// internal/store): the durable layer WithStore slots under a session's
+// in-memory caches, holding driver compiles keyed by (vendor, canonical
+// IR fingerprint) and measurement scores keyed by (vendor, source hash,
+// protocol). Open one with OpenStore.
+type Store = store.Store
+
+// OpenStore opens (creating if needed) a persistent store rooted at dir,
+// bounded to maxBytes of on-disk entry data (<= 0 means unbounded).
+// Stores are safe to share between sessions and processes.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	return store.Open(dir, maxBytes)
+}
+
+// WithStore layers a persistent store under the session's in-memory
+// caches: memory miss → store read → compute → write-through. A session
+// over a warm store re-serves previously computed driver compiles and
+// measurement scores bit-identically with zero vendor-pipeline runs and
+// zero harness sampling. Store traffic reports into the session's
+// telemetry registry (cache.store.{hits,misses,evictions}, store.*).
+func WithStore(st *Store) Option {
+	return func(o *options) { o.store = st }
 }
 
 // Shader is a compiled handle: source parsed and lowered exactly once,
@@ -220,6 +246,7 @@ func NewSession(opts ...Option) *Session {
 			Workers:    o.workers,
 			CacheBound: o.cacheBound,
 			Telemetry:  o.telemetry,
+			Store:      o.store,
 		}),
 		lang: o.lang,
 	}

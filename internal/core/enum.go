@@ -67,6 +67,23 @@ func irFingerprint(p *ir.Program) string {
 // vendor pipeline and cost model are pure functions of the program).
 func FingerprintIR(p *ir.Program) string { return irFingerprint(p) }
 
+// FingerprintCanonical is the name-insensitive program identity: the
+// hash of the alpha-renamed canonical print (ir.Program.PrintAlpha), in
+// which identifier spellings and ID numbering are canonicalized away and
+// only structure remains. Driver compiles and cost models are pure
+// functions of structure (isa.Analyze never reads a name), so
+// alpha-equivalent programs — e.g. structurally identical shaders
+// lowered from different frontends — may soundly share one compiled
+// artefact under this key. Enumeration keeps merging by FingerprintIR:
+// its leaves become generated *text*, where spelling matters.
+func FingerprintCanonical(p *ir.Program) string {
+	h := sha256.New()
+	bw := bufio.NewWriterSize(h, 1<<12)
+	p.PrintAlpha(bw)
+	bw.Flush()
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
 // enumerateFromIR runs the exhaustive flag enumeration from an already
 // lowered base program, sharding the trie walk across `workers`
 // goroutines (<= 1 runs inline). The result is independent of the worker

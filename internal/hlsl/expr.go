@@ -130,7 +130,7 @@ func (tr *translator) identExpr(e *IdentExpr) (glsl.Expr, sem.Type, error) {
 	// shadowing resolves by source semantics and each identifier carries
 	// its own sanitized GLSL spelling.
 	if b, ok := tr.lookup(e.Name); ok {
-		return &glsl.IdentExpr{Pos: pos(e.Pos), Name: b.name}, b.t, nil
+		return &glsl.IdentExpr{Pos: pos(e.Pos), Name: b.Name}, b.T, nil
 	}
 	return nil, sem.Void, errf(e.Pos, "undefined identifier %q", e.Name)
 }
@@ -261,7 +261,7 @@ func (tr *translator) callExpr(e *CallExpr) (glsl.Expr, sem.Type, error) {
 	}
 
 	// User-defined function.
-	if nn, ok := tr.renames[e.Callee]; ok {
+	if nn, ok := tr.names.Renamed(e.Callee); ok {
 		if rt, ok := tr.fnRet[nn]; ok {
 			args, _, err := tr.exprList(e.Args)
 			if err != nil {

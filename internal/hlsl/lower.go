@@ -6,6 +6,7 @@ import (
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/lower"
+	"shaderopt/internal/naming"
 	"shaderopt/internal/sem"
 )
 
@@ -41,80 +42,50 @@ func Lower(m *Module, name string) (*ir.Program, error) {
 // overloads, and HLSL's scalar int→float promotion resolve in one pass.
 func Translate(m *Module) (*glsl.Shader, error) {
 	tr := &translator{
+		names:    naming.New("_h"),
 		fnRet:    map[string]sem.Type{},
 		samplers: map[string]bool{},
-		renames:  map[string]string{},
-		taken:    map[string]bool{},
 	}
 	return tr.module(m)
 }
 
-// binding pairs an identifier's GLSL spelling with its type. Scopes are
-// keyed by the ORIGINAL HLSL name, so shadowing resolves by source
-// semantics and the GLSL spelling rides along — two identifiers whose
-// sanitized spellings would collide can never alias each other.
-type binding struct {
-	name string // GLSL spelling
-	t    sem.Type
-}
-
-// translator carries the binding state of one module translation.
+// translator carries the binding state of one module translation. Value
+// scopes are keyed by the ORIGINAL HLSL name with the sanitized GLSL
+// spelling riding along in each binding (see naming.Scopes), and all
+// spelling decisions live in the shared naming.Namer with this
+// frontend's "_h" escape suffix.
 type translator struct {
 	sh     *glsl.Shader
-	scopes []map[string]binding // original HLSL name -> binding
+	scopes naming.Scopes // original HLSL name -> GLSL spelling + type
+	names  *naming.Namer // module-scope renames and reservations
 
 	fnRet    map[string]sem.Type // helper function return types
 	samplers map[string]bool     // SamplerState bindings (dropped in GLSL)
-	renames  map[string]string   // module-scope identifier renames
-	taken    map[string]bool     // names already used at module scope
 	entry    *FnDecl
 	curRet   sem.Type // declared return type of the function being translated
 }
 
-func (tr *translator) pushScope() { tr.scopes = append(tr.scopes, map[string]binding{}) }
-func (tr *translator) popScope()  { tr.scopes = tr.scopes[:len(tr.scopes)-1] }
+func (tr *translator) pushScope() { tr.scopes.Push() }
+func (tr *translator) popScope()  { tr.scopes.Pop() }
 
 func (tr *translator) bind(orig, glslName string, t sem.Type) {
-	tr.scopes[len(tr.scopes)-1][orig] = binding{name: glslName, t: t}
+	tr.scopes.Bind(orig, glslName, t)
 }
 
-func (tr *translator) lookup(orig string) (binding, bool) {
-	for i := len(tr.scopes) - 1; i >= 0; i-- {
-		if b, ok := tr.scopes[i][orig]; ok {
-			return b, true
-		}
-	}
-	return binding{}, false
+func (tr *translator) lookup(orig string) (naming.Binding, bool) {
+	return tr.scopes.Lookup(orig)
 }
 
 // rename maps an HLSL identifier to a GLSL-safe one: names that collide
 // with GLSL keywords, type names, or builtin functions are suffixed so the
 // generated source re-parses cleanly through the mobile conversion path.
-func (tr *translator) rename(name string) string {
-	if nn, ok := tr.renames[name]; ok {
-		return nn
-	}
-	nn := name
-	for glsl.IsKeyword(nn) || glsl.IsTypeName(nn) || sem.IsBuiltin(nn) || tr.taken[nn] {
-		nn += "_h"
-	}
-	tr.renames[name] = nn
-	tr.taken[nn] = true
-	return nn
-}
+func (tr *translator) rename(name string) string { return tr.names.Rename(name) }
 
 // freshName reserves a GLSL-safe module-scope name for a synthesized
 // variable (not a source identifier, so the rename map is bypassed — a
 // user global that happens to share the base name keeps its own slot and
 // the synthesized variable moves aside).
-func (tr *translator) freshName(base string) string {
-	nn := base
-	for glsl.IsKeyword(nn) || glsl.IsTypeName(nn) || sem.IsBuiltin(nn) || tr.taken[nn] {
-		nn += "_h"
-	}
-	tr.taken[nn] = true
-	return nn
-}
+func (tr *translator) freshName(base string) string { return tr.names.Fresh(base) }
 
 func errf(p Pos, format string, args ...any) error {
 	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
@@ -128,7 +99,7 @@ func (tr *translator) module(m *Module) (*glsl.Shader, error) {
 	if tr.entry == nil {
 		return nil, fmt.Errorf("module has no pixel-shader entry point (SV_Target return semantic or a function named main)")
 	}
-	tr.taken["main"] = true
+	tr.names.Reserve("main")
 	tr.pushScope() // module scope
 	defer tr.popScope()
 
@@ -353,20 +324,11 @@ func (tr *translator) entryFn(d *FnDecl) error {
 }
 
 // localName keeps function-local identifiers GLSL-safe and clear of
-// every module-level spelling. Steering clear of tr.taken matters for
-// correctness, not just hygiene: the entry return desugars into an
-// assignment to the synthesized out variable by name, so a local that
-// kept a colliding spelling (e.g. one literally named fragColor) would
-// capture that store and the shader would silently output nothing.
-// Scopes are keyed by the original HLSL name, so the suffixed spelling
-// rides along in the binding and shadowing still resolves by source
-// semantics.
-func (tr *translator) localName(name string) string {
-	for glsl.IsKeyword(name) || glsl.IsTypeName(name) || sem.IsBuiltin(name) || tr.taken[name] {
-		name += "_h"
-	}
-	return name
-}
+// every module-level spelling (see naming.Namer.Local for why that is a
+// correctness requirement, not hygiene). Scopes are keyed by the
+// original HLSL name, so the suffixed spelling rides along in the
+// binding and shadowing still resolves by source semantics.
+func (tr *translator) localName(name string) string { return tr.names.Local(name) }
 
 // --- statements ---
 

@@ -1,0 +1,81 @@
+package naming
+
+import (
+	"testing"
+
+	"shaderopt/internal/sem"
+)
+
+func TestRenameEscapesAndMemoizes(t *testing.T) {
+	n := New("_w")
+	if got := n.Rename("scale"); got != "scale" {
+		t.Errorf("Rename(scale) = %q, want unchanged", got)
+	}
+	// Keywords, type names, and builtins all escape with the suffix.
+	for _, bad := range []string{"float", "return", "mix"} {
+		got := n.Rename(bad)
+		if got == bad {
+			t.Errorf("Rename(%q) kept an unsafe spelling", bad)
+		}
+		if got != bad+"_w" {
+			t.Errorf("Rename(%q) = %q, want %q", bad, got, bad+"_w")
+		}
+	}
+	// Memoized: the same identifier always gets the same answer.
+	if a, b := n.Rename("float"), n.Rename("float"); a != b {
+		t.Errorf("Rename not memoized: %q vs %q", a, b)
+	}
+	// The escaped spelling is reserved, so a source identifier that
+	// already spells it moves aside instead of aliasing.
+	if got := n.Rename("float_w"); got != "float_w_w" {
+		t.Errorf("Rename(float_w) = %q, want float_w_w", got)
+	}
+}
+
+func TestFreshBypassesRenameMap(t *testing.T) {
+	n := New("_h")
+	n.Reserve("main")
+	if got := n.Fresh("main"); got != "main_h" {
+		t.Errorf("Fresh(main) = %q, want main_h", got)
+	}
+	// Fresh must not poison the rename map: a later source identifier
+	// "main" still renames independently (and moves further aside,
+	// since Fresh reserved main_h).
+	if got := n.Rename("main"); got != "main_h_h" {
+		t.Errorf("Rename(main) after Fresh = %q, want main_h_h", got)
+	}
+	if _, ok := n.Renamed("fragColor"); ok {
+		t.Error("Renamed reported an identifier that was never renamed")
+	}
+}
+
+func TestLocalDoesNotReserve(t *testing.T) {
+	n := New("_w")
+	n.Reserve("acc")
+	if got := n.Local("acc"); got != "acc_w" {
+		t.Errorf("Local(acc) = %q, want acc_w", got)
+	}
+	// Locals in sibling scopes share spellings: Local must not reserve.
+	if got := n.Local("acc"); got != "acc_w" {
+		t.Errorf("second Local(acc) = %q, want acc_w again", got)
+	}
+}
+
+func TestScopesShadowByOriginalName(t *testing.T) {
+	var s Scopes
+	s.Push()
+	s.Bind("color", "color", sem.Vec3)
+	s.Push()
+	s.Bind("color", "color_w", sem.Float)
+
+	if b, ok := s.Lookup("color"); !ok || b.Name != "color_w" || !b.T.Equal(sem.Float) {
+		t.Errorf("inner Lookup(color) = %+v, %v; want the shadowing binding", b, ok)
+	}
+	s.Pop()
+	if b, ok := s.Lookup("color"); !ok || b.Name != "color" || !b.T.Equal(sem.Vec3) {
+		t.Errorf("outer Lookup(color) = %+v, %v; want the module binding", b, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("Lookup(missing) succeeded")
+	}
+}

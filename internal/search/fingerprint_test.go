@@ -1,0 +1,136 @@
+package search
+
+import (
+	"testing"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/gpu"
+	"shaderopt/internal/harness"
+)
+
+// fingerprintHandles compiles the byte-identity corpus: the sweep subset
+// in -short, every corpus shader otherwise (the switch to the
+// name-insensitive compile key is corpus-wide, so the pin is too).
+func fingerprintHandles(t *testing.T) []*core.Shader {
+	t.Helper()
+	if testing.Short() {
+		return compileSubset(t)
+	}
+	all, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*core.Shader, len(all))
+	for i, sh := range all {
+		h, err := core.Compile(sh.Source, sh.Name, sh.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	return handles
+}
+
+// TestCanonicalFingerprintScoresMatchNameSensitive pins that switching
+// the driver-compile key from the name-sensitive FingerprintIR to the
+// alpha-renamed FingerprintCanonical changes no score: measurement noise
+// is seeded from source text (untouched), and compiled artefacts are
+// name-blind, so collapsing alpha-equivalent lowerings onto one compile
+// must be observationally invisible. Any divergence here means a compile
+// was shared between programs that were not structurally identical.
+func TestCanonicalFingerprintScoresMatchNameSensitive(t *testing.T) {
+	cfg := harness.FastConfig()
+	canonical := NewSession(gpu.Platforms(), Options{Cfg: cfg})
+	nameSensitive := NewSession(gpu.Platforms(), Options{Cfg: cfg})
+	nameSensitive.fingerprint = core.FingerprintIR
+
+	want, err := nameSensitive.Sweep(fingerprintHandles(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := canonical.Sweep(fingerprintHandles(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i, wr := range want.Results {
+		gr := got.Results[i]
+		if gr.Name() != wr.Name() {
+			t.Fatalf("order differs at %d: %s vs %s", i, gr.Name(), wr.Name())
+		}
+		for _, pl := range gpu.Platforms() {
+			if gr.OrigNS[pl.Vendor] != wr.OrigNS[pl.Vendor] {
+				t.Errorf("%s orig on %s: canonical %v != name-sensitive %v",
+					wr.Name(), pl.Vendor, gr.OrigNS[pl.Vendor], wr.OrigNS[pl.Vendor])
+			}
+			if len(gr.VariantNS[pl.Vendor]) != len(wr.VariantNS[pl.Vendor]) {
+				t.Fatalf("%s on %s: variant counts differ", wr.Name(), pl.Vendor)
+			}
+			for hash, ns := range wr.VariantNS[pl.Vendor] {
+				if gr.VariantNS[pl.Vendor][hash] != ns {
+					t.Errorf("%s variant %s on %s: canonical %v != name-sensitive %v",
+						wr.Name(), hash, pl.Vendor, gr.VariantNS[pl.Vendor][hash], ns)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalFingerprintSharesRenamedCompiles: two sources that differ
+// only in identifier spelling must converge to one driver compile per
+// platform under the canonical fingerprint — the convergence the
+// name-sensitive key cannot see.
+func TestCanonicalFingerprintSharesRenamedCompiles(t *testing.T) {
+	const a = `#version 330 core
+uniform float gain;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    float g = gain * uv.x + uv.y;
+    fragColor = vec4(g, g, g, 1.0);
+}`
+	const b = `#version 330 core
+uniform float intensity;
+in vec2 texcoord;
+out vec4 color_out;
+void main() {
+    float lum = intensity * texcoord.x + texcoord.y;
+    color_out = vec4(lum, lum, lum, 1.0);
+}`
+	ha, err := core.Compile(a, "renamed/a", core.LangGLSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := core.Compile(b, "renamed/b", core.LangGLSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.FingerprintCanonical(ha.IR()) != core.FingerprintCanonical(hb.IR()) {
+		t.Fatal("renamed twins have different canonical fingerprints")
+	}
+	if core.FingerprintIR(ha.IR()) == core.FingerprintIR(hb.IR()) {
+		t.Fatal("renamed twins share the name-sensitive fingerprint; test is vacuous")
+	}
+
+	desktop := gpu.Platforms()[:1]
+	sess := NewSession(desktop, Options{Cfg: harness.FastConfig(), Workers: 1})
+	if _, err := sess.Sweep([]*core.Shader{ha, hb}, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := sess.Telemetry()
+	compiles := reg.Counter("gpu.compiles").Value()
+	variants := int64(0)
+	if vs, _ := sess.Variants(ha); vs != nil {
+		variants = int64(vs.Unique())
+	}
+	// The twins enumerate identical variant structures; every one of b's
+	// distinct lowerings must hit a's compiles, so the total compile
+	// count is one shader's worth, not two.
+	if compiles > variants+1 { // +1: the original baseline's lowering
+		t.Fatalf("twin sweep ran %d driver compiles for %d distinct variants; renamed convergence missing",
+			compiles, variants)
+	}
+}

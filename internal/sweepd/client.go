@@ -1,0 +1,102 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"shaderopt/internal/search"
+)
+
+// Client is a thin sweep-service client: it submits shader sources and
+// receives scores, leaving enumeration and reporting to the caller
+// (variant enumeration is deterministic, so a local enumeration joins
+// the returned hashes back to sources and flag sets bit-exactly).
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// HTTPClient, when non-nil, overrides http.DefaultClient. Sweeps are
+	// long-lived streams, so any timeout must be generous or absent.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Sweep submits a sweep request and consumes the event stream, invoking
+// onEvent (when non-nil) per progress line, and returns the final
+// per-shader scores.
+func (c *Client) Sweep(req SweepRequest, onEvent func(search.SweepEvent)) ([]ShaderScores, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.url("/sweep"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("sweep request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("sweep request: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line StreamLine
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, errors.New("sweep stream ended without a result")
+			}
+			return nil, fmt.Errorf("sweep stream: %w", err)
+		}
+		switch {
+		case line.Error != "":
+			return nil, fmt.Errorf("sweep failed: %s", line.Error)
+		case line.Results != nil:
+			return line.Results, nil
+		case line.Event != nil:
+			if onEvent != nil {
+				onEvent(*line.Event)
+			}
+		}
+	}
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	resp, err := c.httpClient().Get(c.url("/healthz"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the daemon's telemetry table from /metricz.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.httpClient().Get(c.url("/metricz"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metricz: %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

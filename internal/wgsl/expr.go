@@ -71,15 +71,11 @@ func (tr *translator) identExpr(e *IdentExpr) (glsl.Expr, sem.Type, error) {
 	if tr.samplers[e.Name] {
 		return nil, sem.Void, errf(e.Pos, "sampler %q can only appear as a textureSample argument", e.Name)
 	}
-	// Locals bind under localName; module-scope names under their rename.
-	ln := tr.localName(e.Name)
-	if t, ok := tr.lookup(ln); ok {
-		return &glsl.IdentExpr{Pos: pos(e.Pos), Name: ln}, t, nil
-	}
-	if nn, ok := tr.renames[e.Name]; ok {
-		if t, ok := tr.lookup(nn); ok {
-			return &glsl.IdentExpr{Pos: pos(e.Pos), Name: nn}, t, nil
-		}
+	// Scopes are keyed by the original WGSL name, innermost first, so
+	// shadowing resolves by source semantics and each identifier carries
+	// its own sanitized GLSL spelling.
+	if b, ok := tr.lookup(e.Name); ok {
+		return &glsl.IdentExpr{Pos: pos(e.Pos), Name: b.Name}, b.T, nil
 	}
 	return nil, sem.Void, errf(e.Pos, "undefined identifier %q", e.Name)
 }
@@ -194,7 +190,7 @@ func (tr *translator) callExpr(e *CallExpr) (glsl.Expr, sem.Type, error) {
 	}
 
 	// User-defined function.
-	if nn, ok := tr.renames[e.Callee]; ok {
+	if nn, ok := tr.names.Renamed(e.Callee); ok {
 		if rt, ok := tr.fnRet[nn]; ok {
 			args, _, err := tr.exprList(e.Args)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/lower"
+	"shaderopt/internal/naming"
 	"shaderopt/internal/sem"
 )
 
@@ -39,70 +40,49 @@ func Lower(m *Module, name string) (*ir.Program, error) {
 // for `let`/`var` bindings happens here, against the sem type system.
 func Translate(m *Module) (*glsl.Shader, error) {
 	tr := &translator{
+		names:    naming.New("_w"),
 		fnRet:    map[string]sem.Type{},
 		samplers: map[string]bool{},
-		renames:  map[string]string{},
-		taken:    map[string]bool{},
 	}
 	return tr.module(m)
 }
 
-// translator carries the binding state of one module translation.
+// translator carries the binding state of one module translation. Value
+// scopes are keyed by the ORIGINAL WGSL name with the sanitized GLSL
+// spelling riding along in each binding (see naming.Scopes), and all
+// spelling decisions live in the shared naming.Namer with this
+// frontend's "_w" escape suffix.
 type translator struct {
 	sh     *glsl.Shader
-	scopes []map[string]sem.Type // name (post-rename) -> type
+	scopes naming.Scopes // original WGSL name -> GLSL spelling + type
+	names  *naming.Namer // module-scope renames and reservations
 
 	fnRet    map[string]sem.Type // helper function return types
 	samplers map[string]bool     // WGSL sampler bindings (dropped in GLSL)
-	renames  map[string]string   // module-scope identifier renames
-	taken    map[string]bool     // names already used at module scope
 	entry    *FnDecl
 }
 
-func (tr *translator) pushScope() { tr.scopes = append(tr.scopes, map[string]sem.Type{}) }
-func (tr *translator) popScope()  { tr.scopes = tr.scopes[:len(tr.scopes)-1] }
+func (tr *translator) pushScope() { tr.scopes.Push() }
+func (tr *translator) popScope()  { tr.scopes.Pop() }
 
-func (tr *translator) bind(name string, t sem.Type) {
-	tr.scopes[len(tr.scopes)-1][name] = t
+func (tr *translator) bind(orig, glslName string, t sem.Type) {
+	tr.scopes.Bind(orig, glslName, t)
 }
 
-func (tr *translator) lookup(name string) (sem.Type, bool) {
-	for i := len(tr.scopes) - 1; i >= 0; i-- {
-		if t, ok := tr.scopes[i][name]; ok {
-			return t, true
-		}
-	}
-	return sem.Void, false
+func (tr *translator) lookup(orig string) (naming.Binding, bool) {
+	return tr.scopes.Lookup(orig)
 }
 
 // rename maps a WGSL identifier to a GLSL-safe one: names that collide
 // with GLSL keywords, type names, or builtin functions are suffixed so the
 // generated source re-parses cleanly through the mobile conversion path.
-func (tr *translator) rename(name string) string {
-	if nn, ok := tr.renames[name]; ok {
-		return nn
-	}
-	nn := name
-	for glsl.IsKeyword(nn) || glsl.IsTypeName(nn) || sem.IsBuiltin(nn) || tr.taken[nn] {
-		nn += "_w"
-	}
-	tr.renames[name] = nn
-	tr.taken[nn] = true
-	return nn
-}
+func (tr *translator) rename(name string) string { return tr.names.Rename(name) }
 
 // freshName reserves a GLSL-safe module-scope name for a synthesized
 // variable (not a source identifier, so the rename map is bypassed — a
 // user global that happens to share the base name keeps its own slot and
 // the synthesized variable moves aside).
-func (tr *translator) freshName(base string) string {
-	nn := base
-	for glsl.IsKeyword(nn) || glsl.IsTypeName(nn) || sem.IsBuiltin(nn) || tr.taken[nn] {
-		nn += "_w"
-	}
-	tr.taken[nn] = true
-	return nn
-}
+func (tr *translator) freshName(base string) string { return tr.names.Fresh(base) }
 
 func errf(p Pos, format string, args ...any) error {
 	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
@@ -116,7 +96,7 @@ func (tr *translator) module(m *Module) (*glsl.Shader, error) {
 	if tr.entry == nil {
 		return nil, fmt.Errorf("module has no @fragment entry point")
 	}
-	tr.taken["main"] = true
+	tr.names.Reserve("main")
 	tr.pushScope() // module scope
 	defer tr.popScope()
 
@@ -205,7 +185,7 @@ func (tr *translator) globalVar(d *GlobalVar) error {
 		g.Layout = "binding = " + a.Args[0]
 	}
 	tr.sh.Decls = append(tr.sh.Decls, g)
-	tr.bind(name, t)
+	tr.bind(d.Name, name, t)
 	return nil
 }
 
@@ -228,7 +208,7 @@ func (tr *translator) constDecl(d *ConstDecl) error {
 	tr.sh.Decls = append(tr.sh.Decls, &glsl.GlobalVar{
 		Qual: glsl.QualConst, Type: spec, Name: name, Init: init,
 	})
-	tr.bind(name, t)
+	tr.bind(d.Name, name, t)
 	return nil
 }
 
@@ -260,7 +240,7 @@ func (tr *translator) helperFn(d *FnDecl) error {
 		// Parameters shadow module names; bind without the module rename map.
 		pn := tr.localName(p.Name)
 		fn.Params = append(fn.Params, glsl.Param{Type: spec, Name: pn})
-		tr.bind(pn, t)
+		tr.bind(p.Name, pn, t)
 	}
 	body, err := tr.block(d.Body, nil)
 	if err != nil {
@@ -285,13 +265,16 @@ func (tr *translator) entryFn(d *FnDecl) error {
 		if err != nil {
 			return errf(d.Pos, "entry return: %v", err)
 		}
+		// The synthesized out variable is not a source identifier: reserve
+		// a fresh module-level name and keep it out of the value scopes
+		// (only the return desugaring refers to it, by this exact
+		// spelling — no WGSL expression can name it).
 		outVar = tr.freshName("fragColor")
 		g := &glsl.GlobalVar{Qual: glsl.QualOut, Type: spec, Name: outVar}
 		if a, ok := FindAttr(d.RetAttrs, "location"); ok && len(a.Args) == 1 {
 			g.Layout = "location = " + a.Args[0]
 		}
 		tr.sh.Decls = append(tr.sh.Decls, g)
-		tr.bind(outVar, t)
 	}
 	tr.pushScope()
 	defer tr.popScope()
@@ -310,7 +293,7 @@ func (tr *translator) entryFn(d *FnDecl) error {
 			g.Layout = "location = " + a.Args[0]
 		}
 		tr.sh.Decls = append(tr.sh.Decls, g)
-		tr.bind(name, t)
+		tr.bind(p.Name, name, t)
 	}
 	body, err := tr.block(d.Body, &outVar)
 	if err != nil {
@@ -323,17 +306,11 @@ func (tr *translator) entryFn(d *FnDecl) error {
 }
 
 // localName keeps function-local identifiers GLSL-safe and clear of
-// every module-level spelling. Steering clear of tr.taken matters for
-// correctness, not just hygiene: the entry return desugars into an
-// assignment to the synthesized out variable by name, so a local that
-// kept a colliding spelling (e.g. one literally named fragColor) would
-// capture that store and the shader would silently output nothing.
-func (tr *translator) localName(name string) string {
-	for glsl.IsKeyword(name) || glsl.IsTypeName(name) || sem.IsBuiltin(name) || tr.taken[name] {
-		name += "_w"
-	}
-	return name
-}
+// every module-level spelling (see naming.Namer.Local for why that is a
+// correctness requirement, not hygiene). Scopes are keyed by the
+// original WGSL name, so the suffixed spelling rides along in the
+// binding and shadowing still resolves by source semantics.
+func (tr *translator) localName(name string) string { return tr.names.Local(name) }
 
 // --- statements ---
 
@@ -456,7 +433,7 @@ func (tr *translator) declStmt(p Pos, name string, ty *TypeExpr, init Expr, isLe
 		return nil, errf(p, "%s %s: %v", kindWord(isLet), name, err)
 	}
 	ln := tr.localName(name)
-	tr.bind(ln, t)
+	tr.bind(name, ln, t)
 	return &glsl.DeclStmt{Pos: pos(p), Const: isLet, Type: spec, Name: ln, Init: gInit}, nil
 }
 

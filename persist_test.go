@@ -1,0 +1,175 @@
+package shaderopt
+
+import (
+	"testing"
+
+	"shaderopt/internal/corpus"
+)
+
+// persistNames is the warm-store acceptance subset: the committed bench
+// subset in full runs, a diverse slice of it under -short.
+func persistNames() []string {
+	if testing.Short() {
+		return []string{"blur/v9", "projtex/compose", "ui/flat", "simple/luma"}
+	}
+	return benchNames
+}
+
+func persistShaders(t *testing.T) []*corpus.Shader {
+	t.Helper()
+	all := corpus.MustLoad()
+	var out []*corpus.Shader
+	for _, n := range persistNames() {
+		s := corpus.ByName(all, n)
+		if s == nil {
+			t.Fatalf("missing corpus shader %s", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func persistHandles(t *testing.T, opts ...Option) []*Shader {
+	t.Helper()
+	handles, err := CompileCorpus(persistShaders(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return handles
+}
+
+func assertSweepsIdentical(t *testing.T, want, got *SweepResult) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i, wr := range want.Results {
+		gr := got.Results[i]
+		if gr.Name() != wr.Name() {
+			t.Fatalf("order differs at %d: %s vs %s", i, gr.Name(), wr.Name())
+		}
+		for vendor, ns := range wr.OrigNS {
+			if gr.OrigNS[vendor] != ns {
+				t.Errorf("%s orig on %s: %v != %v", wr.Name(), vendor, gr.OrigNS[vendor], ns)
+			}
+		}
+		for vendor, perVariant := range wr.VariantNS {
+			if len(gr.VariantNS[vendor]) != len(perVariant) {
+				t.Fatalf("%s on %s: variant counts differ", wr.Name(), vendor)
+			}
+			for hash, ns := range perVariant {
+				if gr.VariantNS[vendor][hash] != ns {
+					t.Errorf("%s variant %s on %s: %v != %v",
+						wr.Name(), hash, vendor, gr.VariantNS[vendor][hash], ns)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStoreSweepRunsNothing is the persistent-store acceptance gate:
+// after one store-backed sweep of the bench subset, a fresh session (new
+// process state: empty in-memory caches, fresh telemetry registry) over
+// the same store must reproduce every score byte-identically to a cold
+// store-less local sweep while running zero driver compiles and zero
+// harness measurements — everything is served from disk.
+func TestWarmStoreSweepRunsNothing(t *testing.T) {
+	cfg := FastProtocol()
+
+	// The oracle: a cold, store-less local sweep.
+	local := NewSession(WithProtocol(cfg))
+	want, err := local.Sweep(persistHandles(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold store-backed sweep populates the store (write-through).
+	warmup := NewSession(WithProtocol(cfg), WithStore(st))
+	if _, err := warmup.Sweep(persistHandles(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	coldCompiles := warmup.Telemetry().Counter("gpu.compiles").Value()
+	if coldCompiles == 0 {
+		t.Fatal("cold store-backed sweep ran no driver compiles; warm assertion would be vacuous")
+	}
+
+	// Warm restart: fresh session, fresh registry, same store directory
+	// (reopened, as a restarted daemon would).
+	st2, err := OpenStore(st.Dir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewSession(WithProtocol(cfg), WithStore(st2), WithTelemetry(NewTelemetry()))
+	got, err := warm.Sweep(persistHandles(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := warm.Telemetry()
+	if n := reg.Counter("gpu.compiles").Value(); n != 0 {
+		t.Errorf("warm sweep ran %d driver compiles, want 0", n)
+	}
+	if n := reg.Counter("harness.batches").Value(); n != 0 {
+		t.Errorf("warm sweep ran %d harness batches, want 0", n)
+	}
+	if n := reg.Counter("harness.samples").Value(); n != 0 {
+		t.Errorf("warm sweep drew %d harness samples, want 0", n)
+	}
+	if hits := reg.Counter("cache.store.hits").Value(); hits == 0 {
+		t.Error("warm sweep never hit the store")
+	}
+	assertSweepsIdentical(t, want, got)
+}
+
+// TestStoreProtocolKeysAreDisjoint: the same corpus swept under two
+// protocols through one store must not cross-serve scores — the protocol
+// is part of the measurement key.
+func TestStoreProtocolKeysAreDisjoint(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := FastProtocol()
+	slow := fast
+	slow.Seed ^= 0x9e3779b9 // different seed → different noise → different scores
+
+	a := NewSession(WithProtocol(fast), WithStore(st))
+	wantA, err := a.Sweep(persistHandles(t)[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewSession(WithProtocol(slow), WithStore(st))
+	wantB, err := b.Sweep(persistHandles(t)[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both protocols re-served from the same store, still disjoint.
+	a2 := NewSession(WithProtocol(fast), WithStore(st))
+	gotA, err := a2.Sweep(persistHandles(t)[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewSession(WithProtocol(slow), WithStore(st))
+	gotB, err := b2.Sweep(persistHandles(t)[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepsIdentical(t, wantA, gotA)
+	assertSweepsIdentical(t, wantB, gotB)
+
+	same := true
+	for vendor, ns := range wantA.Results[0].OrigNS {
+		if wantB.Results[0].OrigNS[vendor] != ns {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different protocols produced identical originals; disjointness test is vacuous")
+	}
+}

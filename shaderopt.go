@@ -71,7 +71,11 @@
 //     the vendor pipeline and cost model entirely on a hit. The vendor
 //     pipeline's opening canonicalization is skipped too
 //     (gpu.CompileCanonical): the input is already the fixed point, and
-//     canonicalization is idempotent.
+//     canonicalization is idempotent. The fingerprint is
+//     name-insensitive (an alpha-renamed canonical print), so lowerings
+//     that differ only in identifier spellings share one compile —
+//     sound because the cost models are names-blind, and pinned
+//     score-identical to the name-sensitive key corpus-wide.
 //   - Measurement-score cache, keyed (vendor, source hash, protocol),
 //     with an in-flight table so concurrent sweeps sharing a variant wait
 //     for one batched measurement instead of repeating it.
@@ -109,8 +113,9 @@
 //
 // Every layer contributes: the frontends record per-language parse
 // spans and frontend.parses counters, the enumeration trie its
-// enum.{nodes,steps,collapses,merges,leaves} structure, all four
-// session caches uniform cache.<name>.{hits,misses,evictions} counters
+// enum.{nodes,steps,collapses,merges,leaves} structure, all session
+// caches — the persistent store included, when one is attached —
+// uniform cache.<name>.{hits,misses,evictions} counters
 // through the LRU's stats sink, the simulated drivers per-vendor
 // "compile <vendor>" spans and the gpu.compile histogram, and the
 // harness batch sizes and sample-loop durations. Everything is nil-safe
@@ -118,6 +123,35 @@
 // sweep's scores are byte-identical to an untraced one's, pinned by
 // TestSweepTracedMatchesUntraced). cmd/sweep exposes all of it: -trace
 // out.json, -metrics, and -debug-addr (expvar + net/http/pprof).
+//
+// # Sweep service
+//
+// A session can layer a persistent content-addressed store
+// (internal/store) under its in-memory caches: open one with OpenStore
+// and attach it with WithStore. Driver compiles keyed (vendor,
+// canonical IR fingerprint) and measurement summaries keyed (vendor,
+// source hash, protocol) are written through to sharded on-disk entries
+// with versioned, checksummed headers; corrupt or truncated entries
+// degrade to misses, and the store is size-bounded with
+// least-recently-accessed eviction. Warm state therefore survives
+// restarts: a sweep over a warm store runs zero driver compiles and
+// zero harness measurements and returns byte-identical scores (pinned
+// by TestWarmStoreSweepRunsNothing). Store traffic reports into the
+// same registry as the in-memory caches
+// (cache.store.{hits,misses,evictions}, store.writes).
+//
+// cmd/sweepd serves a shared warm session as a long-lived HTTP daemon:
+// POST /sweep takes shader sources plus a named protocol and streams
+// newline-delimited JSON progress events followed by every score;
+// GET /healthz and GET /metricz cover liveness and metrics; SIGTERM
+// drains gracefully (in-flight sweeps complete, store synced, exit 0).
+// cmd/sweep -server <addr> is the thin client: sources go over the
+// wire, measurement happens in the daemon's shared session and store,
+// and the streamed scores join a local deterministic enumeration so
+// every report renders exactly as it would locally. Concurrent clients
+// with overlapping corpora dedupe through the shared in-flight
+// measurement table, and warm daemon restarts serve entirely from the
+// store — both pinned by internal/sweepd's load tests.
 //
 // # Testing strategy
 //
