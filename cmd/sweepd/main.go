@@ -53,7 +53,7 @@ func run(addr, storeDir string, storeMaxMB int64, workers int, drainTimeout time
 	}
 	server := sweepd.New(cfg)
 
-	httpSrv := &http.Server{Addr: addr, Handler: server.Handler()}
+	httpSrv := server.HTTPServer(addr)
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (protocols: %v)", addr, sweepd.ProtocolNames())

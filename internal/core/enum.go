@@ -44,6 +44,10 @@ import (
 type enumNode struct {
 	prog *ir.Program
 	fp   string
+	// cfp is the canonical (alpha-renamed) fingerprint — the key of the
+	// cross-shader SharedTrie. Populated eagerly on every node when the
+	// walk runs with a shared table, empty otherwise.
+	cfp string
 }
 
 // irFingerprint keys DAG nodes by program identity. The printed form
@@ -92,7 +96,10 @@ func FingerprintCanonical(p *ir.Program) string {
 // distinct nodes, step applications, no-op subtree collapses, and
 // fingerprint merges — which together say how hard the DAG collapse
 // worked for this shader; instrumentation never influences the walk.
-func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, workers int) *VariantSet {
+// shared, when non-nil, is the cross-shader node table the walk consults
+// before running a pass and feeds with what it computes (see SharedTrie);
+// the variant set stays byte-identical to a private walk either way.
+func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, workers int, shared *SharedTrie) *VariantSet {
 	span := reg.StartSpan("enumerate", "enum").Arg("shader", name).Arg("workers", workers)
 	defer span.End()
 	var stepsApplied, collapses, merges, nodes int64
@@ -100,6 +107,9 @@ func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, wor
 	pre := base.Clone()
 	passes.Prepare(pre)
 	root := &enumNode{prog: pre, fp: irFingerprint(pre)}
+	if shared != nil {
+		root.cfp = FingerprintCanonical(pre)
+	}
 	nodes++ // the root is the first distinct IR state
 
 	combos := passes.AllCombinations()
@@ -110,16 +120,21 @@ func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, wor
 		assign[i] = root
 	}
 
-	for _, st := range passes.FlaggedSteps() {
+	for stepIdx, st := range passes.FlaggedSteps() {
 		// Distinct live parents, in first-use (ascending combination)
 		// order so the merge below is deterministic.
 		parents := distinctNodes(assign)
 
 		// Fan the step applications out across the pool: each distinct
-		// parent IR has this step applied to it exactly once.
+		// parent IR has this step applied to it exactly once — or, with a
+		// shared table, adopted/transported from another shader's walk.
 		children := make([]*enumNode, len(parents))
 		parallelFor(workers, len(parents), func(i int) {
-			children[i] = applyStep(parents[i], st)
+			if shared != nil {
+				children[i] = shared.apply(parents[i], stepIdx, st)
+			} else {
+				children[i] = applyStep(parents[i], st)
+			}
 		})
 		stepsApplied += int64(len(parents))
 
@@ -165,8 +180,10 @@ func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, wor
 		outs[i] = glslgen.Generate(final, glslgen.Desktop)
 	})
 	outOf := make(map[*enumNode]string, len(leaves))
+	hashOf := make(map[*enumNode]string, len(leaves))
 	for i, leaf := range leaves {
 		outOf[leaf] = outs[i]
+		hashOf[leaf] = HashSource(outs[i])
 	}
 
 	// The structural counters are accumulated locally and published once:
@@ -181,15 +198,17 @@ func enumerateFromIR(reg *telemetry.Registry, base *ir.Program, name string, wor
 
 	// Assemble exactly like the legacy path: walk combinations in
 	// ascending order, deduplicating by generated-source hash (distinct
-	// leaf IRs can still print identical source).
+	// leaf IRs can still print identical source). Hashes were computed
+	// once per leaf above — hashing per combination would redo each
+	// leaf's digest dozens of times.
 	vs := &VariantSet{Name: name, ByFlags: make(map[Flags]*Variant, len(combos))}
 	byHash := map[string]*Variant{}
 	for ci, flags := range combos {
-		out := outOf[assign[ci]]
-		h := HashSource(out)
+		leaf := assign[ci]
+		h := hashOf[leaf]
 		v, ok := byHash[h]
 		if !ok {
-			v = &Variant{Source: out, Hash: h}
+			v = &Variant{Source: outOf[leaf], Hash: h}
 			byHash[h] = v
 			vs.Variants = append(vs.Variants, v)
 		}

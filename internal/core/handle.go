@@ -104,8 +104,19 @@ func (s *Shader) VariantsN(workers int) *VariantSet {
 // return the memo) records its span and the trie walk's node/merge/
 // collapse counters. A nil registry records nothing.
 func (s *Shader) VariantsT(reg *telemetry.Registry, workers int) *VariantSet {
+	return s.VariantsSharedT(reg, workers, nil)
+}
+
+// VariantsSharedT is VariantsT with a cross-shader trie-node table: the
+// walk consults `shared` before running a pass on an intermediate IR
+// another shader already pushed through that step, and feeds it with
+// what it computes privately. The variant set is byte-identical to a
+// private walk (sharing stays at the transform level), so the memo is
+// shared with every other Variants accessor. A nil table is a private
+// walk.
+func (s *Shader) VariantsSharedT(reg *telemetry.Registry, workers int, shared *SharedTrie) *VariantSet {
 	s.variantsOnce.Do(func() {
-		s.variants = enumerateFromIR(reg, s.base, s.Name, workers)
+		s.variants = enumerateFromIR(reg, s.base, s.Name, workers, shared)
 	})
 	return s.variants
 }

@@ -33,10 +33,58 @@ func (p *Program) CloneBlock(b *Block, subst map[*Instr]*Instr, varSubst map[*Va
 	return c.block(b)
 }
 
+// CloneRemapped deep-copies the program while substituting every Global
+// and Var reference through the given maps: the declaration lists and
+// every instruction operand are rewritten to the mapped slots, and IDs
+// are renumbered densely in program order. It exists for cross-shader
+// trie transport: when two alpha-equivalent programs differ only in
+// interface spellings, a transform result computed for one becomes the
+// result for the other by mapping each slot positionally onto the
+// other's. The substitution is strict — a Global or Var the program
+// declares or references that is absent from its map (e.g. one a pass
+// synthesized after the maps were built) fails the clone, returning
+// (nil, false) so the caller recomputes instead of transporting a
+// wrongly-named slot. Name and Version still carry the receiver's
+// values; the caller overwrites them with the adopting program's.
+func (p *Program) CloneRemapped(globals map[*Global]*Global, vars map[*Var]*Var) (*Program, bool) {
+	np := &Program{Name: p.Name, Version: p.Version}
+	c := &cloner{p: np, subst: map[*Instr]*Instr{}, varSubst: vars, globalSubst: globals, strict: true}
+	np.Uniforms = make([]*Global, len(p.Uniforms))
+	for i, g := range p.Uniforms {
+		np.Uniforms[i] = c.globalRef(g)
+	}
+	np.Inputs = make([]*Global, len(p.Inputs))
+	for i, g := range p.Inputs {
+		np.Inputs[i] = c.globalRef(g)
+	}
+	np.Vars = make([]*Var, len(p.Vars))
+	for i, v := range p.Vars {
+		np.Vars[i] = c.variable(v)
+	}
+	np.Outputs = make([]*Var, len(p.Outputs))
+	for i, v := range p.Outputs {
+		np.Outputs[i] = c.variable(v)
+	}
+	np.Body = c.block(p.Body)
+	if c.failed {
+		return nil, false
+	}
+	np.RenumberIDs()
+	return np, true
+}
+
 type cloner struct {
 	p        *Program
 	subst    map[*Instr]*Instr
 	varSubst map[*Var]*Var
+
+	// globalSubst, strict, and failed serve CloneRemapped: globalSubst
+	// rewrites interface-global references the way varSubst rewrites
+	// Vars, and strict turns any unmapped Global or Var into a recorded
+	// failure instead of a silent pass-through.
+	globalSubst map[*Global]*Global
+	strict      bool
+	failed      bool
 }
 
 func (c *cloner) resolve(in *Instr) *Instr {
@@ -50,7 +98,23 @@ func (c *cloner) variable(v *Var) *Var {
 	if r, ok := c.varSubst[v]; ok && r != nil {
 		return r
 	}
+	if c.strict {
+		c.failed = true
+	}
 	return v
+}
+
+func (c *cloner) globalRef(g *Global) *Global {
+	if g == nil || c.globalSubst == nil {
+		return g
+	}
+	if r, ok := c.globalSubst[g]; ok && r != nil {
+		return r
+	}
+	if c.strict {
+		c.failed = true
+	}
+	return g
 }
 
 func (c *cloner) block(b *Block) *Block {
@@ -99,7 +163,7 @@ func (c *cloner) instr(in *Instr) *Instr {
 	if in.Var != nil {
 		ni.Var = c.variable(in.Var)
 	}
-	ni.Global = in.Global
+	ni.Global = c.globalRef(in.Global)
 	if in.Const != nil {
 		ni.Const = in.Const.Clone()
 	}

@@ -24,8 +24,8 @@ func TestHammerEvictionAccounting(t *testing.T) {
 		bound   = 128
 	)
 	c := New[int, int](bound)
-	var hitSink, missSink, evictSink atomicCounter
-	c.Instrument(&hitSink, &missSink, &evictSink)
+	var hitSink, missSink, evictSink, rejectSink atomicCounter
+	c.Instrument(&hitSink, &missSink, &evictSink, &rejectSink)
 
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
@@ -46,14 +46,17 @@ func TestHammerEvictionAccounting(t *testing.T) {
 	wg.Wait()
 
 	total := int64(workers * puts)
-	_, _, evicted := c.Stats()
+	_, _, evicted, rejected := c.Stats()
+	if rejected != 0 || rejectSink.n != 0 {
+		t.Errorf("rejected = %d (sink %d), want 0: every entry fits the bound", rejected, rejectSink.n)
+	}
 	if got, want := evicted, total-int64(c.Len()); got != want {
 		t.Errorf("evictions = %d, want puts - len = %d - %d = %d", got, total, c.Len(), want)
 	}
 	if c.Cost() > bound {
 		t.Errorf("cost %d exceeds bound %d at quiescence", c.Cost(), bound)
 	}
-	hits, misses, _ := c.Stats()
+	hits, misses, _, _ := c.Stats()
 	if hitSink.n != hits || missSink.n != misses || evictSink.n != evicted {
 		t.Errorf("instrumented sinks (h=%d m=%d e=%d) disagree with Stats (h=%d m=%d e=%d)",
 			hitSink.n, missSink.n, evictSink.n, hits, misses, evicted)

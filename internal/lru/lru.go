@@ -16,18 +16,19 @@ import (
 // non-positive bound disables eviction. All methods are safe for
 // concurrent use.
 type Cache[K comparable, V any] struct {
-	mu      sync.Mutex
-	max     int
-	cost    int
-	order   *list.List // front = most recently used; values are *entry[K, V]
-	items   map[K]*list.Element
-	hits    int64
-	misses  int64
-	evicted int64
+	mu       sync.Mutex
+	max      int
+	cost     int
+	order    *list.List // front = most recently used; values are *entry[K, V]
+	items    map[K]*list.Element
+	hits     int64
+	misses   int64
+	evicted  int64
+	rejected int64
 
 	// Optional external event sinks (see Instrument); nil when the cache
 	// is uninstrumented.
-	hitSink, missSink, evictSink Counter
+	hitSink, missSink, evictSink, rejectSink Counter
 }
 
 // Counter is the event-sink interface Instrument accepts: anything with
@@ -54,14 +55,15 @@ func New[K comparable, V any](maxCost int) *Cache[K, V] {
 }
 
 // Instrument wires cache events to external counters — hits and misses
-// on Get, evictions on Add — so a session can surface every cache's
-// traffic uniformly through one telemetry registry. Any sink may be nil.
-// Call before the cache is shared; sinks observe events from then on (the
-// internal Stats counters keep counting from zero regardless).
-func (c *Cache[K, V]) Instrument(hits, misses, evictions Counter) {
+// on Get, evictions and oversized-entry rejections on Add — so a session
+// can surface every cache's traffic uniformly through one telemetry
+// registry. Any sink may be nil. Call before the cache is shared; sinks
+// observe events from then on (the internal Stats counters keep counting
+// from zero regardless).
+func (c *Cache[K, V]) Instrument(hits, misses, evictions, rejections Counter) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.hitSink, c.missSink, c.evictSink = hits, misses, evictions
+	c.hitSink, c.missSink, c.evictSink, c.rejectSink = hits, misses, evictions, rejections
 }
 
 // Get returns the cached value and marks it most recently used.
@@ -88,8 +90,11 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 // least-recently-used entries until the bound holds again. An entry whose
 // own cost exceeds the bound is not stored at all: admitting it would
 // either break the bound or immediately evict it, so the caller keeps the
-// value unshared instead. Costs below 1 count as 1 so every entry makes
-// eviction progress.
+// value unshared instead. Rejections are counted (Stats, and the
+// Instrument rejection sink) — without that accounting, a bound smaller
+// than the working set's largest entries reads as a 0%-hit mystery: the
+// caller sees neither hit, miss, nor eviction, just a cache that never
+// warms. Costs below 1 count as 1 so every entry makes eviction progress.
 func (c *Cache[K, V]) Add(key K, val V, cost int) {
 	if cost < 1 {
 		cost = 1
@@ -97,6 +102,10 @@ func (c *Cache[K, V]) Add(key K, val V, cost int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.max > 0 && cost > c.max {
+		c.rejected++
+		if c.rejectSink != nil {
+			c.rejectSink.Add(1)
+		}
 		return
 	}
 	if el, ok := c.items[key]; ok {
@@ -141,9 +150,11 @@ func (c *Cache[K, V]) Cost() int {
 // Bound returns the configured maximum cost (<= 0 means unbounded).
 func (c *Cache[K, V]) Bound() int { return c.max }
 
-// Stats returns cumulative hit, miss, and eviction counts.
-func (c *Cache[K, V]) Stats() (hits, misses, evicted int64) {
+// Stats returns cumulative hit, miss, eviction, and rejection counts
+// (rejections being Adds refused because a single entry's cost exceeded
+// the bound).
+func (c *Cache[K, V]) Stats() (hits, misses, evicted, rejected int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evicted
+	return c.hits, c.misses, c.evicted, c.rejected
 }

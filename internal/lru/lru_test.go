@@ -52,12 +52,30 @@ func TestCostNeverExceedsBound(t *testing.T) {
 
 func TestOversizedEntryRejected(t *testing.T) {
 	c := New[string, int](5)
+	var rejects fakeCounter
+	c.Instrument(nil, nil, nil, &rejects)
 	c.Add("big", 1, 6)
 	if _, ok := c.Get("big"); ok {
 		t.Fatal("entry costlier than the whole bound must not be admitted")
 	}
 	if c.Cost() != 0 {
 		t.Fatalf("cost = %d after rejected add", c.Cost())
+	}
+	// The refusal must be visible: neither a hit, miss, nor eviction
+	// records it, so without the rejected counter a too-small bound looks
+	// like a cache that never warms for no reason.
+	if _, _, _, rejected := c.Stats(); rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+	if rejects.v != 1 {
+		t.Fatalf("reject sink = %d, want 1", rejects.v)
+	}
+	c.Add("fits", 2, 5) // exactly at the bound: admitted, not a rejection
+	if _, ok := c.Get("fits"); !ok {
+		t.Fatal("entry at exactly the bound must be admitted")
+	}
+	if _, _, _, rejected := c.Stats(); rejected != 1 {
+		t.Fatalf("rejected = %d after admissible add, want 1", rejected)
 	}
 }
 
@@ -81,7 +99,7 @@ func TestUnboundedNeverEvicts(t *testing.T) {
 	if c.Len() != 500 {
 		t.Fatalf("len = %d, want 500 (unbounded)", c.Len())
 	}
-	if _, _, evicted := c.Stats(); evicted != 0 {
+	if _, _, evicted, _ := c.Stats(); evicted != 0 {
 		t.Fatalf("evicted = %d, want 0", evicted)
 	}
 }
@@ -105,9 +123,9 @@ func TestStats(t *testing.T) {
 	c.Add("a", 1, 1)
 	c.Get("a")
 	c.Add("b", 2, 1) // evicts a
-	hits, misses, evicted := c.Stats()
-	if hits != 1 || misses != 1 || evicted != 1 {
-		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, evicted)
+	hits, misses, evicted, rejected := c.Stats()
+	if hits != 1 || misses != 1 || evicted != 1 || rejected != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 1/1/1/0", hits, misses, evicted, rejected)
 	}
 }
 
@@ -118,20 +136,21 @@ func (f *fakeCounter) Add(delta int64) { f.v += delta }
 
 func TestInstrumentSinks(t *testing.T) {
 	c := New[string, int](1)
-	var hits, misses, evicts fakeCounter
-	c.Instrument(&hits, &misses, &evicts)
+	var hits, misses, evicts, rejects fakeCounter
+	c.Instrument(&hits, &misses, &evicts, &rejects)
 	c.Get("miss")
 	c.Add("a", 1, 1)
 	c.Get("a")
 	c.Add("b", 2, 1) // evicts a
-	if hits.v != 1 || misses.v != 1 || evicts.v != 1 {
-		t.Fatalf("sinks = %d/%d/%d, want 1/1/1", hits.v, misses.v, evicts.v)
+	c.Add("big", 3, 2)
+	if hits.v != 1 || misses.v != 1 || evicts.v != 1 || rejects.v != 1 {
+		t.Fatalf("sinks = %d/%d/%d/%d, want 1/1/1/1", hits.v, misses.v, evicts.v, rejects.v)
 	}
 	// The internal stats count the same events, and nil sinks are allowed.
-	if h, m, e := c.Stats(); h != 1 || m != 1 || e != 1 {
-		t.Fatalf("stats = %d/%d/%d, want 1/1/1", h, m, e)
+	if h, m, e, rj := c.Stats(); h != 1 || m != 1 || e != 1 || rj != 1 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 1/1/1/1", h, m, e, rj)
 	}
-	c.Instrument(nil, nil, nil)
+	c.Instrument(nil, nil, nil, nil)
 	c.Get("b")
 	if hits.v != 1 {
 		t.Fatalf("detached sink advanced: %d", hits.v)

@@ -13,9 +13,56 @@
 package naming
 
 import (
+	"fmt"
+
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/sem"
 )
+
+// SemToSpec renders a sem type as a GLSL syntactic type reference for
+// the canonical AST. It is the single sem→GLSL type spelling used by
+// every translating frontend (WGSL, HLSL); living here rather than in
+// each frontend keeps the generated texts' type vocabulary identical by
+// construction.
+func SemToSpec(t sem.Type) (glsl.TypeSpec, error) {
+	if t.IsArray() {
+		elem, err := SemToSpec(t.Elem())
+		if err != nil {
+			return glsl.TypeSpec{}, err
+		}
+		elem.ArrayLen = t.ArrayLen
+		return elem, nil
+	}
+	name := ""
+	switch {
+	case t.IsSampler():
+		name = "sampler" + t.Dim
+	case t.IsMatrix():
+		name = fmt.Sprintf("mat%d", t.Mat)
+	case t.IsVector():
+		switch t.Kind {
+		case sem.KindFloat:
+			name = fmt.Sprintf("vec%d", t.Vec)
+		case sem.KindInt:
+			name = fmt.Sprintf("ivec%d", t.Vec)
+		case sem.KindBool:
+			name = fmt.Sprintf("bvec%d", t.Vec)
+		}
+	case t.IsScalar():
+		switch t.Kind {
+		case sem.KindFloat:
+			name = "float"
+		case sem.KindInt:
+			name = "int"
+		case sem.KindBool:
+			name = "bool"
+		}
+	}
+	if name == "" {
+		return glsl.TypeSpec{}, fmt.Errorf("type %s has no GLSL equivalent", t)
+	}
+	return glsl.Scalar(name), nil
+}
 
 // Namer hands out GLSL-safe spellings for one module translation. The
 // zero value is not usable; construct with New.

@@ -49,44 +49,54 @@ type Step struct {
 	Flag Flags
 	// Run applies the step in place.
 	Run func(p *ir.Program)
+	// NameBlind reports that the step's output is independent of
+	// identifier spellings: running it on two alpha-equivalent programs
+	// yields alpha-equivalent results under the same renaming, so a
+	// cross-shader enumeration may transport one program's result onto
+	// the other by renaming interface slots. Every step qualifies except
+	// Hoist, which orders the select/store pairs it synthesizes by
+	// variable name (sortedVarsByName), so its *output* can depend on
+	// spellings even though its firing decision is purely structural.
+	NameBlind bool
 }
 
 // flaggedSteps is the fixed LunarGlass-like pass order. RunFlagged and the
 // enumeration trie both execute exactly this list; each entry bundles the
 // pass with its conditional re-canonicalization.
 var flaggedSteps = []Step{
-	{FlagUnroll, func(p *ir.Program) {
+	{Flag: FlagUnroll, NameBlind: true, Run: func(p *ir.Program) {
 		if Unroll(p) {
 			Canonicalize(p)
 		}
 	}},
-	{FlagHoist, func(p *ir.Program) {
+	// Hoist is the one name-sensitive step: see Step.NameBlind.
+	{Flag: FlagHoist, NameBlind: false, Run: func(p *ir.Program) {
 		if Hoist(p) {
 			Canonicalize(p)
 		}
 	}},
-	{FlagReassociate, func(p *ir.Program) {
+	{Flag: FlagReassociate, NameBlind: true, Run: func(p *ir.Program) {
 		if Reassociate(p) {
 			Canonicalize(p)
 		}
 	}},
-	{FlagDivToMul, func(p *ir.Program) {
+	{Flag: FlagDivToMul, NameBlind: true, Run: func(p *ir.Program) {
 		if DivToMul(p) {
 			Canonicalize(p)
 		}
 	}},
-	{FlagFPReassociate, func(p *ir.Program) {
+	{Flag: FlagFPReassociate, NameBlind: true, Run: func(p *ir.Program) {
 		FPReassoc(p) // canonicalizes internally per round
 	}},
-	{FlagGVN, func(p *ir.Program) {
+	{Flag: FlagGVN, NameBlind: true, Run: func(p *ir.Program) {
 		if GVN(p) {
 			Canonicalize(p)
 		}
 	}},
-	{FlagCoalesce, func(p *ir.Program) {
+	{Flag: FlagCoalesce, NameBlind: true, Run: func(p *ir.Program) {
 		Coalesce(p) // canonicalizes internally when it fires
 	}},
-	{FlagADCE, func(p *ir.Program) {
+	{Flag: FlagADCE, NameBlind: true, Run: func(p *ir.Program) {
 		if ADCE(p) {
 			Canonicalize(p)
 		}

@@ -8,6 +8,8 @@ import (
 
 	"shaderopt/internal/gpu"
 	"shaderopt/internal/isa"
+	"shaderopt/internal/store"
+	"shaderopt/internal/telemetry"
 )
 
 // This file is the session's persistence layer: the read-through /
@@ -31,13 +33,14 @@ import (
 // degrades to not caching (counted on store.write_errors), so the
 // persistent layer can only ever cost time, never correctness.
 
-// storeCompilePrefix and storeMeasPrefix namespace the two artefact
-// families inside one store. Keys are hashed before hitting the disk, so
-// the NUL separators are purely to make collisions impossible, not a
-// file-naming concern.
+// storeCompilePrefix, storeMeasPrefix, and storeTriePrefix namespace the
+// artefact families inside one store. Keys are hashed before hitting the
+// disk, so the NUL separators are purely to make collisions impossible,
+// not a file-naming concern.
 const (
 	storeCompilePrefix = "compile\x00"
 	storeMeasPrefix    = "meas\x00"
+	storeTriePrefix    = "trie\x00"
 )
 
 // storedCompiled is the serialized form of a gpu.Compiled: every field
@@ -134,5 +137,37 @@ func (s *Session) storePutScore(vendor, hash string, ns float64) {
 	binary.BigEndian.PutUint64(payload[:], math.Float64bits(ns))
 	if err := s.store.Put(storeMeasPrefix+vendor+"\x00"+hash+"\x00"+s.protoKey(), payload[:]); err != nil {
 		s.storeWriteErrs.Inc()
+	}
+}
+
+// trieStore is the third persisted artefact family: shared trie-node
+// outcomes (core.TriePersist), keyed by the core-rendered transition key
+// (step index + flag bit + canonical parent fingerprint — the step
+// identity is in the key, so a reordered pipeline can never consume a
+// stale entry). The payload is one no-op byte plus the child's canonical
+// fingerprint; a no-op read back on a warm start skips the pass outright,
+// and the usual degradation rules apply (corrupt entry → miss, failed
+// write → not cached, both without affecting results).
+type trieStore struct {
+	st        *store.Store
+	writeErrs *telemetry.Counter
+}
+
+func (t trieStore) GetNode(key string) (noop bool, childCFP string, ok bool) {
+	payload, ok := t.st.Get(storeTriePrefix + key)
+	if !ok || len(payload) < 1 || payload[0] > 1 {
+		return false, "", false
+	}
+	return payload[0] == 1, string(payload[1:]), true
+}
+
+func (t trieStore) PutNode(key string, noop bool, childCFP string) {
+	payload := make([]byte, 1+len(childCFP))
+	if noop {
+		payload[0] = 1
+	}
+	copy(payload[1:], childCFP)
+	if err := t.st.Put(storeTriePrefix+key, payload); err != nil {
+		t.writeErrs.Inc()
 	}
 }

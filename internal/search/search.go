@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -211,13 +212,30 @@ type Options struct {
 	Telemetry *telemetry.Registry
 	// Store, when non-nil, layers a persistent on-disk cache under the
 	// in-memory LRUs: memory miss → store read → compute → write-through,
-	// for driver compiles (keyed vendor + canonical IR fingerprint) and
-	// measurement scores (keyed vendor + source hash + protocol). The
-	// session instruments the store's hit/miss/eviction traffic into its
-	// telemetry registry (cache.store.*, store.*). Sharing one store
-	// across sessions is sound — entries are deterministic recomputations
-	// — but the sinks belong to the last session that attached.
+	// for driver compiles (keyed vendor + canonical IR fingerprint),
+	// measurement scores (keyed vendor + source hash + protocol), and
+	// shared trie-node outcomes (keyed step + canonical parent
+	// fingerprint). The session instruments the store's
+	// hit/miss/eviction traffic into its telemetry registry
+	// (cache.store.*, store.*). Sharing one store across sessions is
+	// sound — entries are deterministic recomputations — but the sinks
+	// belong to the last session that attached.
 	Store *store.Store
+	// SharedTrie, when non-nil, is the cross-shader enumeration table the
+	// session's variant enumerations consult and feed (core.SharedTrie):
+	// inject one to share transform work across sessions, as sweepd does
+	// across its per-protocol sessions. Nil makes the session create a
+	// private table (unless DisableSharedTrie). The session instruments
+	// the table's usable-hit traffic into its registry
+	// (enum.shared.{hits,misses}) and, when a Store is attached, wires
+	// the table's persistent node layer; like Store sinks, both belong to
+	// the last session that attached.
+	SharedTrie *core.SharedTrie
+	// DisableSharedTrie turns cross-shader enumeration sharing off: every
+	// handle's trie walk runs private. The variant sets and scores are
+	// byte-identical either way (sharing stays at the transform level);
+	// the switch exists for A/B gates and benchmarks.
+	DisableSharedTrie bool
 }
 
 // Session owns the shared state of a measurement campaign: the protocol,
@@ -260,6 +278,12 @@ type Session struct {
 	lowered  *lru.Cache[string, *frontEnd]
 	compiled *lru.Cache[compiledKey, *gpu.Compiled]
 	enums    *lru.Cache[enumKey, *core.VariantSet]
+
+	// shared is the cross-shader trie-node table enumeration runs
+	// through (Options.SharedTrie, or a session-private one); nil when
+	// sharing is disabled. Sharing stays at the transform level, so every
+	// result is byte-identical to a private walk.
+	shared *core.SharedTrie
 
 	// anyMobile records whether the roster has a mobile platform, so the
 	// shared front end converts each desktop text to GLES eagerly, while
@@ -394,16 +418,28 @@ func NewSession(platforms []*gpu.Platform, opts Options) *Session {
 			reg.Counter("store.corrupt"),
 		)
 	}
+	if !opts.DisableSharedTrie {
+		s.shared = opts.SharedTrie
+		if s.shared == nil {
+			s.shared = core.NewSharedTrie(0)
+		}
+		s.shared.Instrument(reg.Counter("enum.shared.hits"), reg.Counter("enum.shared.misses"))
+		if s.store != nil {
+			s.shared.SetPersist(trieStore{st: s.store, writeErrs: s.storeWriteErrs})
+		}
+	}
 	return s
 }
 
-// instrumentCache attaches one session cache's hit/miss/eviction sinks to
-// the uniform cache.<name>.{hits,misses,evictions} registry counters.
+// instrumentCache attaches one session cache's hit/miss/eviction/
+// rejection sinks to the uniform cache.<name>.{hits,misses,evictions,
+// rejected} registry counters.
 func instrumentCache[K comparable, V any](c *lru.Cache[K, V], reg *telemetry.Registry, name string) {
 	c.Instrument(
 		reg.Counter("cache."+name+".hits"),
 		reg.Counter("cache."+name+".misses"),
 		reg.Counter("cache."+name+".evictions"),
+		reg.Counter("cache."+name+".rejected"),
 	)
 }
 
@@ -497,10 +533,15 @@ func (s *Session) Variants(h *core.Shader) (*core.VariantSet, bool) {
 	if vs, ok := s.enums.Get(key); ok {
 		return vs, true
 	}
-	vs := h.VariantsT(s.reg, s.workers)
+	vs := h.VariantsSharedT(s.reg, s.workers, s.shared)
 	s.enums.Add(key, vs, vs.Unique())
 	return vs, false
 }
+
+// SharedTrie returns the cross-shader enumeration table the session's
+// walks run through: Options.SharedTrie when one was injected, the
+// session-private table otherwise, nil when DisableSharedTrie was set.
+func (s *Session) SharedTrie() *core.SharedTrie { return s.shared }
 
 // frontEndFor returns the cached driver-front-end work for one distinct
 // source text: parsed and lowered once per cache residency across all
@@ -626,7 +667,19 @@ func (s *Session) resolveCompiled(pl *gpu.Platform, src, hash string, handle *co
 // caching — and byte-identical to the per-variant legacy pipeline
 // (SweepLegacy), pinned corpus-wide by the harness-equivalence suite.
 func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
-	return s.sweep(handles, onEvent, s.sweepShader)
+	return s.SweepContext(context.Background(), handles, onEvent)
+}
+
+// SweepContext is Sweep under a cancellation context: when ctx is
+// canceled the sweep stops starting new work — unclaimed shaders,
+// per-platform measurement passes, and waits on other sweeps' in-flight
+// measurements — and returns ctx's error. Cancellation never corrupts
+// shared session state: a measurement batch this sweep has already
+// reserved in the in-flight table runs to completion (it is what other
+// concurrent sweeps may be waiting on), so a canceled client can never
+// fail another client's measurements.
+func (s *Session) SweepContext(ctx context.Context, handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
+	return s.sweep(ctx, handles, onEvent, s.sweepShader)
 }
 
 // SweepLegacy runs the same study through the per-variant measurement
@@ -645,13 +698,15 @@ func (s *Session) Sweep(handles []*core.Shader, onEvent func(SweepEvent)) (*Swee
 // gate (testdata/harness_baseline.json) fails CI if Sweep stops beating
 // this path by the committed factor. Study code should use Sweep.
 func (s *Session) SweepLegacy(handles []*core.Shader, onEvent func(SweepEvent)) (*Sweep, error) {
-	return s.sweep(handles, onEvent, s.sweepShaderLegacy)
+	return s.sweep(context.Background(), handles, onEvent, s.sweepShaderLegacy)
 }
 
 // sweep is the shared study driver: the shader fan-out across the worker
 // pool, error collection, and the serialized event stream, parameterized
-// by the per-shader measurement strategy.
-func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perShader func(*core.Shader) (*ShaderResult, SweepEvent, error)) (*Sweep, error) {
+// by the per-shader measurement strategy. A canceled ctx stops shaders
+// that have not started yet and is threaded into each per-shader run's
+// own cancellation points.
+func (s *Session) sweep(ctx context.Context, handles []*core.Shader, onEvent func(SweepEvent), perShader func(context.Context, *core.Shader) (*ShaderResult, SweepEvent, error)) (*Sweep, error) {
 	results := make([]*ShaderResult, len(handles))
 	errs := make([]error, len(handles))
 
@@ -666,8 +721,12 @@ func (s *Session) sweep(handles []*core.Shader, onEvent func(SweepEvent), perSha
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			var ev SweepEvent
-			results[i], ev, errs[i] = perShader(h)
+			results[i], ev, errs[i] = perShader(ctx, h)
 			if errs[i] == nil {
 				eventMu.Lock()
 				ev.Shader = h.Name
@@ -718,8 +777,9 @@ func origBaseline(h *core.Shader, vs *core.VariantSet) (src, hash string, handle
 // (variant counts, enumeration and measurement cost, cache traffic). Work
 // is grouped per platform: each platform's uncached texts are compiled
 // through the session compile cache and sampled in one batched harness
-// pass.
-func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
+// pass. Cancellation is honored between platform passes, never inside
+// one (a reserved in-flight batch always completes; see SweepContext).
+func (s *Session) sweepShader(ctx context.Context, h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
 	span := s.reg.StartSpan("sweep "+h.Name, "sweep")
 	defer span.End()
 	enumStart := time.Now()
@@ -736,7 +796,10 @@ func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, e
 	}
 	measStart := time.Now()
 	for _, pl := range s.platforms {
-		origNS, perVariant, err := s.measurePlatform(pl, origSrc, origHash, origHandle, vs, &ev)
+		if err := ctx.Err(); err != nil {
+			return nil, ev, err
+		}
+		origNS, perVariant, err := s.measurePlatform(ctx, pl, origSrc, origHash, origHandle, vs, &ev)
 		if err != nil {
 			return nil, ev, err
 		}
@@ -753,8 +816,11 @@ func (s *Session) sweepShader(h *core.Shader) (r *ShaderResult, ev SweepEvent, e
 // measured by a concurrently-sweeping shader — are reused; misses are
 // reserved in the inflight map, resolved through the compile cache, and
 // sampled together. Every reserved entry is completed exactly once, on
-// success or failure, so waiters never block past this call.
-func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, origHandle *core.Shader, vs *core.VariantSet, ev *SweepEvent) (float64, map[string]float64, error) {
+// success or failure, so waiters never block past this call. ctx is
+// consulted only while waiting on entries *other* sweeps own: an entry
+// this call reserved is always driven to completion regardless of
+// cancellation, because concurrent sweeps may already be blocked on it.
+func (s *Session) measurePlatform(ctx context.Context, pl *gpu.Platform, origSrc, origHash string, origHandle *core.Shader, vs *core.VariantSet, ev *SweepEvent) (float64, map[string]float64, error) {
 	type slot struct {
 		src    string
 		hash   string
@@ -853,13 +919,23 @@ func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, or
 
 	// Collect measurements other sweeps (or earlier duplicate slots of
 	// this one) had in flight. Our own batch is already complete, so this
-	// cannot deadlock on ourselves.
+	// cannot deadlock on ourselves. This wait is the one place
+	// cancellation may interrupt measurement: the entries belong to other
+	// sweeps, which complete them on their own schedule whether or not we
+	// stop listening.
 	for i := range slots {
 		sl := &slots[i]
 		if sl.done || sl.owned {
 			continue
 		}
-		<-sl.entry.done
+		select {
+		case <-sl.entry.done:
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			continue
+		}
 		if sl.entry.err != nil {
 			if firstErr == nil {
 				firstErr = sl.entry.err
@@ -884,7 +960,7 @@ func (s *Session) measurePlatform(pl *gpu.Platform, origSrc, origHash string, or
 // harness.MeasureSource, with no session measurement caching. Kept as
 // the oracle sweepShader is differentially tested and benchmarked
 // against; see SweepLegacy for what it does and does not represent.
-func (s *Session) sweepShaderLegacy(h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
+func (s *Session) sweepShaderLegacy(ctx context.Context, h *core.Shader) (r *ShaderResult, ev SweepEvent, err error) {
 	enumStart := time.Now()
 	vs, enumCached := s.Variants(h)
 	ev.EnumCached = enumCached
@@ -899,6 +975,9 @@ func (s *Session) sweepShaderLegacy(h *core.Shader) (r *ShaderResult, ev SweepEv
 	}
 	measStart := time.Now()
 	for _, pl := range s.platforms {
+		if err := ctx.Err(); err != nil {
+			return nil, ev, err
+		}
 		m, err := harness.MeasureSource(pl, origSrc, s.cfg)
 		if err != nil {
 			return nil, ev, fmt.Errorf("original on %s: %w", pl.Vendor, err)

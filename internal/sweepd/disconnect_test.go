@@ -1,0 +1,173 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syntheticSources builds n distinct GLSL shaders (distinct constants, so
+// nothing dedupes across them) — enough serialized sweep work that a
+// client disconnect lands mid-stream.
+func syntheticSources(n int) []ShaderSource {
+	out := make([]ShaderSource, n)
+	for i := range out {
+		src := fmt.Sprintf(`#version 330 core
+uniform float gain;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    float g = gain * uv.x + %d.5 * uv.y;
+    for (int i = 0; i < 4; i++) { g = g * 0.5 + 0.25; }
+    fragColor = vec4(g, g * 0.25, g + float(%d), 1.0);
+}`, i, i)
+		out[i] = ShaderSource{Name: fmt.Sprintf("synthetic/s%02d", i), Source: src, Lang: "glsl"}
+	}
+	return out
+}
+
+// TestSweepdClientDisconnectCancelsSweep pins the abort path: a client
+// that drops its /sweep connection mid-stream must cancel the in-flight
+// sweep (the request context propagates into SweepContext), not leave
+// the daemon measuring for nobody. Run under -race in CI, so a handler
+// racing its dead connection would also surface here.
+func TestSweepdClientDisconnectCancelsSweep(t *testing.T) {
+	server := New(Config{Workers: 1})
+	handlerDone := make(chan struct{})
+	var doneOnce sync.Once
+	inner := server.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		// Only the first request (the one we abandon) is tracked; the
+		// follow-up sweep reuses this mux.
+		defer doneOnce.Do(func() { close(handlerDone) })
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The default protocol (not "fast") keeps each shader's measurement
+	// heavy enough that the cancel reliably lands mid-corpus even on a
+	// fast machine; the abort path means only a couple of shaders are
+	// actually paid for.
+	sources := syntheticSources(24)
+	body, err := json.Marshal(SweepRequest{Shaders: sources, Protocol: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read exactly one event line, then walk away: canceling the request
+	// context closes the connection, which the server surfaces as a
+	// canceled r.Context().
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before the first event: %v", sc.Err())
+	}
+	var first StreamLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first stream line: %v", err)
+	}
+	if first.Event == nil {
+		t.Fatalf("first stream line is not an event: %s", sc.Text())
+	}
+	cancel()
+
+	select {
+	case <-handlerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler still running 30s after client disconnect; sweep not canceled")
+	}
+	// The abort must land mid-corpus: a handler that ignored the
+	// disconnect would have enumerated (and measured) all 24 shaders
+	// before returning. Enumerations run once per distinct source, so the
+	// counter at handler return is the corpus progress when the sweep
+	// stopped.
+	enumsAtReturn := server.Telemetry().Counter("enum.runs").Value()
+	if enumsAtReturn >= int64(len(sources)) {
+		t.Fatalf("handler returned only after enumerating all %d shaders; disconnect did not cancel", len(sources))
+	}
+
+	// The shared session (sessions are per protocol, so the same one the
+	// abort hit) must come out unharmed: a fresh client sweeping a slice
+	// of the same corpus succeeds.
+	c := &Client{BaseURL: ts.URL}
+	got, err := c.Sweep(SweepRequest{Shaders: sources[:3], Protocol: "default"}, nil)
+	if err != nil {
+		t.Fatalf("follow-up sweep after aborted client: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("follow-up sweep returned %d results, want 3", len(got))
+	}
+}
+
+// TestSweepdHTTPServer pins the daemon's server hardening: header reads
+// are bounded (slow-loris), while read/write stay unbounded for corpus
+// uploads and long-lived sweep streams.
+func TestSweepdHTTPServer(t *testing.T) {
+	server := New(Config{})
+	srv := server.HTTPServer("127.0.0.1:0")
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != 0 || srv.WriteTimeout != 0 {
+		t.Errorf("read/write timeouts = %v/%v, want 0/0 (bodies and streams are unbounded)",
+			srv.ReadTimeout, srv.WriteTimeout)
+	}
+	if srv.Handler == nil {
+		t.Fatal("HTTPServer has no handler")
+	}
+
+	// Serve for real: normal requests work through it, and a slow-loris
+	// peer is cut off once the (shortened, for test time) header window
+	// expires.
+	srv.ReadHeaderTimeout = 100 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	c := &Client{BaseURL: base}
+	if err := c.Health(); err != nil {
+		t.Errorf("healthz through HTTPServer: %v", err)
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /sweep HTTP/1.1\r\nHost: x\r\nX-Dribble: ")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the headers; the server must close the connection
+	// instead of holding the goroutine forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("slow-loris connection produced a response body byte, want close")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Error("slow-loris connection still open after the header timeout")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"shaderopt/internal/core"
 	"shaderopt/internal/gpu"
@@ -168,6 +169,28 @@ func (s *Server) Drain() error {
 	return s.cfg.Store.Sync()
 }
 
+// DefaultReadHeaderTimeout bounds how long HTTPServer waits for a
+// request's headers. Generous for any real client, but it means a peer
+// that opens a connection and trickles header bytes (slow-loris) cannot
+// pin a server goroutine indefinitely.
+const DefaultReadHeaderTimeout = 10 * time.Second
+
+// HTTPServer returns an http.Server configured for the daemon's traffic
+// shape: ReadHeaderTimeout set (headers are tiny; only a hostile or
+// broken client needs longer), but no overall read or write timeout —
+// request bodies can carry whole corpora, and a /sweep response is a
+// long-lived chunked stream whose duration is the sweep's, so blanket
+// timeouts would sever legitimate clients mid-study. Disconnected
+// clients are handled by cancellation instead: the server cancels the
+// request context, which stops the in-flight sweep (see handleSweep).
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+	}
+}
+
 // Handler returns the daemon's HTTP handler: POST /sweep, GET /healthz,
 // GET /metricz.
 func (s *Server) Handler() http.Handler {
@@ -226,16 +249,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	var writeErr error
 	emit := func(line StreamLine) {
 		// Session event callbacks are serialized, and the final line is
-		// emitted after Sweep returns, so writes never interleave.
-		_ = enc.Encode(line)
+		// emitted after Sweep returns, so writes never interleave (no
+		// mutex needed). Once a write fails the client is gone: stop
+		// encoding into the dead connection and let the request context
+		// (which the server cancels on disconnect) stop the sweep.
+		if writeErr != nil {
+			return
+		}
+		if err := enc.Encode(line); err != nil {
+			writeErr = err
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 
-	sweep, err := sess.Sweep(handles, func(ev search.SweepEvent) {
+	// The request context is canceled when the client disconnects (or the
+	// server shuts down), so an abandoned stream stops claiming shaders
+	// and starting measurement passes instead of sweeping for nobody.
+	// Work other concurrent clients wait on still completes; that is
+	// SweepContext's cancellation contract.
+	sweep, err := sess.SweepContext(r.Context(), handles, func(ev search.SweepEvent) {
 		emit(StreamLine{Event: &ev})
 	})
 	if err != nil {

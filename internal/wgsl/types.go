@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"shaderopt/internal/glsl"
+	"shaderopt/internal/naming"
 	"shaderopt/internal/sem"
 )
 
@@ -123,43 +124,5 @@ func matName(name string) (int, bool) {
 }
 
 // semToSpec renders a sem type as a GLSL syntactic type reference for the
-// canonical AST.
-func semToSpec(t sem.Type) (glsl.TypeSpec, error) {
-	if t.IsArray() {
-		elem, err := semToSpec(t.Elem())
-		if err != nil {
-			return glsl.TypeSpec{}, err
-		}
-		elem.ArrayLen = t.ArrayLen
-		return elem, nil
-	}
-	name := ""
-	switch {
-	case t.IsSampler():
-		name = "sampler" + t.Dim
-	case t.IsMatrix():
-		name = fmt.Sprintf("mat%d", t.Mat)
-	case t.IsVector():
-		switch t.Kind {
-		case sem.KindFloat:
-			name = fmt.Sprintf("vec%d", t.Vec)
-		case sem.KindInt:
-			name = fmt.Sprintf("ivec%d", t.Vec)
-		case sem.KindBool:
-			name = fmt.Sprintf("bvec%d", t.Vec)
-		}
-	case t.IsScalar():
-		switch t.Kind {
-		case sem.KindFloat:
-			name = "float"
-		case sem.KindInt:
-			name = "int"
-		case sem.KindBool:
-			name = "bool"
-		}
-	}
-	if name == "" {
-		return glsl.TypeSpec{}, fmt.Errorf("type %s has no GLSL equivalent", t)
-	}
-	return glsl.Scalar(name), nil
-}
+// canonical AST (the shared naming.SemToSpec spelling).
+func semToSpec(t sem.Type) (glsl.TypeSpec, error) { return naming.SemToSpec(t) }

@@ -32,8 +32,30 @@
 // 256 combinations form a binary trie whose "off" edges are free and
 // whose nodes merge by IR fingerprint, so each distinct intermediate IR
 // is transformed once, codegen runs once per distinct result, and the
-// walk shards across the session's worker pool (WithWorkers). A Session
-// owns the measurement campaign — protocol, platforms, a measurement
+// walk shards across the session's worker pool (WithWorkers).
+//
+// Memoization also crosses shader boundaries: a session keeps one
+// shared trie-node table keyed (step index, canonical IR fingerprint),
+// so when one shader's walk reaches an intermediate IR another shader
+// already pushed through a step — the übershader-family scenario, where
+// variants specialized from one source walk alpha-equivalent states —
+// it adopts the recorded outcome instead of re-running the pass: a
+// recorded no-op collapses the subtree outright, an identical-spelling
+// parent adopts the child wholesale, and an alpha-equivalent parent
+// rebuilds it by positionally renaming interface slots (one clone
+// instead of a pass run). Sharing stays strictly at the transform
+// level — each shader keeps its own trie, variant texts, and
+// measurement seeds — so shared-walk variant sets are byte-identical
+// to private ones (pinned corpus-wide by
+// TestSharedEnumerationMatchesPrivate, and a committed benchmark gate
+// holds the twin-family speedup). With a persistent store attached, the
+// name-insensitive half of each node (the no-op bit and the child's
+// canonical fingerprint) survives restarts, so a warm daemon skips
+// recorded no-op passes outright. The table is LRU-bounded, reports as
+// enum.shared.{hits,misses}, and is on by default (search's
+// DisableSharedTrie opts out).
+//
+// A Session owns the measurement campaign — protocol, platforms, a measurement
 // cache that guarantees each distinct variant is measured exactly once,
 // and LRU-bounded enumeration/lowering caches (WithCacheBound) so a
 // long-lived sweep service's memory stays flat at corpus scale:
