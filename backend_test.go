@@ -1,0 +1,225 @@
+package shaderopt
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shaderopt/internal/core"
+	"shaderopt/internal/corpus"
+	"shaderopt/internal/spirvgen"
+)
+
+// The multi-backend suite has two layers:
+//
+//   - snapshot tests (naga-style): one representative shader per corpus
+//     family is emitted through every non-GLSL backend and compared
+//     byte-for-byte against testdata/snapshots/, so any codegen change
+//     shows up as a reviewable diff. SPIR-V snapshots are stored as the
+//     deterministic disassembly, not raw words, so diffs stay readable.
+//     Regenerate after an intentional change with:
+//
+//	go test . -run TestBackendSnapshots -update
+//
+//   - the backend-differential gate: every enumerated variant of the
+//     differential corpus is emitted through each backend, re-ingested by
+//     that backend's front end (decode for SPIR-V, the MSL parser for
+//     MSL), and rendered — the result must match the GLSL-path render
+//     bit-for-bit, with zero tolerance: the backends reorder no floating
+//     point, so the round trip is exact even for unsafe-FP variants.
+
+var updateSnapshots = flag.Bool("update", false, "rewrite backend snapshot files with current output")
+
+const snapshotDir = "testdata/snapshots"
+
+// snapshotShaders picks one representative per corpus family — the
+// family's first instance in corpus order, so the set is stable as long
+// as families keep their lead shader.
+func snapshotShaders(t *testing.T) []*corpus.Shader {
+	t.Helper()
+	all, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var out []*corpus.Shader
+	for _, s := range all {
+		if seen[s.Family] {
+			continue
+		}
+		seen[s.Family] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// snapshotFile renders a shader's snapshot filename for one backend:
+// the / in corpus names becomes __, and the extension names the format.
+func snapshotFile(name string, b Backend) string {
+	ext := map[Backend]string{BackendMSL: "msl", BackendSPIRV: "spvasm"}[b]
+	return strings.ReplaceAll(name, "/", "__") + "." + ext
+}
+
+// TestBackendSnapshots pins every (frontend, backend, corpus-family)
+// triple: each family representative — GLSL, WGSL, and HLSL sources all
+// appear, since wgsl/ and hlsl/ are families — is emitted through the
+// MSL and SPIR-V backends and compared against the committed snapshot.
+func TestBackendSnapshots(t *testing.T) {
+	shaders := snapshotShaders(t)
+	expected := map[string]bool{}
+	for _, s := range shaders {
+		h, err := Compile(s.Source, s.Name, WithLang(s.Lang))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, b := range []Backend{BackendMSL, BackendSPIRV} {
+			name := snapshotFile(s.Name, b)
+			expected[name] = true
+			out, err := h.Emit(b)
+			if err != nil {
+				t.Errorf("%s: emit %s: %v", s.Name, b, err)
+				continue
+			}
+			got := out
+			if b == BackendSPIRV {
+				// Validate the binary, then snapshot the disassembly.
+				words, err := spirvgen.DecodeWords(out)
+				if err != nil {
+					t.Errorf("%s: spirv module: %v", s.Name, err)
+					continue
+				}
+				if err := spirvgen.Validate(words); err != nil {
+					t.Errorf("%s: spirv validation: %v", s.Name, err)
+					continue
+				}
+				got = []byte(spirvgen.Disassemble(words))
+			}
+			checkSnapshot(t, name, got)
+		}
+	}
+	checkSnapshotStrays(t, expected)
+}
+
+// checkSnapshot compares got against testdata/snapshots/<name>,
+// rewriting the file under -update.
+func checkSnapshot(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join(snapshotDir, name)
+	if *updateSnapshots {
+		if err := os.MkdirAll(snapshotDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("missing snapshot %s (run with -update to create): %v", path, err)
+		return
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from snapshot; rerun with -update after reviewing.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// checkSnapshotStrays fails on snapshot files no current shader
+// produces, so renamed or deleted corpus entries cannot leave stale
+// pinned output behind.
+func checkSnapshotStrays(t *testing.T, expected map[string]bool) {
+	t.Helper()
+	entries, err := os.ReadDir(snapshotDir)
+	if err != nil {
+		if os.IsNotExist(err) && *updateSnapshots {
+			return
+		}
+		t.Fatalf("reading %s: %v", snapshotDir, err)
+	}
+	for _, e := range entries {
+		if !expected[e.Name()] {
+			t.Errorf("stray snapshot %s: no corpus shader produces it; delete it", filepath.Join(snapshotDir, e.Name()))
+		}
+	}
+}
+
+// TestBackendDifferential is the backend-differential gate: for every
+// enumerated variant of the differential corpus, each backend's output
+// must re-ingest to a program that renders bit-identically to the GLSL
+// path. Tolerance is exactly zero — unlike the optimization-equivalence
+// suite, no pass runs between the two sides, so even unsafe-FP variants
+// must round-trip exactly.
+func TestBackendDifferential(t *testing.T) {
+	for _, s := range diffCorpus(t) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			h, err := Compile(s.Source, s.Name, WithLang(s.Lang))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range h.Variants().Variants {
+				name := fmt.Sprintf("%s@%s", s.Name, v.Hash)
+				// The GLSL-path reference: the variant's generated text
+				// re-parsed and rendered, exactly what the differential
+				// suite compares against the original.
+				vh, err := Compile(v.Source, name)
+				if err != nil {
+					t.Fatalf("variant %s: %v", v.Hash, err)
+				}
+				ref, err := vh.Render(diffW, diffH, NoFlags)
+				if err != nil {
+					t.Fatalf("variant %s: reference render: %v", v.Hash, err)
+				}
+				for _, b := range []Backend{BackendMSL, BackendSPIRV} {
+					out, err := vh.Emit(b)
+					if err != nil {
+						t.Fatalf("variant %s: emit %s: %v", v.Hash, b, err)
+					}
+					re, err := core.ReparseBackend(out, name, b)
+					if err != nil {
+						t.Fatalf("variant %s: re-ingest %s: %v", v.Hash, b, err)
+					}
+					img, err := renderProgram(re, diffW, diffH)
+					if err != nil {
+						t.Fatalf("variant %s: render via %s: %v", v.Hash, b, err)
+					}
+					if delta := maxPixelDelta(ref, img); delta != 0 {
+						t.Errorf("variant %s: %s round trip diverges: max channel delta %g, want exact",
+							v.Hash, b, delta)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackendEmitDeterministic pins that emission is a pure function of
+// the IR for every backend — the property the snapshot files and the
+// content-addressed store both lean on.
+func TestBackendEmitDeterministic(t *testing.T) {
+	shaders := snapshotShaders(t)
+	for _, s := range shaders[:5] {
+		h, err := Compile(s.Source, s.Name, WithLang(s.Lang))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []Backend{BackendGLSL, BackendMSL, BackendSPIRV} {
+			a, err := h.Emit(b)
+			if err != nil {
+				t.Fatalf("%s: emit %s: %v", s.Name, b, err)
+			}
+			c, err := h.Emit(b)
+			if err != nil {
+				t.Fatalf("%s: emit %s: %v", s.Name, b, err)
+			}
+			if !bytes.Equal(a, c) {
+				t.Errorf("%s: %s emission is not deterministic", s.Name, b)
+			}
+		}
+	}
+}

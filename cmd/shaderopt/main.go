@@ -1,13 +1,16 @@
 // Command shaderopt is the offline optimizer CLI (the LunarGlass
-// equivalent): it reads a fragment shader — desktop GLSL, WGSL, or HLSL,
-// auto-detected or pinned with -lang — and writes the optimized desktop
-// GLSL, with pass selection via -flags.
+// equivalent): it reads a fragment shader — desktop GLSL, WGSL, HLSL, or
+// MSL, auto-detected or pinned with -lang — and writes the optimized
+// output, with pass selection via -flags and target selection via
+// -backend (desktop GLSL, MSL, or binary SPIR-V).
 //
 //	shaderopt -flags unroll+fp-reassociate shader.frag
 //	shaderopt -flags all -es shader.frag        # GLES output
 //	shaderopt -variants shader.frag             # enumerate unique variants
 //	shaderopt -lang wgsl -flags all shader.wgsl # WGSL input
 //	shaderopt -lang hlsl -flags all shader.hlsl # HLSL input
+//	shaderopt -backend msl shader.frag          # Metal Shading Language
+//	shaderopt -backend spirv shader.frag > s.spv # binary SPIR-V module
 package main
 
 import (
@@ -21,7 +24,8 @@ import (
 
 func main() {
 	flagList := flag.String("flags", "default", "optimization flags: none|default|all or name+name (adce, coalesce, gvn, reassociate, unroll, hoist, fp-reassociate, div-to-mul)")
-	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl|hlsl")
+	langName := flag.String("lang", "auto", "source language: auto|glsl|wgsl|hlsl|msl")
+	backendName := flag.String("backend", "glsl", "codegen backend: glsl|msl|spirv (spirv writes a binary module to stdout)")
 	es := flag.Bool("es", false, "emit OpenGL ES output via the SPIR-V conversion path")
 	variants := flag.Bool("variants", false, "enumerate all 256 flag combinations and list unique variants")
 	vertex := flag.Bool("vertex", false, "also print the auto-generated matching vertex shader")
@@ -35,6 +39,13 @@ func main() {
 	lang, err := shaderopt.ParseLang(*langName)
 	if err != nil {
 		fail(err)
+	}
+	backend, err := shaderopt.ParseBackend(*backendName)
+	if err != nil {
+		fail(err)
+	}
+	if *es && backend != shaderopt.BackendGLSL {
+		fail(fmt.Errorf("-es applies to the GLSL backend only (got -backend %s)", backend))
 	}
 
 	// One registry observes the run; -metrics renders it on the way out.
@@ -61,6 +72,18 @@ func main() {
 	flags, err := shaderopt.ParseFlags(*flagList)
 	if err != nil {
 		fail(err)
+	}
+	if backend != shaderopt.BackendGLSL {
+		// Non-GLSL backends emit straight from the optimized IR; SPIR-V is
+		// binary, so bytes go to stdout unrendered.
+		out, err := sh.EmitOptimized(flags, backend)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
+			fail(err)
+		}
+		return
 	}
 	out := sh.Optimize(flags)
 	if *es {

@@ -46,6 +46,7 @@ import (
 // cliConfig carries the flag values into run.
 type cliConfig struct {
 	exp, platform, lang string
+	backend             string
 	fast                bool
 	workers             int
 	traceOut            string
@@ -58,7 +59,8 @@ func main() {
 	var c cliConfig
 	flag.StringVar(&c.exp, "exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
 	flag.StringVar(&c.platform, "platform", "", "restrict per-platform figures (7, 9) to one vendor")
-	flag.StringVar(&c.lang, "lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl")
+	flag.StringVar(&c.lang, "lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl|msl")
+	flag.StringVar(&c.backend, "backend", "", "override every platform's driver ingestion format: glsl|msl|spirv (default: each platform's own assignment)")
 	flag.BoolVar(&c.fast, "fast", false, "use the reduced measurement protocol (fewer frames/repeats)")
 	flag.IntVar(&c.workers, "workers", 0, "worker pool size for the sweep and the sharded variant enumeration (0 = GOMAXPROCS)")
 	flag.StringVar(&c.traceOut, "trace", "", "write the run's spans as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
@@ -76,6 +78,9 @@ func main() {
 func run(c cliConfig) error {
 	expList, platformFilter, langFilter := c.exp, c.platform, c.lang
 	fast, workers := c.fast, c.workers
+	if c.backend != "" && c.server != "" {
+		return fmt.Errorf("-backend overrides local platforms only; a sweepd server measures with its own roster")
+	}
 
 	// One registry observes the whole run: corpus compiles, enumeration,
 	// driver compiles, and the measurement harness all report into it.
@@ -145,9 +150,21 @@ func run(c cliConfig) error {
 		shaders = kept
 	}
 	platforms := gpu.Platforms()
+	if c.backend != "" {
+		// Pin one ingestion format across the roster: every driver receives
+		// the same backend's output, isolating the format's own artefacts
+		// from the per-vendor assignment.
+		b, err := core.ParseBackend(c.backend)
+		if err != nil {
+			return err
+		}
+		for _, p := range platforms {
+			p.Ingest = b.String()
+		}
+	}
 	vendors := make([]string, len(platforms))
 	for i, p := range platforms {
-		vendors[i] = p.Vendor
+		vendors[i] = fmt.Sprintf("%s(%s)", p.Vendor, p.Ingest)
 	}
 	fmt.Printf("Corpus: %d fragment shaders in %d families; platforms: %s\n\n",
 		len(shaders), len(corpus.FamilyNames()), strings.Join(vendors, ", "))

@@ -156,6 +156,17 @@ func (s *Shader) VariantsT(reg *Telemetry) *VariantSet { return s.h.VariantsT(re
 // input.
 func (s *Shader) ToGLSL() string { return s.h.GLSL() }
 
+// Emit serializes the shader's unoptimized IR through the given codegen
+// backend. Text backends (GLSL, MSL) return source bytes; BackendSPIRV
+// returns a little-endian binary SPIR-V module.
+func (s *Shader) Emit(b Backend) ([]byte, error) { return s.h.Emit(b) }
+
+// EmitOptimized runs the flagged passes on a clone of the cached IR and
+// serializes the result through the given backend.
+func (s *Shader) EmitOptimized(flags Flags, b Backend) ([]byte, error) {
+	return s.h.EmitOptimized(flags, b)
+}
+
 // Measure times the shader on a platform under the protocol, reusing the
 // cached IR: GLSL input feeds the driver compiler directly from the
 // lowered program, WGSL and HLSL input is measured via its cached GLSL

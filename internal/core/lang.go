@@ -6,6 +6,7 @@ import (
 
 	"shaderopt/internal/hlsl"
 	"shaderopt/internal/ir"
+	"shaderopt/internal/msl"
 	"shaderopt/internal/telemetry"
 	"shaderopt/internal/wgsl"
 )
@@ -25,6 +26,8 @@ const (
 	LangWGSL
 	// LangHLSL is the Direct3D High-Level Shading Language.
 	LangHLSL
+	// LangMSL is the Metal Shading Language.
+	LangMSL
 )
 
 func (l Lang) String() string {
@@ -37,6 +40,8 @@ func (l Lang) String() string {
 		return "wgsl"
 	case LangHLSL:
 		return "hlsl"
+	case LangMSL:
+		return "msl"
 	}
 	return fmt.Sprintf("Lang(%d)", int(l))
 }
@@ -52,8 +57,10 @@ func ParseLang(s string) (Lang, error) {
 		return LangWGSL, nil
 	case "hlsl":
 		return LangHLSL, nil
+	case "msl", "metal":
+		return LangMSL, nil
 	}
-	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, wgsl, or hlsl)", s)
+	return LangAuto, fmt.Errorf("unknown language %q (want auto, glsl, wgsl, hlsl, or msl)", s)
 }
 
 // DetectLang guesses the source language from unambiguous syntax markers
@@ -63,14 +70,27 @@ func ParseLang(s string) (Lang, error) {
 // bindings, and its own vector/matrix/resource type names (float4,
 // float3x3, Texture2D, SamplerState — GLSL spells these vec4, mat3,
 // sampler2D); every GLSL shader in the subset has `void main` and usually
-// a #version line. Comments are stripped first so prose mentioning another
-// language's syntax cannot flip the detection, and HLSL type names only
-// count as whole words so a GLSL identifier like `myfloat2` stays GLSL.
+// a #version line. MSL shares HLSL's float2/float4 type names, so its
+// unmistakable markers — attribute brackets like `[[stage_in]]`, the
+// templated `texture2d<`/`texturecube<` resource types, and the
+// metal_stdlib preamble — are checked before the HLSL word list.
+// Comments are stripped first so prose mentioning another language's
+// syntax cannot flip the detection, and HLSL type names only count as
+// whole words so a GLSL identifier like `myfloat2` stays GLSL.
 func DetectLang(src string) Lang {
 	code := stripComments(src)
 	for _, marker := range []string{"@fragment", "@location(", "@builtin(", "@group(", "@binding("} {
 		if strings.Contains(code, marker) {
 			return LangWGSL
+		}
+	}
+	for _, marker := range []string{
+		"[[stage_in]]", "[[buffer(", "[[texture(", "[[color(",
+		"texture2d<", "texturecube<",
+		"#include <metal_stdlib>", "using namespace metal",
+	} {
+		if strings.Contains(code, marker) {
+			return LangMSL
 		}
 	}
 	if containsWordPrefix(code, "SV_") {
@@ -211,6 +231,15 @@ func LowerLangT(reg *telemetry.Registry, src, name string, lang Lang) (*ir.Progr
 		span := reg.StartSpan("parse hlsl", "frontend").Arg("shader", name)
 		defer span.End()
 		prog, err := hlsl.Compile(src, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return prog, nil
+	case LangMSL:
+		countParse(reg, LangMSL)
+		span := reg.StartSpan("parse msl", "frontend").Arg("shader", name)
+		defer span.End()
+		prog, err := msl.Compile(src, name)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}

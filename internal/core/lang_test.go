@@ -2,14 +2,17 @@ package core
 
 import "testing"
 
-// TestDetectLangTable pins the three-way detection heuristics, including
+// TestDetectLangTable pins the four-way detection heuristics, including
 // the historical misclassifications: WGSL entry points that omit
 // @fragment but carry @location/@builtin attributes, GLSL whose comments
-// mention WGSL syntax (`fn`, `->`, even `@fragment`), and — since the
-// third frontend — HLSL sources distinguished from GLSL only by their
-// type vocabulary (float4 vs vec4), from comment-mentions of that
-// vocabulary, and from GLSL identifiers that merely embed an HLSL type
-// name (`myfloat2`).
+// mention WGSL syntax (`fn`, `->`, even `@fragment`), HLSL sources
+// distinguished from GLSL only by their type vocabulary (float4 vs
+// vec4), from comment-mentions of that vocabulary, and from GLSL
+// identifiers that merely embed an HLSL type name (`myfloat2`), and —
+// since the MSL backend grew a matching frontend — MSL sources, which
+// share HLSL's float2/float4 vocabulary and are told apart only by
+// their attribute brackets, templated resource types, and stdlib
+// preamble.
 func TestDetectLangTable(t *testing.T) {
 	cases := []struct {
 		name string
@@ -137,6 +140,53 @@ func TestDetectLangTable(t *testing.T) {
 			"glsl identifier containing SV_",
 			"out vec4 c;\nuniform float uSV_offset;\nvoid main() { c = vec4(uSV_offset); }\n",
 			LangGLSL,
+		},
+		{
+			// The fourth frontend: a full MSL fragment function. The
+			// [[stage_in]] attribute alone is decisive.
+			"msl stage_in",
+			"struct VOut { float2 uv [[user(locn0)]]; };\nfragment float4 main0(VOut in [[stage_in]]) {\n    return float4(in.uv, 0.0, 1.0);\n}\n",
+			LangMSL,
+		},
+		{
+			// Regression: MSL shares float2/float4 with HLSL, so the
+			// templated resource types must be checked before the HLSL
+			// word list — this source is full of HLSL vocabulary.
+			"msl texture2d argument",
+			"fragment float4 main0(texture2d<float> tex [[texture(0)]], sampler s [[sampler(0)]]) {\n    return tex.sample(s, float2(0.5));\n}\n",
+			LangMSL,
+		},
+		{
+			"msl metal_stdlib preamble",
+			"#include <metal_stdlib>\nusing namespace metal;\nfragment float4 main0() { return float4(1.0); }\n",
+			LangMSL,
+		},
+		{
+			"msl buffer binding",
+			"fragment float4 main0(constant float4 &tint [[buffer(0)]]) { return tint; }\n",
+			LangMSL,
+		},
+		{
+			// Regression: MSL markers inside comments are not code; the
+			// float4 vocabulary then classifies the rest as HLSL.
+			"hlsl mentioning msl in a comment",
+			"// MSL twin: fragment float4 main0(VOut in [[stage_in]])\nfloat4 main(float2 uv : TEXCOORD0) : SV_Target { return float4(uv, 0.0, 1.0); }\n",
+			LangHLSL,
+		},
+		{
+			// Regression: a GLSL shader whose comments mention
+			// texture2d<float> and metal_stdlib stays GLSL.
+			"glsl mentioning msl in a comment",
+			"/* Metal port uses texture2d<float> and #include <metal_stdlib> */\n#version 330\nout vec4 c;\nvoid main() { c = vec4(1.0); }\n",
+			LangGLSL,
+		},
+		{
+			// WGSL attributes are checked before MSL markers, so an
+			// unambiguous WGSL interface wins even alongside msl-ish text
+			// in comments.
+			"wgsl mentioning msl in comments",
+			"// Metal twin uses [[stage_in]] and texture2d<float>\n@fragment\nfn main() -> @location(0) vec4<f32> { return vec4<f32>(1.0); }\n",
+			LangWGSL,
 		},
 	}
 	for _, tc := range cases {

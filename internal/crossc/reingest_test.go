@@ -1,0 +1,106 @@
+package crossc
+
+import (
+	"math"
+	"testing"
+
+	"shaderopt/internal/exec"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+)
+
+// TestReingestGLSLIsIdentity pins that the GLSL ingestion path (and the
+// empty default) returns the same program pointer: platforms with a
+// GLSL-preferring driver are provably untouched by the ingestion layer.
+func TestReingestGLSLIsIdentity(t *testing.T) {
+	prog, err := lower.Lower(glsl.MustParse(desktopSrc), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"", IngestGLSL} {
+		re, err := Reingest(prog, "id", format)
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if re != prog {
+			t.Errorf("format %q: returned a new program, want the identity", format)
+		}
+	}
+}
+
+// TestReingestRoundTripsPreserveSemantics runs the MSL and SPIR-V
+// ingestion round trips and checks the re-ingested program evaluates
+// identically to the original (interface names may differ; outputs are
+// matched positionally, exactly as the drivers consume them).
+func TestReingestRoundTripsPreserveSemantics(t *testing.T) {
+	prog, err := lower.Lower(glsl.MustParse(desktopSrc), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trips may reorder or rename the interface, so uniforms are
+	// bound by shape (the vec4 tint vs the scalar gain), not by index.
+	env := func(p *ir.Program) *exec.Env {
+		e := &exec.Env{
+			Uniforms: map[string]*ir.ConstVal{},
+			Inputs:   map[string]*ir.ConstVal{},
+			Samplers: map[string]exec.Sampler{},
+		}
+		for _, u := range p.Uniforms {
+			switch {
+			case u.Type.IsSampler():
+				e.Samplers[u.Name] = exec.DefaultSampler{}
+			case u.Type.Components() == 4:
+				e.Uniforms[u.Name] = ir.FloatConst(0.2, 0.4, 0.6, 0.8)
+			default:
+				e.Uniforms[u.Name] = ir.FloatConst(0.75)
+			}
+		}
+		for _, in := range p.Inputs {
+			e.Inputs[in.Name] = ir.FloatConst(0.3, 0.7)
+		}
+		return e
+	}
+	ref, err := exec.Run(prog, env(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{IngestMSL, IngestSPIRV} {
+		re, err := Reingest(prog, "rt", format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if re == prog {
+			t.Fatalf("%s: returned the original program, want a round-tripped one", format)
+		}
+		got, err := exec.Run(re, env(re))
+		if err != nil {
+			t.Fatalf("%s: running re-ingested program: %v", format, err)
+		}
+		var v1, v2 *ir.ConstVal
+		for _, v := range ref.Outputs {
+			v1 = v
+		}
+		for _, v := range got.Outputs {
+			v2 = v
+		}
+		if v1 == nil || v2 == nil {
+			t.Fatalf("%s: missing outputs", format)
+		}
+		for i := 0; i < v1.Len(); i++ {
+			if math.Abs(v1.F[i]-v2.F[i]) != 0 {
+				t.Errorf("%s: component %d: %v vs %v, want exact", format, i, v1.F[i], v2.F[i])
+			}
+		}
+	}
+}
+
+func TestReingestUnknownFormat(t *testing.T) {
+	prog, err := lower.Lower(glsl.MustParse(desktopSrc), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reingest(prog, "bad", "dxil"); err == nil {
+		t.Fatal("unknown ingestion format accepted")
+	}
+}

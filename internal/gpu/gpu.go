@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"shaderopt/internal/crossc"
 	"shaderopt/internal/glsl"
 	"shaderopt/internal/ir"
 	"shaderopt/internal/isa"
@@ -55,6 +56,16 @@ type Platform struct {
 	DriverName string
 	// Mobile platforms receive shaders through the GLES conversion path.
 	Mobile bool
+	// Ingest names the program form this driver stack prefers to ingest
+	// (crossc.IngestGLSL/IngestMSL/IngestSPIRV; "" means GLSL). Non-GLSL
+	// formats insert a backend round trip — serialize through that
+	// backend, re-ingest through its front end — at the head of the
+	// vendor pipeline, modelling a runtime that hands the driver
+	// translated MSL or SPIR-V rather than the interchange GLSL. The
+	// assignment across the five platforms exercises every backend in
+	// the measurement loop; it is not a claim of vendor realism (the
+	// paper's drivers all consumed GLSL).
+	Ingest string
 
 	Driver DriverConfig
 	Cost   CostParams
@@ -150,6 +161,7 @@ func (pl *Platform) CompileCanonicalT(reg *telemetry.Registry, prog *ir.Program)
 // compileCanonical is the vendor-specific tail of the driver pipeline:
 // everything after the opening canonicalization.
 func (pl *Platform) compileCanonical(prog *ir.Program) *Compiled {
+	prog = pl.ingest(prog)
 	d := pl.Driver
 	if d.UnrollMaxTrips > 0 {
 		maxInstrs := d.UnrollMaxInstrs
@@ -188,6 +200,30 @@ func (pl *Platform) compileCanonical(prog *ir.Program) *Compiled {
 	c := &Compiled{Platform: pl, Stats: stats}
 	pl.Cost.fill(c)
 	return c
+}
+
+// ingest passes the program through the platform's preferred ingestion
+// format (Platform.Ingest): the backend round trip a translating runtime
+// performs before the vendor JIT sees the shader. GLSL ingestion is the
+// identity. The round trip can leave the canonicalization fixed point,
+// so a translated program is re-canonicalized before the vendor passes.
+// Every measurement path converges here — MeasureSource, MeasureProgram,
+// and the session compile cache all reach compileCanonical — so the
+// harness-equivalence suite holds without per-path wiring.
+//
+// A reingest failure panics: the backends are total over the verified IR
+// subset (pinned corpus-wide by the backend-differential suite), so a
+// failure here is an emitter or front-end bug, not an input condition a
+// caller could handle.
+func (pl *Platform) ingest(prog *ir.Program) *ir.Program {
+	re, err := crossc.Reingest(prog, pl.Vendor, pl.Ingest)
+	if err != nil {
+		panic(fmt.Sprintf("gpu: %s driver ingest (%s): %v", pl.Vendor, pl.Ingest, err))
+	}
+	if re != prog {
+		passes.Canonicalize(re)
+	}
+	return re
 }
 
 // DrawNS returns the modelled true (noise-free) GPU time for one draw call

@@ -1,6 +1,9 @@
 package gpu
 
-import "shaderopt/internal/isa"
+import (
+	"shaderopt/internal/crossc"
+	"shaderopt/internal/isa"
+)
 
 // Platforms returns the paper's five measurement targets (§IV-C) in the
 // paper's presentation order: Intel, AMD, NVIDIA, ARM, Qualcomm.
@@ -35,6 +38,7 @@ func NewIntel() *Platform {
 		Vendor:     "Intel",
 		GPUName:    "HD Graphics 530",
 		DriverName: "Mesa DRI Intel (Skylake GT2), Mesa 17.0.0-devel",
+		Ingest:     crossc.IngestGLSL,
 		Driver: DriverConfig{
 			UnrollMaxTrips: 16, UnrollMaxInstrs: 512,
 			GVN: true, IntReassoc: true, DivToMulConst: true,
@@ -63,6 +67,7 @@ func NewAMD() *Platform {
 		Vendor:     "AMD",
 		GPUName:    "RX 480 (8GB)",
 		DriverName: "Gallium 0.4 on AMD POLARIS10, LLVM 3.9.1, Mesa 17.0.0-devel",
+		Ingest:     crossc.IngestSPIRV,
 		Driver: DriverConfig{
 			UnrollMaxTrips: 0,
 			GVN:            true, IntReassoc: true, DivToMulConst: true,
@@ -92,6 +97,7 @@ func NewNVIDIA() *Platform {
 		Vendor:     "NVIDIA",
 		GPUName:    "GeForce GTX 1080",
 		DriverName: "NVIDIA proprietary 375.39, OpenGL 4.5",
+		Ingest:     crossc.IngestMSL,
 		Driver: DriverConfig{
 			UnrollMaxTrips: 64, UnrollMaxInstrs: 2048,
 			GVN: true, IntReassoc: true, DivToMulConst: true,
@@ -125,6 +131,7 @@ func NewARM() *Platform {
 		GPUName:    "Mali-T880 MP12 (Exynos 8890)",
 		DriverName: "ARM Mali GLES driver, Android 7.0",
 		Mobile:     true,
+		Ingest:     crossc.IngestGLSL,
 		Driver:     DriverConfig{
 			// Constant folding/DCE only (Canonicalize); nothing else.
 		},
@@ -155,6 +162,7 @@ func NewQualcomm() *Platform {
 		GPUName:    "Adreno 530 (Snapdragon 820)",
 		DriverName: "Qualcomm GLES driver, Android 7.0",
 		Mobile:     true,
+		Ingest:     crossc.IngestSPIRV,
 		Driver: DriverConfig{
 			UnrollMaxTrips: 32, UnrollMaxInstrs: 256,
 			HoistMaxOps: 4,

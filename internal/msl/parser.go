@@ -1,0 +1,687 @@
+package msl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+}
+
+// Parse parses an MSL module.
+func Parse(src string) (*Module, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	m := &Module{}
+	for p.cur().Kind != EOF {
+		if len(p.errs) > 8 {
+			break
+		}
+		d := p.parseDecl()
+		if d != nil {
+			m.Decls = append(m.Decls, d)
+		}
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return m, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) peekTok(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(kind Kind, text string) bool {
+	if p.cur().Kind == kind && p.cur().Text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind Kind, text string) Token {
+	if p.cur().Kind == kind && p.cur().Text == text {
+		return p.next()
+	}
+	p.errorf("expected %q, found %q", text, p.cur().Text)
+	return p.cur()
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("msl: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+	p.sync()
+}
+
+// sync skips to the next ; or } so one error does not cascade.
+func (p *Parser) sync() {
+	for p.cur().Kind != EOF {
+		if p.cur().Kind == Punct && (p.cur().Text == ";" || p.cur().Text == "}") {
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+// --- declarations ---
+
+func (p *Parser) parseDecl() Decl {
+	t := p.cur()
+	if t.Kind == Keyword {
+		switch t.Text {
+		case "using":
+			// using namespace metal;
+			for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == ";") {
+				p.next()
+			}
+			p.accept(Punct, ";")
+			return nil
+		case "template":
+			// Template helper (the glsl_ prelude): skip the whole definition.
+			p.skipTemplate()
+			return nil
+		case "struct":
+			return p.parseStruct()
+		case "constant":
+			return p.parseGlobalVar()
+		case "static", "inline", "fragment", "vertex", "kernel":
+			return p.parseFn()
+		}
+		p.errorf("unexpected keyword %q at module scope", t.Text)
+		return nil
+	}
+	if t.Kind == Ident {
+		// A plain function definition: Type Name ( ...
+		return p.parseFn()
+	}
+	p.errorf("unexpected token %q at module scope", t.Text)
+	return nil
+}
+
+// skipTemplate consumes a template function definition by skipping to the
+// first { and matching braces.
+func (p *Parser) skipTemplate() {
+	for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == "{") {
+		p.next()
+	}
+	depth := 0
+	for p.cur().Kind != EOF {
+		t := p.next()
+		if t.Kind == Punct && t.Text == "{" {
+			depth++
+		}
+		if t.Kind == Punct && t.Text == "}" {
+			depth--
+			if depth == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (p *Parser) parseStruct() *StructDecl {
+	pos := p.cur().Pos
+	p.expect(Keyword, "struct")
+	name := p.ident("struct name")
+	st := &StructDecl{Pos: pos, Name: name}
+	p.expect(Punct, "{")
+	for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == "}") {
+		ft := p.parseType()
+		fname := p.ident("field name")
+		f := StructField{Type: ft, Name: fname, Attr: Attr{Arg: -1}}
+		if p.cur().Kind == Punct && p.cur().Text == "[" && p.peekTok(1).Text == "[" {
+			f.Attr = p.parseAttr()
+		} else if p.accept(Punct, "[") {
+			// C-style array member: rewrite onto the type.
+			n := p.intLit("array length")
+			p.expect(Punct, "]")
+			f.Type = &TypeExpr{Pos: ft.Pos, Name: "array", Elem: ft, Len: n}
+		}
+		p.expect(Punct, ";")
+		st.Fields = append(st.Fields, f)
+	}
+	p.expect(Punct, "}")
+	p.expect(Punct, ";")
+	return st
+}
+
+func (p *Parser) parseGlobalVar() *GlobalVar {
+	pos := p.cur().Pos
+	p.expect(Keyword, "constant")
+	ty := p.parseType()
+	name := p.ident("constant name")
+	g := &GlobalVar{Pos: pos, Type: ty, Name: name}
+	if p.accept(Punct, "=") {
+		g.Init = p.parseExpr()
+	}
+	p.expect(Punct, ";")
+	return g
+}
+
+func (p *Parser) parseFn() *FnDecl {
+	pos := p.cur().Pos
+	fn := &FnDecl{Pos: pos}
+	for p.cur().Kind == Keyword {
+		switch p.cur().Text {
+		case "static", "inline":
+			p.next()
+			continue
+		case "fragment":
+			fn.Fragment = true
+			p.next()
+			continue
+		case "vertex", "kernel":
+			p.errorf("%s functions are outside the fragment-shader subset", p.cur().Text)
+			return nil
+		}
+		break
+	}
+	fn.Ret = p.parseType()
+	fn.Name = p.ident("function name")
+	p.expect(Punct, "(")
+	for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == ")") {
+		fn.Params = append(fn.Params, p.parseParam())
+		if !p.accept(Punct, ",") {
+			break
+		}
+	}
+	p.expect(Punct, ")")
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseParam() Param {
+	var pr Param
+	if p.cur().Kind == Keyword {
+		switch p.cur().Text {
+		case "constant", "device", "thread":
+			pr.Space = p.next().Text
+		case "const":
+			p.next()
+		}
+	}
+	pr.Type = p.parseType()
+	if p.accept(Punct, "&") {
+		pr.Ref = true
+	}
+	pr.Name = p.ident("parameter name")
+	pr.Attr = Attr{Arg: -1}
+	if p.cur().Kind == Punct && p.cur().Text == "[" && p.peekTok(1).Text == "[" {
+		pr.Attr = p.parseAttr()
+	}
+	return pr
+}
+
+// parseAttr parses one [[name]] or [[name(arg)]] attribute. user(locnN)
+// arguments resolve to N.
+func (p *Parser) parseAttr() Attr {
+	p.expect(Punct, "[")
+	p.expect(Punct, "[")
+	name := p.ident("attribute name")
+	a := Attr{Name: name, Arg: -1}
+	if p.accept(Punct, "(") {
+		switch p.cur().Kind {
+		case IntLit:
+			a.Arg, _ = strconv.Atoi(p.next().Text)
+		case Ident:
+			arg := p.next().Text
+			if n, err := strconv.Atoi(strings.TrimPrefix(arg, "locn")); err == nil {
+				a.Arg = n
+			}
+		default:
+			p.errorf("bad attribute argument %q", p.cur().Text)
+		}
+		p.expect(Punct, ")")
+	}
+	p.expect(Punct, "]")
+	p.expect(Punct, "]")
+	return a
+}
+
+// parseType parses a type reference: Name, Name<Elem>, array<Elem, N>.
+func (p *Parser) parseType() *TypeExpr {
+	t := p.cur()
+	if t.Kind != Ident {
+		p.errorf("expected type, found %q", t.Text)
+		return &TypeExpr{Pos: t.Pos, Name: "float", Len: -1}
+	}
+	p.next()
+	te := &TypeExpr{Pos: t.Pos, Name: t.Text, Len: -1}
+	if templatedType(t.Text) && p.accept(Punct, "<") {
+		te.Elem = p.parseType()
+		if te.Name == "array" {
+			p.expect(Punct, ",")
+			te.Len = p.intLit("array length")
+		}
+		p.expect(Punct, ">")
+	}
+	return te
+}
+
+// templatedType reports whether a type name takes template arguments in
+// the subset — texture types and array. Keeping this contextual avoids
+// misparsing comparisons like `a < b`.
+func templatedType(name string) bool {
+	switch name {
+	case "array", "texture2d", "texture3d", "texturecube", "depth2d", "texture2d_array":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) ident(what string) string {
+	t := p.cur()
+	if t.Kind != Ident {
+		p.errorf("expected %s, found %q", what, t.Text)
+		return "_"
+	}
+	p.next()
+	return t.Text
+}
+
+func (p *Parser) intLit(what string) int {
+	t := p.cur()
+	if t.Kind != IntLit {
+		p.errorf("expected %s, found %q", what, t.Text)
+		return 0
+	}
+	p.next()
+	n, _ := strconv.Atoi(t.Text)
+	return n
+}
+
+// --- statements ---
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.cur().Pos
+	p.expect(Punct, "{")
+	b := &BlockStmt{Pos: pos}
+	for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == "}") {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(Punct, "}")
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	if t.Kind == Keyword {
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "return":
+			pos := p.next().Pos
+			r := &ReturnStmt{Pos: pos}
+			if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+				r.Value = p.parseExpr()
+			}
+			p.expect(Punct, ";")
+			return r
+		case "break":
+			pos := p.next().Pos
+			p.expect(Punct, ";")
+			return &BreakStmt{Pos: pos}
+		case "continue":
+			pos := p.next().Pos
+			p.expect(Punct, ";")
+			return &ContinueStmt{Pos: pos}
+		case "const":
+			return p.parseLocalDecl(true)
+		}
+		p.errorf("unexpected keyword %q in statement", t.Text)
+		return nil
+	}
+	if p.startsDecl() {
+		return p.parseLocalDecl(true)
+	}
+	return p.parseSimpleStmt(true)
+}
+
+// startsDecl reports whether the upcoming tokens are a local declaration:
+// a type name followed by an identifier (not an open paren, which would be
+// a constructor-call expression). Struct types (the output struct) are not
+// in the intrinsic table, so any `Ident Ident ;/=/[` run is a declaration
+// too — no expression has two adjacent identifiers.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	if t.Kind != Ident {
+		return false
+	}
+	if IsTypeName(t.Text) {
+		if templatedType(t.Text) && p.peekTok(1).Kind == Punct && p.peekTok(1).Text == "<" {
+			return true
+		}
+		return p.peekTok(1).Kind == Ident
+	}
+	if p.peekTok(1).Kind != Ident {
+		return false
+	}
+	nn := p.peekTok(2)
+	return nn.Kind == Punct && (nn.Text == ";" || nn.Text == "=" || nn.Text == "[")
+}
+
+func (p *Parser) parseLocalDecl(semi bool) Stmt {
+	pos := p.cur().Pos
+	isConst := p.accept(Keyword, "const")
+	ty := p.parseType()
+	name := p.ident("variable name")
+	d := &DeclStmt{Pos: pos, Const: isConst, Type: ty, Name: name}
+	if p.accept(Punct, "[") {
+		n := p.intLit("array length")
+		p.expect(Punct, "]")
+		d.Type = &TypeExpr{Pos: ty.Pos, Name: "array", Elem: ty, Len: n}
+	}
+	if p.accept(Punct, "=") {
+		d.Init = p.parseInitializer()
+	}
+	if semi {
+		p.expect(Punct, ";")
+	}
+	return d
+}
+
+// parseInitializer parses an initializer expression, allowing a bare
+// brace list ({} or {a, b, c}) for aggregate types.
+func (p *Parser) parseInitializer() Expr {
+	if p.cur().Kind == Punct && p.cur().Text == "{" {
+		pos := p.next().Pos
+		lit := &ArrayLitExpr{Pos: pos, Len: -1}
+		for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == "}") {
+			lit.Elems = append(lit.Elems, p.parseExpr())
+			if !p.accept(Punct, ",") {
+				break
+			}
+		}
+		p.expect(Punct, "}")
+		return lit
+	}
+	return p.parseExpr()
+}
+
+// parseSimpleStmt parses an assignment or expression statement.
+// Prefix/postfix ++/-- normalize to compound assignments.
+func (p *Parser) parseSimpleStmt(semi bool) Stmt {
+	pos := p.cur().Pos
+	if p.cur().Kind == Punct && (p.cur().Text == "++" || p.cur().Text == "--") {
+		op := p.next().Text
+		lhs := p.parseUnary()
+		s := &AssignStmt{Pos: pos, LHS: lhs, Op: string(op[0]) + "=", RHS: &IntLitExpr{Pos: pos, Text: "1"}}
+		if semi {
+			p.expect(Punct, ";")
+		}
+		return s
+	}
+	lhs := p.parseExpr()
+	t := p.cur()
+	if t.Kind == Punct {
+		switch t.Text {
+		case "=", "+=", "-=", "*=", "/=", "%=":
+			op := p.next().Text
+			rhs := p.parseExpr()
+			s := &AssignStmt{Pos: pos, LHS: lhs, Op: op, RHS: rhs}
+			if semi {
+				p.expect(Punct, ";")
+			}
+			return s
+		case "++", "--":
+			op := p.next().Text
+			s := &AssignStmt{Pos: pos, LHS: lhs, Op: string(op[0]) + "=", RHS: &IntLitExpr{Pos: pos, Text: "1"}}
+			if semi {
+				p.expect(Punct, ";")
+			}
+			return s
+		}
+	}
+	s := &ExprStmt{Pos: pos, X: lhs}
+	if semi {
+		p.expect(Punct, ";")
+	}
+	return s
+}
+
+func (p *Parser) parseIf() *IfStmt {
+	pos := p.cur().Pos
+	p.expect(Keyword, "if")
+	p.expect(Punct, "(")
+	cond := p.parseExpr()
+	p.expect(Punct, ")")
+	s := &IfStmt{Pos: pos, Cond: cond, Then: p.parseStmtAsBlock()}
+	if p.accept(Keyword, "else") {
+		if p.cur().Kind == Keyword && p.cur().Text == "if" {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseStmtAsBlock()
+		}
+	}
+	return s
+}
+
+// parseStmtAsBlock parses a block, wrapping an unbraced single statement.
+func (p *Parser) parseStmtAsBlock() *BlockStmt {
+	if p.cur().Kind == Punct && p.cur().Text == "{" {
+		return p.parseBlock()
+	}
+	pos := p.cur().Pos
+	b := &BlockStmt{Pos: pos}
+	if s := p.parseStmt(); s != nil {
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b
+}
+
+func (p *Parser) parseFor() *ForStmt {
+	pos := p.cur().Pos
+	p.expect(Keyword, "for")
+	p.expect(Punct, "(")
+	s := &ForStmt{Pos: pos}
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		if p.startsDecl() || (p.cur().Kind == Keyword && p.cur().Text == "const") {
+			s.Init = p.parseLocalDecl(false)
+		} else {
+			s.Init = p.parseSimpleStmt(false)
+		}
+	}
+	p.expect(Punct, ";")
+	if !(p.cur().Kind == Punct && p.cur().Text == ";") {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(Punct, ";")
+	if !(p.cur().Kind == Punct && p.cur().Text == ")") {
+		s.Post = p.parseSimpleStmt(false)
+	}
+	p.expect(Punct, ")")
+	s.Body = p.parseStmtAsBlock()
+	return s
+}
+
+func (p *Parser) parseWhile() *WhileStmt {
+	pos := p.cur().Pos
+	p.expect(Keyword, "while")
+	p.expect(Punct, "(")
+	cond := p.parseExpr()
+	p.expect(Punct, ")")
+	return &WhileStmt{Pos: pos, Cond: cond, Body: p.parseStmtAsBlock()}
+}
+
+// --- expressions ---
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseTernary() }
+
+func (p *Parser) parseTernary() Expr {
+	cond := p.parseBinary(1)
+	if p.cur().Kind == Punct && p.cur().Text == "?" {
+		pos := p.next().Pos
+		x := p.parseExpr()
+		p.expect(Punct, ":")
+		y := p.parseTernary()
+		return &CondExpr{Pos: pos, Cond: cond, X: x, Y: y}
+	}
+	return cond
+}
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	x := p.parseUnary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return x
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &BinaryExpr{Pos: t.Pos, Op: t.Text, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	if t.Kind == Punct {
+		switch t.Text {
+		case "-", "!":
+			p.next()
+			return &UnaryExpr{Pos: t.Pos, Op: t.Text, X: p.parseUnary()}
+		case "+":
+			p.next()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		t := p.cur()
+		if t.Kind != Punct {
+			return x
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx := p.parseExpr()
+			p.expect(Punct, "]")
+			x = &IndexExpr{Pos: t.Pos, X: x, Index: idx}
+		case ".":
+			p.next()
+			name := p.ident("member name")
+			if p.cur().Kind == Punct && p.cur().Text == "(" {
+				p.next()
+				args := p.parseCallArgs()
+				x = &MethodCallExpr{Pos: t.Pos, Recv: x, Method: name, Args: args}
+			} else {
+				x = &MemberExpr{Pos: t.Pos, X: x, Name: name}
+			}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case IntLit:
+		p.next()
+		if strings.HasPrefix(t.Text, "0x") || strings.HasPrefix(t.Text, "0X") {
+			n, err := strconv.ParseInt(t.Text[2:], 16, 64)
+			if err != nil {
+				p.errorf("bad hex literal %q", t.Text)
+			}
+			return &IntLitExpr{Pos: t.Pos, Text: strconv.FormatInt(n, 10)}
+		}
+		return &IntLitExpr{Pos: t.Pos, Text: t.Text}
+	case FloatLit:
+		p.next()
+		return &FloatLitExpr{Pos: t.Pos, Text: t.Text}
+	case BoolLit:
+		p.next()
+		return &BoolLitExpr{Pos: t.Pos, Value: t.Text == "true"}
+	case Ident:
+		// array<T, N>{...} braced constructor.
+		if templatedType(t.Text) && p.peekTok(1).Kind == Punct && p.peekTok(1).Text == "<" {
+			te := p.parseType()
+			if te.Name != "array" {
+				p.errorf("texture type %q cannot be constructed", te.Name)
+				return &IdentExpr{Pos: t.Pos, Name: "_"}
+			}
+			p.expect(Punct, "{")
+			lit := &ArrayLitExpr{Pos: t.Pos, Elem: te.Elem, Len: te.Len}
+			for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == "}") {
+				lit.Elems = append(lit.Elems, p.parseExpr())
+				if !p.accept(Punct, ",") {
+					break
+				}
+			}
+			p.expect(Punct, "}")
+			return lit
+		}
+		p.next()
+		if p.cur().Kind == Punct && p.cur().Text == "(" {
+			p.next()
+			args := p.parseCallArgs()
+			return &CallExpr{Pos: t.Pos, Callee: t.Text, Args: args}
+		}
+		return &IdentExpr{Pos: t.Pos, Name: t.Text}
+	case Punct:
+		if t.Text == "(" {
+			p.next()
+			x := p.parseExpr()
+			p.expect(Punct, ")")
+			return x
+		}
+	}
+	p.errorf("unexpected token %q in expression", t.Text)
+	return &IdentExpr{Pos: t.Pos, Name: "_"}
+}
+
+func (p *Parser) parseCallArgs() []Expr {
+	var args []Expr
+	for p.cur().Kind != EOF && !(p.cur().Kind == Punct && p.cur().Text == ")") {
+		args = append(args, p.parseExpr())
+		if !p.accept(Punct, ",") {
+			break
+		}
+	}
+	p.expect(Punct, ")")
+	return args
+}

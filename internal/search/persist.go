@@ -18,10 +18,13 @@ import (
 // persist, exactly the two that dominate sweep cost and survive
 // restarts soundly:
 //
-//   - driver compiles, keyed (vendor, canonical IR fingerprint): a
-//     gpu.Compiled is a pure function of program structure, and the
-//     canonical fingerprint is name-insensitive, so entries are shared
-//     across sessions, processes, and frontends;
+//   - driver compiles, keyed (vendor, ingestion format, canonical IR
+//     fingerprint): a gpu.Compiled is a pure function of program
+//     structure and the ingestion round trip at the pipeline's head,
+//     and the canonical fingerprint is name-insensitive, so entries are
+//     shared across sessions, processes, and frontends — and a platform
+//     whose ingestion assignment changes can never read a stale entry
+//     compiled under the old format;
 //   - measurement scores, keyed (vendor, source hash, protocol): noise
 //     streams are seeded from the source text, so the key must be the
 //     text's hash — the same key the in-memory score cache uses — and
@@ -65,14 +68,22 @@ func (s *Session) protoKey() string {
 		c.Fragments, c.DesktopDraws, c.MobileDraws, c.Frames, c.Repeats, c.Seed)
 }
 
+// compileStoreKey renders the store key for one driver compile: the
+// vendor, its ingestion format, and the canonical fingerprint of the
+// program the pipeline consumed.
+func compileStoreKey(pl *gpu.Platform, fp string) string {
+	return storeCompilePrefix + pl.Vendor + "\x00" + pl.Ingest + "\x00" + fp
+}
+
 // storeGetCompiled reads a persisted driver compile for (vendor,
-// canonical fingerprint), re-attaching the platform. Absent store, any
-// store miss, or an undecodable payload reports a miss.
+// ingestion format, canonical fingerprint), re-attaching the platform.
+// Absent store, any store miss, or an undecodable payload reports a
+// miss.
 func (s *Session) storeGetCompiled(pl *gpu.Platform, fp string) (*gpu.Compiled, bool) {
 	if s.store == nil {
 		return nil, false
 	}
-	payload, ok := s.store.Get(storeCompilePrefix + pl.Vendor + "\x00" + fp)
+	payload, ok := s.store.Get(compileStoreKey(pl, fp))
 	if !ok {
 		return nil, false
 	}
@@ -94,7 +105,7 @@ func (s *Session) storeGetCompiled(pl *gpu.Platform, fp string) (*gpu.Compiled, 
 
 // storePutCompiled persists a driver compile. Write failures degrade to
 // not caching.
-func (s *Session) storePutCompiled(vendor, fp string, c *gpu.Compiled) {
+func (s *Session) storePutCompiled(pl *gpu.Platform, fp string, c *gpu.Compiled) {
 	if s.store == nil {
 		return
 	}
@@ -107,7 +118,7 @@ func (s *Session) storePutCompiled(vendor, fp string, c *gpu.Compiled) {
 		CyclesPerFragment: c.CyclesPerFragment,
 	})
 	if err == nil {
-		err = s.store.Put(storeCompilePrefix+vendor+"\x00"+fp, payload)
+		err = s.store.Put(compileStoreKey(pl, fp), payload)
 	}
 	if err != nil {
 		s.storeWriteErrs.Inc()

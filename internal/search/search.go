@@ -620,7 +620,7 @@ func (s *Session) compiledFor(pl *gpu.Platform, fe *frontEnd) (*gpu.Compiled, bo
 	}
 	c := pl.CompileCanonicalT(s.reg, fe.prog.Clone())
 	s.compiled.Add(key, c, 1)
-	s.storePutCompiled(pl.Vendor, fe.fp, c)
+	s.storePutCompiled(pl, fe.fp, c)
 	return c, false
 }
 

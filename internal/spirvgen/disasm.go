@@ -1,0 +1,146 @@
+package spirvgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Disassemble renders a module as deterministic, diffable text in the
+// spirv-dis idiom: one instruction per line, result ids on the left.
+// Strings, extended-instruction names, and 64-bit constant payloads are
+// rendered symbolically; remaining operands print as %id (SPIR-V operand
+// streams do not distinguish ids from literals without per-opcode
+// metadata, and this subset's remaining literals are small integers, so
+// the ambiguity is harmless for snapshot diffing).
+func Disassemble(words []uint32) string {
+	var sb strings.Builder
+	if len(words) < 5 {
+		fmt.Fprintf(&sb, "; truncated module (%d words)\n", len(words))
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "; SPIR-V %d.%d, generator %#x, bound %d\n",
+		words[1]>>16, words[1]>>8&0xff, words[2], words[3])
+
+	// Constant payload rendering needs scalar type kinds.
+	kinds := map[uint32]byte{} // type id → 'f', 'i', 'b'
+	names := map[uint32]string{}
+
+	pos := 5
+	for pos < len(words) {
+		head := words[pos]
+		wc := int(head >> 16)
+		opc := head & 0xffff
+		if wc == 0 || pos+wc > len(words) {
+			fmt.Fprintf(&sb, "; truncated instruction at word %d\n", pos)
+			return sb.String()
+		}
+		w := words[pos : pos+wc]
+		pos += wc
+
+		info, known := opTable[opc]
+		if !known {
+			fmt.Fprintf(&sb, "Op%d%s\n", opc, rawOperands(w[1:]))
+			continue
+		}
+		switch opc {
+		case opTypeFloat:
+			kinds[w[1]] = 'f'
+		case opTypeInt:
+			kinds[w[1]] = 'i'
+		case opTypeBool:
+			kinds[w[1]] = 'b'
+		case opName:
+			if s, _ := decodeString(w[2:]); s != "" {
+				names[w[1]] = s
+			}
+		}
+
+		var line string
+		switch opc {
+		case opSource:
+			lang := "GLSL"
+			if w[1] == sourceLangESSL {
+				lang = "ESSL"
+			}
+			line = fmt.Sprintf("OpSource %s %d", lang, w[2])
+		case opName:
+			s, _ := decodeString(w[2:])
+			line = fmt.Sprintf("OpName %%%d %q", w[1], s)
+		case opExtInstImport:
+			s, _ := decodeString(w[2:])
+			line = fmt.Sprintf("%%%d = OpExtInstImport %q", w[1], s)
+		case opEntryPoint:
+			s, n := decodeString(w[3:])
+			line = fmt.Sprintf("OpEntryPoint Fragment %%%d %q%s", w[2], s, rawOperands(w[3+n:]))
+		case opCapability:
+			line = "OpCapability " + capName(w[1])
+		case opMemoryModel:
+			line = "OpMemoryModel Logical GLSL450"
+		case opConstant:
+			payload := uint64(w[3]) | uint64(w[4])<<32
+			switch kinds[w[1]] {
+			case 'f':
+				line = fmt.Sprintf("%%%d = OpConstant %%%d %g", w[2], w[1], math.Float64frombits(payload))
+			default:
+				line = fmt.Sprintf("%%%d = OpConstant %%%d %d", w[2], w[1], int64(payload))
+			}
+		case opExtInst:
+			name := fmt.Sprintf("!%d", w[4])
+			if n, ok := extInstNames[w[4]]; ok {
+				name = n
+			} else if w[4] == 18 {
+				name = "atan"
+			} else if w[4] == 25 {
+				name = "atan2"
+			}
+			line = fmt.Sprintf("%%%d = OpExtInst %%%d %%%d %s%s", w[2], w[1], w[3], name, rawOperands(w[5:]))
+		default:
+			rp := resultPos(opc)
+			switch rp {
+			case 0:
+				line = info.name + rawOperands(w[1:])
+			case 1:
+				line = fmt.Sprintf("%%%d = %s%s", w[1], info.name, rawOperands(w[2:]))
+			default:
+				line = fmt.Sprintf("%%%d = %s %%%d%s", w[2], info.name, w[1], rawOperands(w[3:]))
+			}
+		}
+		if rid := resultID(opc, w); rid != 0 {
+			if n, ok := names[rid]; ok {
+				line += "  ; " + n
+			}
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func resultID(opc uint32, w []uint32) uint32 {
+	rp := resultPos(opc)
+	if rp == 0 || rp >= len(w) {
+		return 0
+	}
+	return w[rp]
+}
+
+func rawOperands(ops []uint32) string {
+	var sb strings.Builder
+	for _, o := range ops {
+		fmt.Fprintf(&sb, " %%%d", o)
+	}
+	return sb.String()
+}
+
+func capName(c uint32) string {
+	switch c {
+	case capShader:
+		return "Shader"
+	case capFloat64:
+		return "Float64"
+	case capInt64:
+		return "Int64"
+	}
+	return fmt.Sprintf("!%d", c)
+}

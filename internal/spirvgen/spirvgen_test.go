@@ -1,0 +1,387 @@
+package spirvgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"shaderopt/internal/exec"
+	"shaderopt/internal/glsl"
+	"shaderopt/internal/harness"
+	"shaderopt/internal/ir"
+	"shaderopt/internal/lower"
+	"shaderopt/internal/sem"
+	"shaderopt/internal/spirvgen"
+)
+
+// render interprets a program over an 8×8 grid with harness-default
+// uniforms, uv varying across the image.
+func render(t *testing.T, p *ir.Program) [][4]float64 {
+	t.Helper()
+	env := harness.DefaultEnv(p)
+	var img [][4]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			u := (float64(x) + 0.5) / 8
+			v := (float64(y) + 0.5) / 8
+			for _, in := range p.Inputs {
+				if in.Type.Equal(sem.Vec2) {
+					env.Inputs[in.Name] = ir.FloatConst(u, v)
+				}
+			}
+			res, err := exec.Run(p, env)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			var px [4]float64
+			if !res.Discarded {
+				for _, out := range p.Outputs {
+					val := res.Outputs[out.Name]
+					for i := 0; i < val.Len() && i < 4; i++ {
+						px[i] = val.Float(i)
+					}
+					break
+				}
+			}
+			img = append(img, px)
+		}
+	}
+	return img
+}
+
+// roundTrip lowers GLSL source, emits SPIR-V, validates it, decodes it
+// back, and requires the two programs to render bit-identically.
+func roundTrip(t *testing.T, src, name string) []uint32 {
+	t.Helper()
+	prog, err := lower.Lower(glsl.MustParse(src), name)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	words, err := spirvgen.Emit(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	if err := spirvgen.Validate(words); err != nil {
+		t.Fatalf("emitted module fails validation: %v\n%s", err, spirvgen.Disassemble(words))
+	}
+	back, err := spirvgen.Decode(words, name+"-rt")
+	if err != nil {
+		t.Fatalf("decode emitted SPIR-V: %v\n%s", err, spirvgen.Disassemble(words))
+	}
+	a, b := render(t, prog), render(t, back)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d diverges: %v vs %v\n%s", i, a[i], b[i], spirvgen.Disassemble(words))
+		}
+	}
+	return words
+}
+
+func TestRoundTripTextureLoop(t *testing.T) {
+	words := roundTrip(t, `#version 330
+uniform sampler2D tex;
+uniform vec4 tint;
+uniform float gain;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 4; i++) {
+        acc += texture(tex, uv + vec2(float(i) * 0.01, 0.0));
+    }
+    if (gain > 0.5) { acc *= gain; }
+    color = acc * tint / 4.0;
+}
+`, "texloop")
+	dis := spirvgen.Disassemble(words)
+	for _, want := range []string{
+		"OpCapability Shader",
+		"OpCapability Float64",
+		`OpExtInstImport "GLSL.std.450"`,
+		`OpEntryPoint Fragment`,
+		`"main0"`,
+		`OpName`,
+		"OpTypeImage",
+		"OpImageSampleImplicitLod",
+		"OpLoopMerge",
+		"OpSelectionMerge",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestRoundTripMatrixAlgebra(t *testing.T) {
+	roundTrip(t, `#version 330
+uniform mat3 rot;
+uniform vec3 axis;
+in vec2 uv;
+out vec4 color;
+void main() {
+    mat3 m = rot * mat3(vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0), axis);
+    vec3 p = m * vec3(uv, 1.0);
+    mat3 s = mat3(2.0 * p.x, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 2.0);
+    color = vec4(s * p, 1.0);
+}
+`, "matalg")
+}
+
+func TestRoundTripArraysAndWhile(t *testing.T) {
+	roundTrip(t, `#version 330
+uniform float k;
+in vec2 uv;
+out vec4 color;
+void main() {
+    float wts[5] = float[](0.1, 0.2, 0.4, 0.2, 0.1);
+    float s = 0.0;
+    for (int i = 0; i < 5; i++) { s += wts[i] * uv.x; }
+    float g = 1.0;
+    while (g < k + s) { g = g * 2.0 + 0.125; }
+    color = vec4(s, g, mod(g, 0.7), 1.0);
+}
+`, "arrwhile")
+}
+
+func TestRoundTripCubeDiscardSelect(t *testing.T) {
+	roundTrip(t, `#version 330
+uniform samplerCube sky;
+uniform float cut;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec3 dir = normalize(vec3(uv * 2.0 - 1.0, 1.0));
+    vec4 c = texture(sky, dir);
+    if (c.r < cut * 0.1) { discard; }
+    float m = c.g > 0.5 ? radians(c.g) : degrees(c.b) * 0.001;
+    color = vec4(c.rgb, m);
+}
+`, "cube")
+}
+
+func TestRoundTripLodFetchBuiltins(t *testing.T) {
+	words := roundTrip(t, `#version 330
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec4 a = textureLod(tex, uv, 2.0);
+    vec4 b = texelFetch(tex, ivec2(int(uv.x * 8.0), int(uv.y * 8.0)), ivec2(0));
+    vec4 c = texture(tex, uv, 0.5);
+    color = (a + b + c) * inversesqrt(2.0 + uv.x);
+}
+`, "lodfetch")
+	dis := spirvgen.Disassemble(words)
+	for _, want := range []string{"OpImageSampleExplicitLod", "OpImageFetch", "OpImage ", "inversesqrt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestRoundTripMultiOutput(t *testing.T) {
+	roundTrip(t, `#version 330
+uniform float gain;
+in vec2 uv;
+out vec4 albedo;
+out vec4 bright;
+void main() {
+    albedo = vec4(uv, 0.5, 1.0);
+    bright = vec4(uv.x * gain);
+}
+`, "mrt")
+}
+
+func TestRoundTripIntBoolOps(t *testing.T) {
+	roundTrip(t, `#version 330
+uniform int n;
+in vec2 uv;
+out vec4 color;
+void main() {
+    int acc = 0;
+    for (int i = 0; i < n + 7; i++) { acc += i % 3; }
+    bool a = uv.x > 0.5;
+    bool b = uv.y > 0.5;
+    float f = (a ^^ b) ? float(acc) * 0.01 : fract(uv.x * 7.0);
+    color = vec4(f, clamp(f, 0.0, 1.0), step(0.3, f), 1.0);
+}
+`, "intbool")
+}
+
+// TestNameRecovery pins that interface names survive the binary round
+// trip via OpName — the property the legacy compact encoding lacks.
+func TestNameRecovery(t *testing.T) {
+	src := `#version 300 es
+precision highp float;
+uniform sampler2D diffuseMap;
+uniform float exposure;
+in vec2 texCoord;
+out vec4 fragColor;
+void main() {
+    fragColor = texture(diffuseMap, texCoord) * exposure;
+}
+`
+	prog, err := lower.Lower(glsl.MustParse(src), "names")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	words, err := spirvgen.Emit(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	back, err := spirvgen.Decode(words, "names-rt")
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Version != "300 es" {
+		t.Errorf("version = %q, want %q", back.Version, "300 es")
+	}
+	wantU := map[string]bool{"diffuseMap": false, "exposure": false}
+	for _, g := range back.Uniforms {
+		if _, ok := wantU[g.Name]; ok {
+			wantU[g.Name] = true
+		}
+	}
+	for name, seen := range wantU {
+		if !seen {
+			t.Errorf("uniform %q lost in round trip (got %v)", name, names(back))
+		}
+	}
+	if len(back.Inputs) != 1 || back.Inputs[0].Name != "texCoord" {
+		t.Errorf("input names = %v, want [texCoord]", names(back))
+	}
+	if len(back.Outputs) != 1 || back.Outputs[0].Name != "fragColor" {
+		t.Errorf("output name lost: %v", names(back))
+	}
+}
+
+func names(p *ir.Program) []string {
+	var out []string
+	for _, g := range p.Uniforms {
+		out = append(out, "u:"+g.Name)
+	}
+	for _, g := range p.Inputs {
+		out = append(out, "in:"+g.Name)
+	}
+	for _, v := range p.Vars {
+		out = append(out, "v:"+v.Name)
+	}
+	return out
+}
+
+// TestBytesRoundTrip pins the little-endian byte serialization.
+func TestBytesRoundTrip(t *testing.T) {
+	src := `#version 330
+in vec2 uv;
+out vec4 color;
+void main() { color = vec4(uv, 0.0, 1.0); }
+`
+	prog, err := lower.Lower(glsl.MustParse(src), "bytes")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	b, err := spirvgen.EmitBytes(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	if len(b)%4 != 0 {
+		t.Fatalf("byte length %d not word aligned", len(b))
+	}
+	// Magic little-endian: 0x03 0x02 0x23 0x07.
+	if b[0] != 0x03 || b[1] != 0x02 || b[2] != 0x23 || b[3] != 0x07 {
+		t.Fatalf("little-endian magic wrong: % x", b[:4])
+	}
+	back, err := spirvgen.DecodeBytes(b, "bytes-rt")
+	if err != nil {
+		t.Fatalf("decode bytes: %v", err)
+	}
+	a, c := render(t, prog), render(t, back)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("pixel %d diverges after byte round trip", i)
+		}
+	}
+}
+
+// TestValidateRejects pins the structural validator's failure modes.
+func TestValidateRejects(t *testing.T) {
+	src := `#version 330
+in vec2 uv;
+out vec4 color;
+void main() { color = vec4(uv, 0.0, 1.0); }
+`
+	prog, err := lower.Lower(glsl.MustParse(src), "val")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	words, err := spirvgen.Emit(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]uint32) []uint32
+	}{
+		{"bad-magic", func(w []uint32) []uint32 { w[0] = 0xdeadbeef; return w }},
+		{"bad-version", func(w []uint32) []uint32 { w[1] = 0x00020000; return w }},
+		{"zero-bound", func(w []uint32) []uint32 { w[3] = 0; return w }},
+		{"truncated", func(w []uint32) []uint32 { return w[:len(w)-1] }},
+		{"unknown-opcode", func(w []uint32) []uint32 {
+			return append(w, 1<<16|0x3fff)
+		}},
+		{"id-over-bound", func(w []uint32) []uint32 {
+			// Shrinking the declared bound strands every result id
+			// above it.
+			w[3] = 2
+			return w
+		}},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(append([]uint32(nil), words...))
+		if err := spirvgen.Validate(mutated); err == nil {
+			t.Errorf("%s: Validate accepted a corrupted module", tc.name)
+		}
+	}
+	// Decode independently rejects the header corruptions (it tolerates
+	// bound damage by design — ids are resolved by map, not bound).
+	for _, tc := range cases[:2] {
+		mutated := tc.mutate(append([]uint32(nil), words...))
+		if _, err := spirvgen.Decode(mutated, tc.name); err == nil {
+			t.Errorf("%s: Decode accepted a corrupted module", tc.name)
+		}
+	}
+}
+
+// TestEmitDeterministic pins byte-for-byte determinism, which the
+// snapshot tests and the content-addressed store both rely on.
+func TestEmitDeterministic(t *testing.T) {
+	src := `#version 330
+uniform sampler2D tex;
+uniform mat3 rot;
+in vec2 uv;
+out vec4 color;
+void main() {
+    vec3 p = rot * vec3(uv, 1.0);
+    color = texture(tex, p.xy) + vec4(mod(p.z, 2.0));
+}
+`
+	prog, err := lower.Lower(glsl.MustParse(src), "det")
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	a, err := spirvgen.Emit(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	b, err := spirvgen.Emit(prog)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("words diverge at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package spirvgen
+
+import "fmt"
+
+// opBounds gives the permitted word-count range for each opcode this
+// backend speaks (including the opcode word itself). max 0 = unbounded.
+type opBounds struct {
+	name     string
+	min, max int
+}
+
+var opTable = map[uint32]opBounds{
+	opSource:                 {"OpSource", 3, 0},
+	opName:                   {"OpName", 3, 0},
+	opExtInstImport:          {"OpExtInstImport", 3, 0},
+	opExtInst:                {"OpExtInst", 5, 0},
+	opMemoryModel:            {"OpMemoryModel", 3, 3},
+	opEntryPoint:             {"OpEntryPoint", 4, 0},
+	opExecutionMode:          {"OpExecutionMode", 3, 0},
+	opCapability:             {"OpCapability", 2, 2},
+	opTypeVoid:               {"OpTypeVoid", 2, 2},
+	opTypeBool:               {"OpTypeBool", 2, 2},
+	opTypeInt:                {"OpTypeInt", 4, 4},
+	opTypeFloat:              {"OpTypeFloat", 3, 3},
+	opTypeVector:             {"OpTypeVector", 4, 4},
+	opTypeMatrix:             {"OpTypeMatrix", 4, 4},
+	opTypeImage:              {"OpTypeImage", 9, 10},
+	opTypeSampledImage:       {"OpTypeSampledImage", 3, 3},
+	opTypeArray:              {"OpTypeArray", 4, 4},
+	opTypePointer:            {"OpTypePointer", 4, 4},
+	opTypeFunction:           {"OpTypeFunction", 3, 0},
+	opConstantTrue:           {"OpConstantTrue", 3, 3},
+	opConstantFalse:          {"OpConstantFalse", 3, 3},
+	opConstant:               {"OpConstant", 4, 5},
+	opConstantComposite:      {"OpConstantComposite", 3, 0},
+	opFunction:               {"OpFunction", 5, 5},
+	opFunctionEnd:            {"OpFunctionEnd", 1, 1},
+	opVariable:               {"OpVariable", 4, 5},
+	opLoad:                   {"OpLoad", 4, 5},
+	opStore:                  {"OpStore", 3, 4},
+	opDecorate:               {"OpDecorate", 3, 0},
+	opVectorExtractDyn:       {"OpVectorExtractDynamic", 5, 5},
+	opVectorInsertDyn:        {"OpVectorInsertDynamic", 6, 6},
+	opVectorShuffle:          {"OpVectorShuffle", 5, 0},
+	opCompositeConstruct:     {"OpCompositeConstruct", 3, 0},
+	opCompositeExtract:       {"OpCompositeExtract", 4, 0},
+	opCompositeInsert:        {"OpCompositeInsert", 5, 0},
+	opImageSampleImplicitLod: {"OpImageSampleImplicitLod", 5, 0},
+	opImageSampleExplicitLod: {"OpImageSampleExplicitLod", 7, 0},
+	opImageFetch:             {"OpImageFetch", 5, 0},
+	opImage:                  {"OpImage", 4, 4},
+	opSNegate:                {"OpSNegate", 4, 4},
+	opFNegate:                {"OpFNegate", 4, 4},
+	opIAdd:                   {"OpIAdd", 5, 5},
+	opFAdd:                   {"OpFAdd", 5, 5},
+	opISub:                   {"OpISub", 5, 5},
+	opFSub:                   {"OpFSub", 5, 5},
+	opIMul:                   {"OpIMul", 5, 5},
+	opFMul:                   {"OpFMul", 5, 5},
+	opSDiv:                   {"OpSDiv", 5, 5},
+	opFDiv:                   {"OpFDiv", 5, 5},
+	opSRem:                   {"OpSRem", 5, 5},
+	opFMod:                   {"OpFMod", 5, 5},
+	opVectorTimesScalar:      {"OpVectorTimesScalar", 5, 5},
+	opMatrixTimesScalar:      {"OpMatrixTimesScalar", 5, 5},
+	opVectorTimesMatrix:      {"OpVectorTimesMatrix", 5, 5},
+	opMatrixTimesVector:      {"OpMatrixTimesVector", 5, 5},
+	opMatrixTimesMatrix:      {"OpMatrixTimesMatrix", 5, 5},
+	opDot:                    {"OpDot", 5, 5},
+	opLogicalEqual:           {"OpLogicalEqual", 5, 5},
+	opLogicalNotEqual:        {"OpLogicalNotEqual", 5, 5},
+	opLogicalOr:              {"OpLogicalOr", 5, 5},
+	opLogicalAnd:             {"OpLogicalAnd", 5, 5},
+	opLogicalNot:             {"OpLogicalNot", 4, 4},
+	opSelect:                 {"OpSelect", 6, 6},
+	opIEqual:                 {"OpIEqual", 5, 5},
+	opINotEqual:              {"OpINotEqual", 5, 5},
+	opSGreaterThan:           {"OpSGreaterThan", 5, 5},
+	opSGreaterThanEqual:      {"OpSGreaterThanEqual", 5, 5},
+	opSLessThan:              {"OpSLessThan", 5, 5},
+	opSLessThanEqual:         {"OpSLessThanEqual", 5, 5},
+	opFOrdEqual:              {"OpFOrdEqual", 5, 5},
+	opFUnordNotEqual:         {"OpFUnordNotEqual", 5, 5},
+	opFOrdLessThan:           {"OpFOrdLessThan", 5, 5},
+	opFOrdGreaterThan:        {"OpFOrdGreaterThan", 5, 5},
+	opFOrdLessThanEqual:      {"OpFOrdLessThanEqual", 5, 5},
+	opFOrdGreaterThanEqual:   {"OpFOrdGreaterThanEqual", 5, 5},
+	opDPdx:                   {"OpDPdx", 4, 4},
+	opDPdy:                   {"OpDPdy", 4, 4},
+	opFwidth:                 {"OpFwidth", 4, 4},
+	opLoopMerge:              {"OpLoopMerge", 4, 5},
+	opSelectionMerge:         {"OpSelectionMerge", 3, 3},
+	opLabel:                  {"OpLabel", 2, 2},
+	opBranch:                 {"OpBranch", 2, 2},
+	opBranchConditional:      {"OpBranchConditional", 4, 6},
+	opKill:                   {"OpKill", 1, 1},
+	opReturn:                 {"OpReturn", 1, 1},
+}
+
+// resultPos returns the operand index (1-based, relative to the
+// instruction head) of the result id for result-bearing opcodes, or 0.
+func resultPos(opc uint32) int {
+	switch opc {
+	case opExtInstImport, opLabel, opTypeVoid, opTypeBool, opTypeInt,
+		opTypeFloat, opTypeVector, opTypeMatrix, opTypeImage,
+		opTypeSampledImage, opTypeArray, opTypePointer, opTypeFunction:
+		return 1
+	case opSource, opName, opMemoryModel, opEntryPoint, opExecutionMode,
+		opCapability, opDecorate, opStore, opBranch, opBranchConditional,
+		opSelectionMerge, opLoopMerge, opKill, opReturn, opFunctionEnd:
+		return 0
+	default:
+		// Everything else follows the (result-type, result, ...) shape.
+		return 2
+	}
+}
+
+// Validate structurally checks a SPIR-V word stream: header fields, the
+// per-opcode word-count table, and id bounds. It does not type-check —
+// Decode plus ir.Verify do that — but it catches truncation, bound
+// violations, and opcodes outside the backend's vocabulary, which is what
+// the CI gate needs to reject corrupted snapshots.
+func Validate(words []uint32) error {
+	if len(words) < 5 {
+		return fmt.Errorf("spirvgen: module header truncated (%d words)", len(words))
+	}
+	if words[0] != Magic {
+		return fmt.Errorf("spirvgen: bad magic %#x", words[0])
+	}
+	if words[1] != Version {
+		return fmt.Errorf("spirvgen: unsupported version %#x", words[1])
+	}
+	bound := words[3]
+	if bound == 0 {
+		return fmt.Errorf("spirvgen: id bound is zero")
+	}
+	if words[4] != 0 {
+		return fmt.Errorf("spirvgen: reserved schema word is %d", words[4])
+	}
+	var haveMemoryModel, haveEntryPoint bool
+	functions := 0
+	lastOp := uint32(0)
+	pos := 5
+	for pos < len(words) {
+		head := words[pos]
+		wc := int(head >> 16)
+		opc := head & 0xffff
+		if wc == 0 {
+			return fmt.Errorf("spirvgen: zero word count at word %d", pos)
+		}
+		if pos+wc > len(words) {
+			return fmt.Errorf("spirvgen: instruction at word %d overruns module", pos)
+		}
+		b, ok := opTable[opc]
+		if !ok {
+			return fmt.Errorf("spirvgen: unknown opcode %d at word %d", opc, pos)
+		}
+		if wc < b.min || (b.max != 0 && wc > b.max) {
+			return fmt.Errorf("spirvgen: %s has %d words, want %d..%d", b.name, wc, b.min, b.max)
+		}
+		if rp := resultPos(opc); rp != 0 {
+			id := words[pos+rp]
+			if id == 0 {
+				return fmt.Errorf("spirvgen: %s at word %d has zero result id", b.name, pos)
+			}
+			if id >= bound {
+				return fmt.Errorf("spirvgen: %s result id %d exceeds bound %d", b.name, id, bound)
+			}
+			if rp == 2 {
+				// The preceding word is a result type id.
+				if tid := words[pos+1]; tid == 0 || tid >= bound {
+					return fmt.Errorf("spirvgen: %s result type id %d out of range", b.name, tid)
+				}
+			}
+		}
+		switch opc {
+		case opMemoryModel:
+			haveMemoryModel = true
+		case opEntryPoint:
+			haveEntryPoint = true
+		case opFunction:
+			functions++
+		}
+		lastOp = opc
+		pos += wc
+	}
+	if !haveMemoryModel {
+		return fmt.Errorf("spirvgen: missing OpMemoryModel")
+	}
+	if !haveEntryPoint {
+		return fmt.Errorf("spirvgen: missing OpEntryPoint")
+	}
+	if functions != 1 {
+		return fmt.Errorf("spirvgen: module has %d functions, want 1", functions)
+	}
+	if lastOp != opFunctionEnd {
+		return fmt.Errorf("spirvgen: module does not end with OpFunctionEnd")
+	}
+	return nil
+}

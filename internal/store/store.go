@@ -69,8 +69,19 @@ type Store struct {
 	mu   sync.Mutex
 	size int64 // tracked on-disk footprint (headers + payloads)
 
+	// evictMu serializes evictors: without it two goroutines passing the
+	// over-bound check together would walk and resync concurrently, each
+	// clobbering the other's accounting.
+	evictMu sync.Mutex
+
 	hits, misses, writes, evictions, corrupt Counter
 }
+
+// tmpMaxAge is how old an orphaned put-*.tmp file must be before the
+// eviction sweep deletes it. A live Put holds its temp file for
+// milliseconds; anything this old was left by a crashed writer. The
+// threshold keeps the sweep from racing a concurrent Put's rename.
+const tmpMaxAge = time.Hour
 
 // Open opens (creating if needed) a store rooted at dir, bounded to
 // maxBytes of on-disk entry data (<= 0 means unbounded). The existing
@@ -87,6 +98,9 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.size = size
+	// A previous process may have crashed mid-Put; heal its orphaned
+	// temp files now rather than waiting for eviction pressure.
+	s.sweepStaleTemps(time.Now().Add(-tmpMaxAge))
 	return s, nil
 }
 
@@ -227,15 +241,28 @@ func (s *Store) Sync() error {
 
 // evict deletes least-recently-accessed entries until the footprint is
 // back under the bound. Recency is the file mtime, which Get refreshes
-// on every hit. One goroutine evicts at a time; the walk tolerates
-// entries disappearing underneath it (another evictor, another process).
+// on every hit. One goroutine evicts at a time (evictMu; a second
+// arrival leaves immediately — the running evictor's resync already
+// accounts the bytes it added). The walk tolerates entries disappearing
+// underneath it (another process). The sweep also removes orphaned
+// temp files old enough that no live Put can still own them.
 func (s *Store) evict() {
+	if !s.evictMu.TryLock() {
+		return
+	}
+	defer s.evictMu.Unlock()
+
 	s.mu.Lock()
 	if s.max <= 0 || s.size <= s.max {
 		s.mu.Unlock()
 		return
 	}
+	// Snapshot the tracked size before walking: the resync below must
+	// preserve accounting deltas posted while the walk runs.
+	walkStart := s.size
 	s.mu.Unlock()
+
+	s.sweepStaleTemps(time.Now().Add(-tmpMaxAge))
 
 	type cand struct {
 		path  string
@@ -254,13 +281,21 @@ func (s *Store) evict() {
 	})
 
 	// Resync the tracked footprint to what the walk actually saw, so
-	// cross-process writes neither leak accounting nor over-evict.
+	// cross-process writes neither leak accounting nor over-evict — but
+	// keep the deltas concurrent Puts and drops posted since the walk
+	// began (s.size - walkStart): those entries landed after the walk
+	// read their shards, so they are real bytes the walk's total missed.
+	// Overwriting with the bare total would silently shed them from the
+	// accounting and let the store grow past its bound for good.
 	total := int64(0)
 	for _, c := range cands {
 		total += c.size
 	}
 	s.mu.Lock()
-	s.size = total
+	s.size = total + (s.size - walkStart)
+	if s.size < 0 {
+		s.size = 0
+	}
 	s.mu.Unlock()
 
 	for _, c := range cands {
@@ -275,6 +310,37 @@ func (s *Store) evict() {
 			s.size -= c.size
 			s.mu.Unlock()
 			s.count(s.evictions)
+		}
+	}
+}
+
+// sweepStaleTemps removes put-*.tmp files last modified before cutoff:
+// the half-written leftovers of crashed writers. They are invisible to
+// Get and to the entry walk (wrong extension) but occupy disk forever if
+// nothing deletes them. Temp bytes were never added to the tracked size,
+// so removal adjusts no accounting.
+func (s *Store) sweepStaleTemps(cutoff time.Time) {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || filepath.Ext(f.Name()) != ".tmp" {
+				continue
+			}
+			fi, err := f.Info()
+			if err != nil || !fi.ModTime().Before(cutoff) {
+				continue
+			}
+			_ = os.Remove(filepath.Join(s.dir, shard.Name(), f.Name()))
 		}
 	}
 }

@@ -35,6 +35,20 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
+// drainAndClose consumes a bounded remainder of a response body before
+// closing it. Closing with unread bytes buffered makes the transport
+// tear down the TCP connection; draining first lets keep-alive return
+// it to the pool. The limit keeps a misbehaving server from turning
+// cleanup into an unbounded read — past it the connection is simply not
+// reused. Every response-body path in this file must end here: the
+// audit invariant is close-exactly-once on every path, early-error or
+// success, so a long-lived client (the sweep CLI polling a daemon, a
+// test harness looping requests) can never accumulate dead connections.
+func drainAndClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	_ = body.Close()
+}
+
 // Sweep submits a sweep request and consumes the event stream, invoking
 // onEvent (when non-nil) per progress line, and returns the final
 // per-shader scores.
@@ -47,7 +61,7 @@ func (c *Client) Sweep(req SweepRequest, onEvent func(search.SweepEvent)) ([]Sha
 	if err != nil {
 		return nil, fmt.Errorf("sweep request: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("sweep request: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
@@ -80,7 +94,7 @@ func (c *Client) Health() error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: %s", resp.Status)
 	}
@@ -93,7 +107,7 @@ func (c *Client) Metrics() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return "", fmt.Errorf("metricz: %s", resp.Status)
 	}

@@ -21,6 +21,7 @@ package sweepd
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -284,5 +285,56 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, res := range sweep.Results {
 		results[i] = ShaderScores{Name: res.Name(), Orig: res.OrigNS, Variants: res.VariantNS}
 	}
+	// Guard the harness boundary: a NaN or ±Inf score (a corrupted cost
+	// model, a poisoned store entry) would make enc.Encode fail with
+	// "json: unsupported value" — killing the stream mid-line with no
+	// error line and leaving the client to diagnose a truncated read.
+	// Catch it here and end the stream with a structured error instead.
+	if err := validateScores(results); err != nil {
+		s.reg.Counter("sweepd.nonfinite_scores").Inc()
+		emit(StreamLine{Error: err.Error()})
+		return
+	}
 	emit(StreamLine{Results: results})
+}
+
+// validateScores scans a sweep's scores for non-finite values, returning
+// a diagnostic naming the first offender (in deterministic order) and
+// the total count.
+func validateScores(results []ShaderScores) error {
+	bad := 0
+	first := ""
+	note := func(where string, ns float64) {
+		if !math.IsNaN(ns) && !math.IsInf(ns, 0) {
+			return
+		}
+		bad++
+		if first == "" {
+			first = fmt.Sprintf("%s = %v", where, ns)
+		}
+	}
+	for _, r := range results {
+		for _, vendor := range sortedKeys(r.Orig) {
+			note(fmt.Sprintf("%s orig on %s", r.Name, vendor), r.Orig[vendor])
+		}
+		for _, vendor := range sortedKeys(r.Variants) {
+			m := r.Variants[vendor]
+			for _, hash := range sortedKeys(m) {
+				note(fmt.Sprintf("%s variant %s on %s", r.Name, hash, vendor), m[hash])
+			}
+		}
+	}
+	if bad == 0 {
+		return nil
+	}
+	return fmt.Errorf("sweep produced %d non-finite score(s); first: %s", bad, first)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -1,28 +1,53 @@
 // Package shaderopt is a pure-Go reproduction of the experimental stack
 // from "A Cross-platform Evaluation of Graphics Shader Compiler
 // Optimization" (Crawford & O'Boyle, ISPASS 2018), grown into a
-// multi-frontend compiler study platform: three source language frontends
-// (desktop GLSL, WGSL, and HLSL) lower into one shared optimizer IR,
-// LunarGlass's eight flag-controlled passes (including the paper's custom
-// unsafe floating-point additions) transform it, and the result feeds
-// five simulated GPU platforms with vendor-specific driver compilers and
-// cost models, a timer-query measurement harness, and the exhaustive
-// 256-combination iterative-compilation study.
+// multi-frontend, multi-backend compiler study platform: four source
+// language frontends (desktop GLSL, WGSL, HLSL, and MSL) lower into one
+// shared optimizer IR, LunarGlass's eight flag-controlled passes
+// (including the paper's custom unsafe floating-point additions)
+// transform it, and the result feeds five simulated GPU platforms with
+// vendor-specific driver compilers and cost models, a timer-query
+// measurement harness, and the exhaustive 256-combination
+// iterative-compilation study.
 //
-// The pipeline is frontend-independent past the IR:
+// The pipeline is frontend-independent past the IR, and past the passes
+// it fans out into three code generators:
 //
-//	GLSL ──parse/check──┐
-//	WGSL ──parse/bind───┼──> IR ──passes──> GLSL codegen ──> {desktop driver | ES conversion → mobile driver}
-//	HLSL ──parse/bind───┘
+//	GLSL ──parse/check──┐                ┌──> GLSL codegen ──> {desktop driver | ES conversion → mobile driver}
+//	WGSL ──parse/bind───┤                │
+//	HLSL ──parse/bind───┼──> IR ──passes─┼──> MSL emission    (Emit(BackendMSL))
+//	MSL  ──parse/bind───┘                │
+//	                                     └──> SPIR-V emission (Emit(BackendSPIRV))
 //
 // so every study artefact — variant enumeration, per-flag attribution,
-// platform measurements, rendered images — is available for all three
+// platform measurements, rendered images — is available for all four
 // languages, and the study can ask how flag effectiveness transfers
 // across source languages (the hlsl corpus family is an
 // instance-for-instance port of the GLSL tonemap family with pinned
 // variant fingerprints, so the comparison is exact). Source language is
 // auto-detected by default and can be pinned with WithLang or the *Lang
 // functions.
+//
+// # Backends
+//
+// Emit and Shader.Emit serialize a compiled shader through any Backend:
+// textual desktop GLSL (BackendGLSL), textual Metal Shading Language
+// (BackendMSL, ingestible by the MSL frontend), or a genuine SPIR-V 1.0
+// binary module (BackendSPIRV, with an in-package decoder, structural
+// validator, and disassembler in internal/spirvgen). EmitOptimized runs
+// a flag set first, so any point of the 256-combination study can be
+// exported in any format. Each backend round-trips: its output
+// re-ingests through the matching frontend to an IR that renders
+// bit-identically to the GLSL path — a zero-tolerance property pinned
+// corpus-wide, for every enumerated variant, by the
+// backend-differential gate (TestBackendDifferential), with per-family
+// snapshot tests (testdata/snapshots, regenerated via -update) pinning
+// the exact emitted text. The simulated drivers exercise the loop in
+// production: each platform declares a preferred ingestion format
+// (gpu.Platform.Ingest — AMD and Qualcomm take SPIR-V, NVIDIA takes
+// MSL, Intel and ARM take GLSL), and the measurement pipeline inserts
+// that backend round trip at the head of the vendor compile, so every
+// sweep continuously re-proves emit/ingest fidelity.
 //
 // The study is compile-once / measure-many (256 flag combinations per
 // shader across 5 platforms), so the API is built around compiled
@@ -182,7 +207,7 @@
 //
 //   - Differential equivalence (TestDifferentialEquivalence): the
 //     metamorphic oracle. Every enumerated variant of every corpus shader
-//     — all three languages — is re-parsed from its generated text (the
+//     — all three corpus languages — is re-parsed from its generated text (the
 //     exact bytes a driver receives), rendered through the reference
 //     interpreter, and compared pixel-by-pixel against the unoptimized
 //     shader: bit-for-bit for safe flag sets, within a documented epsilon
@@ -193,6 +218,12 @@
 //     hlsl corpus family to its GLSL source family: identical
 //     flag→variant partitions and bit-identical renders, so frontend
 //     changes cannot silently alter the optimizable shape of a program.
+//     The backend-differential gate (TestBackendDifferential) extends
+//     the oracle across backends: every variant's MSL and SPIR-V
+//     emission must re-ingest to an IR that renders bit-identically to
+//     the GLSL path, with per-family snapshot tests pinning the exact
+//     emitted text and the SPIR-V structural validator accepting every
+//     module.
 //   - Reference-implementation pinning: the pre-memoization enumeration
 //     survives as Shader.LegacyVariants, and
 //     TestMemoizedEnumerationMatchesLegacy pins the trie path
@@ -207,10 +238,10 @@
 //     cache-bound tests pin that LRU eviction — enumeration, lowering,
 //     compile, and measurement-score caches alike — never changes
 //     results, only retention.
-//   - Fuzzing: native go-fuzz targets for all three frontends — WGSL and
+//   - Fuzzing: native go-fuzz targets for the frontends — WGSL and
 //     HLSL lexers, parsers, and compile round trips; GLSL preprocessor,
 //     lexer, parser, and the parse→lower→generate→re-parse round trip —
-//     plus the three-way DetectLang, with seed corpora under
+//     plus the four-way DetectLang, with seed corpora under
 //     testdata/fuzz, short smoke campaigns in CI, and 2-minute campaigns
 //     per target in the nightly workflow.
 //   - Golden files: the Table I / Fig. 3-9 report renderers and the
@@ -283,13 +314,49 @@ const (
 	LangGLSL = core.LangGLSL
 	LangWGSL = core.LangWGSL
 	LangHLSL = core.LangHLSL
+	LangMSL  = core.LangMSL
 )
 
-// ParseLang parses a -lang flag value ("auto", "glsl", "wgsl", "hlsl").
+// ParseLang parses a -lang flag value ("auto", "glsl", "wgsl", "hlsl",
+// "msl").
 func ParseLang(s string) (Lang, error) { return core.ParseLang(s) }
 
 // DetectLang guesses the source language of a fragment shader.
 func DetectLang(src string) Lang { return core.DetectLang(src) }
+
+// Backend selects a code-generation target: desktop GLSL text (the
+// paper's interchange form), Metal Shading Language text, or a binary
+// SPIR-V 1.0 module. Every backend is render-lossless over the IR
+// subset, pinned corpus-wide by the backend-differential suite.
+type Backend = core.Backend
+
+// Codegen backends.
+const (
+	BackendGLSL  = core.BackendGLSL
+	BackendMSL   = core.BackendMSL
+	BackendSPIRV = core.BackendSPIRV
+)
+
+// ParseBackend parses a -backend flag value ("glsl", "msl", "spirv").
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// Emit compiles fragment shader source (any supported language,
+// auto-detected) and serializes the unoptimized IR through the given
+// backend. Text backends return source bytes; BackendSPIRV returns a
+// little-endian binary module.
+func Emit(src, name string, b Backend) ([]byte, error) {
+	return core.EmitLang(src, name, LangAuto, b)
+}
+
+// EmitOptimized is Emit after running the optimizer with the given
+// flags.
+func EmitOptimized(src, name string, flags Flags, b Backend) ([]byte, error) {
+	sh, err := Compile(src, name)
+	if err != nil {
+		return nil, err
+	}
+	return sh.EmitOptimized(flags, b)
+}
 
 // Optimize runs the offline optimizer on fragment shader source (GLSL,
 // WGSL, or HLSL, auto-detected) and returns optimized desktop GLSL — the
