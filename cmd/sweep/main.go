@@ -4,6 +4,14 @@
 // families — on all five simulated platforms and renders each experiment.
 // -lang restricts the corpus to one source language.
 //
+// -report renders the comparative study layer on top of the same sweep:
+// "transfer" prints the language×language and backend×backend transfer
+// matrices (the best static set learned on one group applied to every
+// other, with the pinned GLSL↔HLSL twin cells computed exactly) plus a
+// grep-able "Headline:" line per axis; "groups" prints Table I / Fig. 5
+// re-learned per source language and per ingestion format. Both compose
+// with -lang, -backend, and -server.
+//
 // Usage:
 //
 //	sweep -exp all
@@ -12,6 +20,8 @@
 //	sweep -lang wgsl -exp table1 -fast
 //	sweep -lang hlsl -exp table1,fig5 -fast
 //	sweep -lang glsl -fast -trace out.json -metrics
+//	sweep -report transfer -fast
+//	sweep -report transfer,groups -server 127.0.0.1:7077 -fast
 //	sweep -fast -debug-addr localhost:6060
 //	sweep -fast -server 127.0.0.1:7077
 //
@@ -47,6 +57,8 @@ import (
 type cliConfig struct {
 	exp, platform, lang string
 	backend             string
+	reports             string
+	expSet              bool
 	fast                bool
 	workers             int
 	traceOut            string
@@ -58,6 +70,7 @@ type cliConfig struct {
 func main() {
 	var c cliConfig
 	flag.StringVar(&c.exp, "exp", "all", "experiments: all | fig3,fig4a,fig4b,fig4c,fig5,fig6,fig7,fig8,fig9,table1")
+	flag.StringVar(&c.reports, "report", "", "comparative study reports: transfer (cross-language/cross-backend matrices) and/or groups (Table I / Fig. 5 per language and per ingestion format)")
 	flag.StringVar(&c.platform, "platform", "", "restrict per-platform figures (7, 9) to one vendor")
 	flag.StringVar(&c.lang, "lang", "all", "restrict the corpus by source language: all|glsl|wgsl|hlsl|msl")
 	flag.StringVar(&c.backend, "backend", "", "override every platform's driver ingestion format: glsl|msl|spirv (default: each platform's own assignment)")
@@ -68,6 +81,11 @@ func main() {
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar (/debug/vars) and net/http/pprof (/debug/pprof/) on this address for the run's duration")
 	flag.StringVar(&c.server, "server", "", "run as a thin client of a sweepd daemon at this address (host:port or URL) instead of measuring locally")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			c.expSet = true
+		}
+	})
 
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -121,6 +139,21 @@ func run(c cliConfig) error {
 			fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", c.traceOut)
 		}
 		return nil
+	}
+	reports := map[string]bool{}
+	if c.reports != "" {
+		for _, r := range strings.Split(c.reports, ",") {
+			r = strings.TrimSpace(strings.ToLower(r))
+			if r != "transfer" && r != "groups" {
+				return fmt.Errorf("unknown -report %q (want transfer and/or groups)", r)
+			}
+			reports[r] = true
+		}
+		// -report alone means just the comparative reports; an explicit
+		// -exp composes with them.
+		if !c.expSet {
+			expList = ""
+		}
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(expList, ",") {
@@ -188,7 +221,8 @@ func run(c cliConfig) error {
 		fmt.Println(report.Fig4c(uni))
 	}
 
-	needSweep := has("fig3") || has("fig5") || has("fig6") || has("fig7") || has("fig8") || has("fig9") || has("table1")
+	needSweep := has("fig3") || has("fig5") || has("fig6") || has("fig7") || has("fig8") || has("fig9") || has("table1") ||
+		reports["transfer"] || reports["groups"]
 	if !needSweep {
 		return finish(reg.Snapshot())
 	}
@@ -288,6 +322,24 @@ func run(c cliConfig) error {
 		}
 		dist := sweep.SpeedupDistribution("ARM", core.AllFlags)
 		fmt.Println(report.Fig3(gains, vendors, "ARM", dist))
+	}
+	if reports["groups"] {
+		fmt.Println(report.Table1Grouped("language", analysis.LangGroupMeans(sweep)))
+		fmt.Println(report.Fig5Grouped("language", analysis.LangGroupMeans(sweep)))
+		fmt.Println(report.Table1Grouped("backend", analysis.BackendGroupMeans(sweep)))
+		fmt.Println(report.Fig5Grouped("backend", analysis.BackendGroupMeans(sweep)))
+	}
+	if reports["transfer"] {
+		lm := analysis.LangTransferMatrix(sweep)
+		bm := analysis.BackendTransferMatrix(sweep)
+		fmt.Println(report.TransferMatrix(lm))
+		fmt.Println(report.TransferMatrix(bm))
+		if h := report.TransferHeadline(lm); h != "" {
+			fmt.Println(h)
+		}
+		if h := report.TransferHeadline(bm); h != "" {
+			fmt.Println(h)
+		}
 	}
 	return finish(finalSnap())
 }

@@ -7,17 +7,18 @@ import (
 )
 
 // renderEvent formats one per-shader progress line of a running sweep:
-// variant count, where the shader's time went (enumeration vs the
-// measurement pipeline), and how much work the session caches absorbed
-// (measurement scores served from cache, driver compiles reused). The
-// output is pure in the event, so the golden test can pin the format.
+// the shader's source language, variant count, where the shader's time
+// went (enumeration vs the measurement pipeline), and how much work the
+// session caches absorbed (measurement scores served from cache, driver
+// compiles reused). The output is pure in the event, so the golden test
+// can pin the format.
 func renderEvent(ev shaderopt.SweepEvent) string {
 	enum := fmt.Sprintf("enum %6.1fms", ev.EnumMS)
 	if ev.EnumCached {
 		enum = "enum   cached" // same width as the timed form
 	}
-	return fmt.Sprintf("  [%*d/%d] %-26s %3d variants, %s, meas %7.1fms, %4d measured, %3d cached, %3d compiles reused",
-		len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader,
+	return fmt.Sprintf("  [%*d/%d] %-26s %-4s %3d variants, %s, meas %7.1fms, %4d measured, %3d cached, %3d compiles reused",
+		len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Shader, ev.Lang,
 		ev.UniqueVariants, enum, ev.MeasureMS, ev.Measured, ev.CacheHits, ev.CompileHits)
 }
 

@@ -27,17 +27,17 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 func TestGoldenProgress(t *testing.T) {
 	events := []shaderopt.SweepEvent{
 		{
-			Shader: "blur/v9", Done: 1, Total: 12, UniqueVariants: 11,
+			Shader: "blur/v9", Lang: "glsl", Done: 1, Total: 12, UniqueVariants: 11,
 			Measured: 55, CacheHits: 0, Workers: 4,
 			EnumMS: 12.3, MeasureMS: 41.7, CompileHits: 3,
 		},
 		{
-			Shader: "wgsl/ripple", Done: 2, Total: 12, UniqueVariants: 10,
+			Shader: "wgsl/ripple", Lang: "wgsl", Done: 2, Total: 12, UniqueVariants: 10,
 			Measured: 50, CacheHits: 5, Workers: 4,
 			EnumCached: true, MeasureMS: 30.2, CompileHits: 0,
 		},
 		{
-			Shader: "pbr/l4_spec_full", Done: 12, Total: 12, UniqueVariants: 9,
+			Shader: "pbr/l4_spec_full", Lang: "glsl", Done: 12, Total: 12, UniqueVariants: 9,
 			Measured: 44, CacheHits: 6, Workers: 4,
 			EnumMS: 107.9, MeasureMS: 112.4, CompileHits: 12,
 		},

@@ -1,0 +1,149 @@
+package shaderopt
+
+// The docs gate: every Go package in the repo must carry a package
+// comment (so `go doc` is useful everywhere), and the markdown docs'
+// relative links and anchors must resolve. Runs in the CI quick job.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goPackageDirs returns every directory under the repo root that holds
+// non-test Go files, skipping testdata and hidden directories.
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return fs.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestPackageDocComments fails on any package whose non-test files all
+// lack a package comment.
+func TestPackageDocComments(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment on any file", name, dir)
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links: [text](target). Images and
+// reference-style links are out of scope for this corpus of docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// slug reduces a markdown heading to its GitHub anchor form.
+func slug(heading string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// anchorsOf returns the heading anchors a markdown file defines.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[slug(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+// TestMarkdownLinks checks that every relative link and anchor in the
+// top-level docs resolves: linked files exist and linked headings are
+// defined in their targets.
+func TestMarkdownLinks(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("missing doc %s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, anchor := target, ""
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				file, anchor = target[:i], target[i+1:]
+			}
+			if file == "" {
+				file = doc // same-document anchor
+			}
+			if _, err := os.Stat(file); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, target, err)
+				continue
+			}
+			if anchor != "" && strings.HasSuffix(file, ".md") && !anchorsOf(t, file)[anchor] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", doc, target, file, anchor)
+			}
+		}
+	}
+}

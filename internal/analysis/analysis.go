@@ -1,7 +1,12 @@
-// Package analysis computes the paper's static corpus characterizations:
-// the lines-of-code distribution (Fig. 4a), the ARM static-analyser cycle
-// counts (Fig. 4b), and the unique-variant counts from the exhaustive flag
-// enumeration (Fig. 4c).
+// Package analysis computes the paper's static corpus characterizations
+// — the lines-of-code distribution (Fig. 4a), the ARM static-analyser
+// cycle counts (Fig. 4b), and the unique-variant counts from the
+// exhaustive flag enumeration (Fig. 4c) — plus the comparative study
+// layer: sweep results grouped by source language and by driver
+// ingestion format (LangGroupMeans, BackendGroupMeans) and the
+// cross-language / cross-backend transfer matrices (LangTransferMatrix,
+// BackendTransferMatrix), which apply the best static flag set learned
+// on one group to every other and report the fraction of the win kept.
 package analysis
 
 import (

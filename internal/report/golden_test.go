@@ -75,6 +75,44 @@ func sweepForGolden(t *testing.T) *search.Sweep {
 	return goldenSweep
 }
 
+// transferNames is the fixture behind the comparative-study goldens: the
+// full GLSL tonemap family with its pinned HLSL twin family (so the
+// exact twin cells appear in the language matrix) plus one WGSL shader
+// for a best-effort third group.
+var transferNames = []string{
+	"tonemap/reinhard", "tonemap/reinhard_ext", "tonemap/reinhard_gamma",
+	"tonemap/filmic", "tonemap/filmic_gamma", "tonemap/filmic_full",
+	"hlsl/reinhard", "hlsl/reinhard_ext", "hlsl/reinhard_gamma",
+	"hlsl/filmic", "hlsl/filmic_gamma", "hlsl/filmic_full",
+	"wgsl/ripple",
+}
+
+var (
+	transferOnce   sync.Once
+	transferResult *search.Sweep
+	transferErr    error
+)
+
+func sweepForTransfer(t *testing.T) *search.Sweep {
+	t.Helper()
+	transferOnce.Do(func() {
+		var shaders []*corpus.Shader
+		all, err := corpus.Load()
+		if err != nil {
+			transferErr = err
+			return
+		}
+		for _, n := range transferNames {
+			shaders = append(shaders, corpus.ByName(all, n))
+		}
+		transferResult, transferErr = search.Run(shaders, gpu.Platforms(), search.Options{Cfg: harness.FastConfig()})
+	})
+	if transferErr != nil {
+		t.Fatal(transferErr)
+	}
+	return transferResult
+}
+
 // checkGolden compares got against testdata/<name>.golden, rewriting the
 // file under -update.
 func checkGolden(t *testing.T, name, got string) {
@@ -184,13 +222,42 @@ func TestGoldenHistogram(t *testing.T) {
 	checkGolden(t, "histogram", report.Histogram("Default-flags speed-up distribution (ARM)", dist, -35, 15, 20))
 }
 
+func TestGoldenTransferLang(t *testing.T) {
+	sweep := sweepForTransfer(t)
+	m := analysis.LangTransferMatrix(sweep)
+	got := report.TransferMatrix(m) + "\n" + report.TransferHeadline(m) + "\n"
+	checkGolden(t, "transfer_lang", got)
+}
+
+func TestGoldenTransferBackend(t *testing.T) {
+	sweep := sweepForTransfer(t)
+	m := analysis.BackendTransferMatrix(sweep)
+	got := report.TransferMatrix(m) + "\n" + report.TransferHeadline(m) + "\n"
+	checkGolden(t, "transfer_backend", got)
+}
+
+func TestGoldenTable1Grouped(t *testing.T) {
+	sweep := sweepForTransfer(t)
+	checkGolden(t, "table1_lang", report.Table1Grouped("language", analysis.LangGroupMeans(sweep)))
+	checkGolden(t, "table1_backend", report.Table1Grouped("backend", analysis.BackendGroupMeans(sweep)))
+}
+
+func TestGoldenFig5Grouped(t *testing.T) {
+	sweep := sweepForTransfer(t)
+	checkGolden(t, "fig5_lang", report.Fig5Grouped("language", analysis.LangGroupMeans(sweep)))
+	checkGolden(t, "fig5_backend", report.Fig5Grouped("backend", analysis.BackendGroupMeans(sweep)))
+}
+
 // TestGoldenFilesHaveNoStrays keeps testdata in lockstep with the tests:
 // every .golden file must belong to a renderer above.
 func TestGoldenFilesHaveNoStrays(t *testing.T) {
 	known := map[string]bool{
 		"table1": true, "fig3": true, "fig4a": true, "fig4b": true, "fig4c": true,
 		"fig5": true, "fig6": true, "fig7_arm": true, "fig8": true, "fig9_arm": true,
-		"histogram": true,
+		"histogram":     true,
+		"transfer_lang": true, "transfer_backend": true,
+		"table1_lang": true, "table1_backend": true,
+		"fig5_lang": true, "fig5_backend": true,
 	}
 	entries, err := os.ReadDir("testdata")
 	if err != nil {

@@ -1,6 +1,10 @@
 // Package report renders the paper's tables and figures as text: Table I
 // (best static flags), the Fig. 3 motivating-example table and histogram,
-// the Fig. 4 corpus characterizations, and the Fig. 5-9 evaluation charts.
+// the Fig. 4 corpus characterizations, the Fig. 5-9 evaluation charts,
+// and the comparative study layer — Table I / Fig. 5 re-learned per
+// source language or ingestion format (Table1Grouped, Fig5Grouped) and
+// the cross-language / cross-backend transfer matrices (TransferMatrix,
+// with TransferHeadline's grep-able summary line for the nightly).
 package report
 
 import (

@@ -1,0 +1,126 @@
+package report
+
+// Renderers for the comparative study layer: the cross-language /
+// cross-backend transfer matrices and the grouped Table I / Fig. 5
+// variants, all over internal/analysis's aggregates.
+
+import (
+	"fmt"
+	"strings"
+
+	"shaderopt/internal/analysis"
+)
+
+// cellBits renders a transfer cell's learned set in Table I column order.
+func cellBits(c analysis.TransferCell) string {
+	var sb strings.Builder
+	for _, h := range flagHeaders {
+		if c.Flags.Has(h.flag) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// TransferMatrix renders one transfer matrix: per row, the best static
+// set learned on that group against the all-off baseline, its self win,
+// and the retention when the set is applied to each column group.
+func TransferMatrix(m *analysis.TransferMatrix) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Transfer matrix (%s axis). Best static set learned on the row group\n", m.Axis)
+	sb.WriteString("(vs the all-off baseline), applied to the column group; cells show the\n")
+	sb.WriteString("fraction of the row's own win retained.\n\n")
+	fmt.Fprintf(&sb, "%-10s | %-8s | %-8s", "Learned on", "Best set", "Self win")
+	for _, g := range m.Groups {
+		fmt.Fprintf(&sb, " | %8s", g)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 32+len(m.Groups)*11) + "\n")
+	exact := false
+	for i, row := range m.Cells {
+		// The row legend shows the full-group learned set; exact twin
+		// cells re-learn on the pinned twin slice (footnoted below).
+		fmt.Fprintf(&sb, "%-10s | %s | %+7.2f%%", m.Groups[i], cellBits(row[i]), row[i].SelfWin)
+		for _, c := range row {
+			mark := " "
+			if c.Exact {
+				mark, exact = "*", true
+			}
+			fmt.Fprintf(&sb, " | %7.1f%%%s", 100*c.Retention, mark)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\nBest set bits, left to right:")
+	for _, h := range flagHeaders {
+		sb.WriteString(" " + h.title)
+	}
+	sb.WriteString("\n")
+	if exact {
+		sb.WriteString("* exact: computed on the pinned GLSL<->HLSL twin pairing (instance-\n")
+		sb.WriteString("  matched tonemap/ and hlsl/ subsets, set re-learned on the row's slice).\n")
+	}
+	return sb.String()
+}
+
+// TransferHeadline formats the matrix's headline cell — the best
+// off-diagonal retention — as one stable grep-able line (the nightly
+// workflow lifts it into the run's step summary). Empty for a
+// single-group matrix.
+func TransferHeadline(m *analysis.TransferMatrix) string {
+	c, ok := m.BestCross()
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("Headline: best cross-%s retention %s->%s %.1f%% (set %s, self win %+.2f%%)",
+		m.Axis, c.From, c.To, 100*c.Retention, cellBits(c), c.SelfWin)
+}
+
+// Table1Grouped renders Table I re-learned per comparison group: one
+// section per group, same row format as the ungrouped table.
+func Table1Grouped(axis string, groups []analysis.GroupMeans) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I by %s. Best static flags per platform, re-learned per group\n", axis)
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "\n[%s] %d shaders\n", g.Group, g.Shaders)
+		fmt.Fprintf(&sb, "%-10s", "Platform")
+		for _, h := range flagHeaders {
+			fmt.Fprintf(&sb, " | %-14s", h.title)
+		}
+		sb.WriteString(" | Mean speed-up\n")
+		sb.WriteString(strings.Repeat("-", 10+len(flagHeaders)*17+16) + "\n")
+		for _, r := range g.Rows {
+			fmt.Fprintf(&sb, "%-10s", r.Vendor)
+			for _, h := range flagHeaders {
+				mark := "-"
+				if r.StaticSet.Has(h.flag) {
+					mark = "X"
+				}
+				fmt.Fprintf(&sb, " | %-14s", mark)
+			}
+			fmt.Fprintf(&sb, " | %+.2f%%\n", r.BestStatic)
+		}
+	}
+	return sb.String()
+}
+
+// Fig5Grouped renders the Fig. 5 aggregates per comparison group: one
+// section per group, same row format as the ungrouped figure.
+func Fig5Grouped(axis string, groups []analysis.GroupMeans) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 by %s. Average percentage speed-ups per group\n", axis)
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "\n[%s] %d shaders\n", g.Group, g.Shaders)
+		fmt.Fprintf(&sb, "%-10s | %-22s | %-22s | %-22s\n", "Platform", "Best per shader", "Default LunarGlass", "Best static flags")
+		sb.WriteString(strings.Repeat("-", 85) + "\n")
+		for _, r := range g.Rows {
+			fmt.Fprintf(&sb, "%-10s | %+7.2f%% %-12s | %+7.2f%% %-12s | %+7.2f%% %-12s\n",
+				r.Vendor,
+				r.Best, bar(r.Best, 1),
+				r.Default, bar(r.Default, 1),
+				r.BestStatic, bar(r.BestStatic, 1))
+		}
+	}
+	return sb.String()
+}

@@ -51,6 +51,10 @@ type ShaderResult struct {
 // Name returns the shader's study name.
 func (r *ShaderResult) Name() string { return r.Handle.Name }
 
+// Lang returns the shader's source language, read from the compiled
+// handle — the attribution key of the per-language study split.
+func (r *ShaderResult) Lang() core.Lang { return r.Handle.Lang }
+
 // NSFor returns the measured time of the variant produced by flags.
 func (r *ShaderResult) NSFor(vendor string, flags core.Flags) float64 {
 	v := r.Variants.VariantFor(flags)
@@ -153,6 +157,11 @@ type staticBest struct {
 type SweepEvent struct {
 	// Shader is the completed shader's name.
 	Shader string
+	// Lang is the shader's source language ("glsl", "wgsl", ...), so a
+	// mixed-corpus event stream attributes each line to its frontend and
+	// consumers (progress renderers, the sweepd ndjson stream) can slice
+	// progress per language without a corpus lookup.
+	Lang string
 	// Done and Total count completed shaders and the sweep size.
 	Done, Total int
 	// UniqueVariants is the shader's deduplicated variant count (Fig. 4c).
@@ -730,6 +739,7 @@ func (s *Session) sweep(ctx context.Context, handles []*core.Shader, onEvent fun
 			if errs[i] == nil {
 				eventMu.Lock()
 				ev.Shader = h.Name
+				ev.Lang = h.Lang.String()
 				ev.Done = int(done.Add(1))
 				ev.Total = len(handles)
 				ev.Workers = s.workers
@@ -1025,6 +1035,29 @@ func Run(shaders []*corpus.Shader, platforms []*gpu.Platform, opts Options) (*Sw
 
 // --- Analyses ---
 
+// BestStaticFlagsOver returns the single flag combination maximizing the
+// mean speedup vs the original source across a subset of results for the
+// vendor — Table I restricted to a result group, the primitive behind the
+// per-language / per-backend study split (internal/analysis groups
+// results by language and platforms by ingestion format and calls this
+// per group). Ties resolve to the first combination in ascending
+// flag-value order, so the result is deterministic for a fixed score set.
+func BestStaticFlagsOver(results []*ShaderResult, vendor string) (core.Flags, float64) {
+	bestFlags := core.NoFlags
+	bestMean := -1e18
+	for _, flags := range passes.AllCombinations() {
+		sum := 0.0
+		for _, r := range results {
+			sum += r.SpeedupFor(vendor, flags)
+		}
+		mean := sum / float64(len(results))
+		if mean > bestMean {
+			bestMean, bestFlags = mean, flags
+		}
+	}
+	return bestFlags, bestMean
+}
+
 // BestStaticFlags returns the single flag combination maximizing the mean
 // speedup across all shaders for the vendor (Table I). The argmax is a
 // full 256×shaders scan, so it is computed once per vendor and memoized;
@@ -1035,18 +1068,7 @@ func (s *Sweep) BestStaticFlags(vendor string) (core.Flags, float64) {
 	if best, ok := s.bestStatic[vendor]; ok {
 		return best.flags, best.mean
 	}
-	bestFlags := core.NoFlags
-	bestMean := -1e18
-	for _, flags := range passes.AllCombinations() {
-		sum := 0.0
-		for _, r := range s.Results {
-			sum += r.SpeedupFor(vendor, flags)
-		}
-		mean := sum / float64(len(s.Results))
-		if mean > bestMean {
-			bestMean, bestFlags = mean, flags
-		}
-	}
+	bestFlags, bestMean := BestStaticFlagsOver(s.Results, vendor)
 	if s.bestStatic == nil {
 		s.bestStatic = map[string]staticBest{}
 	}
@@ -1073,6 +1095,23 @@ func (s *Sweep) MeanSpeedups(vendor string) MeanSpeedups {
 		out.Default += r.SpeedupFor(vendor, core.DefaultFlags)
 	}
 	n := float64(len(s.Results))
+	out.Best /= n
+	out.Default /= n
+	return out
+}
+
+// MeanSpeedupsOver computes the Fig. 5 aggregates for a vendor over a
+// subset of results — the per-group form of MeanSpeedups, with the best
+// static set learned on the same subset (unmemoized; group splits are
+// computed once per report).
+func MeanSpeedupsOver(results []*ShaderResult, vendor string) MeanSpeedups {
+	staticSet, staticMean := BestStaticFlagsOver(results, vendor)
+	out := MeanSpeedups{Vendor: vendor, BestStatic: staticMean, StaticSet: staticSet}
+	for _, r := range results {
+		out.Best += r.BestSpeedup(vendor)
+		out.Default += r.SpeedupFor(vendor, core.DefaultFlags)
+	}
+	n := float64(len(results))
 	out.Best /= n
 	out.Default /= n
 	return out
